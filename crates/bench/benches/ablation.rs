@@ -1,0 +1,28 @@
+//! Ablation bench: NeEM-style redundancy suppression on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egm_bench::print_figure;
+use egm_core::StrategySpec;
+use egm_workload::experiments::{ablation, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let rows = ablation::run(&scale);
+    print_figure("Ablation: NeEM redundancy suppression", &scale, &ablation::render(&rows));
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let model = egm_workload::experiments::shared_model(&scale);
+    group.bench_function("ranked_with_suppression", |b| {
+        b.iter(|| {
+            let mut scenario = egm_workload::experiments::base_scenario(&scale)
+                .with_strategy(StrategySpec::Ranked { best_fraction: 0.2 });
+            scenario.protocol.suppress_known = true;
+            scenario.run_with_model(model.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 4: emergent structure (top-5 % connection share per strategy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egm_bench::print_figure;
+use egm_core::StrategySpec;
+use egm_workload::experiments::{fig4, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let rows = fig4::run(&scale);
+    print_figure("Fig. 4: emergent structure", &scale, &fig4::render(&rows));
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    let model = egm_workload::experiments::shared_model(&scale);
+    group.bench_function("ranked_run", |b| {
+        b.iter(|| {
+            egm_workload::experiments::base_scenario(&scale)
+                .with_strategy(StrategySpec::Ranked { best_fraction: 0.2 })
+                .run_with_model(model.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 5(a): the latency/bandwidth tradeoff across strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egm_bench::print_figure;
+use egm_core::StrategySpec;
+use egm_workload::experiments::{fig5a, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let points = fig5a::run(&scale);
+    print_figure("Fig. 5(a): latency vs payload/msg", &scale, &fig5a::render(&points));
+
+    let mut group = c.benchmark_group("fig5a");
+    group.sample_size(10);
+    let model = egm_workload::experiments::shared_model(&scale);
+    for (name, pi) in [("pure_lazy", 0.0), ("pure_eager", 1.0)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                egm_workload::experiments::base_scenario(&scale)
+                    .with_strategy(StrategySpec::Flat { pi })
+                    .run_with_model(model.clone())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

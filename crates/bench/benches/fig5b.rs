@@ -1,0 +1,29 @@
+//! Fig. 5(b): reliability under correlated node failures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egm_bench::print_figure;
+use egm_core::StrategySpec;
+use egm_workload::experiments::{fig5b, Scale};
+use egm_workload::{FaultPlan, FaultSelection};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let points = fig5b::run(&scale);
+    print_figure("Fig. 5(b): mean deliveries vs dead nodes", &scale, &fig5b::render(&points));
+
+    let mut group = c.benchmark_group("fig5b");
+    group.sample_size(10);
+    let model = egm_workload::experiments::shared_model(&scale);
+    group.bench_function("ranked_with_hub_failures", |b| {
+        b.iter(|| {
+            egm_workload::experiments::base_scenario(&scale)
+                .with_strategy(StrategySpec::Ranked { best_fraction: 0.2 })
+                .with_faults(Some(FaultPlan::new(0.4, FaultSelection::BestRanked)))
+                .run_with_model(model.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 5(c): the hybrid (combined) strategy tradeoff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egm_bench::print_figure;
+use egm_core::StrategySpec;
+use egm_workload::experiments::{fig5c, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let points = fig5c::run(&scale);
+    print_figure("Fig. 5(c): hybrid strategy", &scale, &fig5c::render(&points));
+
+    let mut group = c.benchmark_group("fig5c");
+    group.sample_size(10);
+    let model = egm_workload::experiments::shared_model(&scale);
+    group.bench_function("combined_run", |b| {
+        b.iter(|| {
+            egm_workload::experiments::base_scenario(&scale)
+                .with_strategy(StrategySpec::Combined {
+                    best_fraction: 0.2,
+                    rho: 20.0,
+                    u: 2,
+                    t0_ms: 20.0,
+                })
+                .run_with_model(model.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

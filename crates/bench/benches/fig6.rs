@@ -1,0 +1,33 @@
+//! Fig. 6(a–c): degradation of structure under monitor noise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egm_bench::print_figure;
+use egm_core::StrategySpec;
+use egm_workload::experiments::{fig6, Scale};
+use egm_workload::NoiseConfig;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let points = fig6::run(&scale);
+    print_figure(
+        "Fig. 6: structure degradation under noise (a: payload, b: latency, c: top5% share)",
+        &scale,
+        &fig6::render(&points),
+    );
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    let model = egm_workload::experiments::shared_model(&scale);
+    group.bench_function("ranked_full_noise", |b| {
+        b.iter(|| {
+            egm_workload::experiments::base_scenario(&scale)
+                .with_strategy(StrategySpec::Ranked { best_fraction: 0.2 })
+                .with_noise(Some(NoiseConfig { o: 1.0, c: 0.36 }))
+                .run_with_model(model.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

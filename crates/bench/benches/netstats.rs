@@ -1,0 +1,28 @@
+//! §5.1 / §5.4 statistics: network-model properties paper-vs-measured,
+//! plus the eager reference run, and a timing of topology generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egm_bench::print_figure;
+use egm_topology::TransitStubConfig;
+use egm_workload::experiments::{netstats, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let stats = netstats::run(&scale);
+    print_figure("§5.1/§5.4 network model statistics", &scale, &stats.render());
+
+    let mut group = c.benchmark_group("netstats");
+    group.sample_size(10);
+    group.bench_function("generate_and_route_topology", |b| {
+        b.iter(|| {
+            TransitStubConfig::default()
+                .with_clients(scale.nodes)
+                .with_seed(scale.seed)
+                .build()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

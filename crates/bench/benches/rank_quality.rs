@@ -1,0 +1,27 @@
+//! Extension bench: ranking quality — oracle vs decentralized estimates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egm_bench::print_figure;
+use egm_core::BestSet;
+use egm_workload::experiments::{rank_quality, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let rows = rank_quality::run(&scale);
+    print_figure(
+        "Extension: decentralized ranking quality",
+        &scale,
+        &rank_quality::render(&rows),
+    );
+
+    let mut group = c.benchmark_group("rank_quality");
+    group.sample_size(10);
+    let model = egm_workload::experiments::shared_model(&scale);
+    group.bench_function("oracle_centrality_ranking", |b| {
+        b.iter(|| BestSet::by_centrality(&model, 0.2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

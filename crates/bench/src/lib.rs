@@ -1,0 +1,34 @@
+//! Benchmark harnesses regenerating the paper's evaluation.
+//!
+//! Each Criterion bench target under `benches/` corresponds to one figure
+//! (or the §5.1/§5.4 statistics): it first *prints the figure's series* —
+//! the same rows the paper plots — and then times a representative
+//! scenario execution so `cargo bench` doubles as both the reproduction
+//! record and a performance regression guard.
+//!
+//! Scale is controlled by the `EGM_SCALE` environment variable: unset or
+//! `quick` runs a reduced configuration (50 nodes × 120 messages);
+//! `paper` reproduces the full 100 nodes × 400 messages of §5.3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use egm_workload::experiments::Scale;
+
+/// Prints a figure banner plus its rendered table.
+pub fn print_figure(name: &str, scale: &Scale, table: &str) {
+    println!(
+        "\n=== {name} (nodes={}, messages={}, seed={}) ===",
+        scale.nodes, scale.messages, scale.seed
+    );
+    println!("{table}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn print_figure_is_callable() {
+        let scale = egm_workload::experiments::Scale::quick();
+        super::print_figure("smoke", &scale, "a b\n---\n1 2\n");
+    }
+}

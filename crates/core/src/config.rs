@@ -1,0 +1,170 @@
+//! Protocol configuration.
+
+use egm_membership::ViewConfig;
+use egm_simnet::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one protocol node.
+///
+/// Defaults follow the paper's testbed (§5.2–§5.3): gossip fanout 11,
+/// overlay (view) fanout 15, 400 ms retransmission period, 256-byte
+/// payloads with a 24-byte NeEM header.
+///
+/// # Examples
+///
+/// ```
+/// use egm_core::ProtocolConfig;
+///
+/// let config = ProtocolConfig::default().with_fanout(7).with_rounds(4);
+/// assert_eq!(config.fanout, 7);
+/// assert_eq!(config.rounds, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Gossip fanout `f`: targets per forwarding step (11 in §5.2).
+    pub fanout: usize,
+    /// Maximum relay count `t` (Fig. 2 forwards while `r < t`).
+    pub rounds: u32,
+    /// Retransmission period `T` between repeated `IWANT`s (400 ms in
+    /// §5.2 — the minimum that still yields ≈1 payload per destination
+    /// under pure lazy push).
+    pub retry_interval: SimDuration,
+    /// Application payload size in bytes (256 in §5.3).
+    pub payload_bytes: u32,
+    /// Per-message protocol header in bytes (NeEM uses 24, §5.3).
+    pub header_bytes: u32,
+    /// Partial-view configuration (capacity 15 in §5.2).
+    pub view: ViewConfig,
+    /// Interval between membership shuffles; `None` freezes the overlay.
+    pub shuffle_interval: Option<SimDuration>,
+    /// Interval between runtime-monitor ping rounds; `None` disables the
+    /// runtime monitor (oracle monitors need no traffic).
+    pub ping_interval: Option<SimDuration>,
+    /// Capacity of the payload cache `C` (Fig. 3); oldest entries are
+    /// evicted first. Must comfortably exceed the number of in-flight
+    /// messages.
+    pub cache_capacity: usize,
+    /// Capacity of the duplicate-suppression sets `K` and `R`.
+    pub known_capacity: usize,
+    /// NeEM-style redundancy suppression: skip transmitting a message
+    /// (payload or advertisement) to a peer that is already known to hold
+    /// it, i.e. a peer we received the payload or an `IHAVE` from. The
+    /// paper's pseudocode (Fig. 2/3) does not include this, so it
+    /// defaults to `false`; NeEM 0.5's user-space buffer purging has the
+    /// same effect, and the `ablation` bench quantifies it.
+    pub suppress_known: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            fanout: 11,
+            rounds: 6,
+            retry_interval: SimDuration::from_ms(400.0),
+            payload_bytes: 256,
+            header_bytes: 24,
+            view: ViewConfig::default(),
+            shuffle_interval: Some(SimDuration::from_ms(1000.0)),
+            ping_interval: None,
+            cache_capacity: 8192,
+            known_capacity: 16384,
+            suppress_known: false,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Sets the gossip fanout (builder style).
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
+    /// Sets the maximum relay count `t` (builder style).
+    pub fn with_rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the `IWANT` retransmission period (builder style).
+    pub fn with_retry_interval(mut self, t: SimDuration) -> Self {
+        self.retry_interval = t;
+        self
+    }
+
+    /// Freezes or enables overlay shuffling (builder style).
+    pub fn with_shuffle_interval(mut self, interval: Option<SimDuration>) -> Self {
+        self.shuffle_interval = interval;
+        self
+    }
+
+    /// Enables the runtime ping monitor (builder style).
+    pub fn with_ping_interval(mut self, interval: Option<SimDuration>) -> Self {
+        self.ping_interval = interval;
+        self
+    }
+
+    /// Validates invariants that the protocol relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fanout is zero, the fanout exceeds the view capacity
+    /// (the peer sampling service cannot return more peers than it holds),
+    /// or any capacity is zero.
+    pub fn validate(&self) {
+        assert!(self.fanout > 0, "fanout must be positive");
+        assert!(
+            self.fanout <= self.view.capacity,
+            "gossip fanout {} exceeds overlay fanout {}",
+            self.fanout,
+            self.view.capacity
+        );
+        assert!(self.cache_capacity > 0, "cache capacity must be positive");
+        assert!(self.known_capacity > 0, "known capacity must be positive");
+        assert!(self.retry_interval > SimDuration::ZERO, "retry interval must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ProtocolConfig;
+    use egm_simnet::SimDuration;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.fanout, 11);
+        assert_eq!(c.view.capacity, 15);
+        assert_eq!(c.retry_interval, SimDuration::from_ms(400.0));
+        assert_eq!(c.payload_bytes, 256);
+        assert_eq!(c.header_bytes, 24);
+        c.validate();
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = ProtocolConfig::default()
+            .with_fanout(5)
+            .with_rounds(3)
+            .with_retry_interval(SimDuration::from_ms(100.0))
+            .with_shuffle_interval(None)
+            .with_ping_interval(Some(SimDuration::from_ms(500.0)));
+        assert_eq!(c.fanout, 5);
+        assert_eq!(c.rounds, 3);
+        assert!(c.shuffle_interval.is_none());
+        assert!(c.ping_interval.is_some());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds overlay fanout")]
+    fn fanout_cannot_exceed_view() {
+        ProtocolConfig::default().with_fanout(16).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be positive")]
+    fn zero_fanout_rejected() {
+        ProtocolConfig::default().with_fanout(0).validate();
+    }
+}

@@ -1,0 +1,224 @@
+//! The push gossip protocol layer — Fig. 2 of the paper, verbatim.
+//!
+//! The gossip layer is deliberately oblivious to the Payload Scheduler
+//! beneath it (§3.1): it emits `L-Send(i, d, r, p)` intents and receives
+//! `L-Receive(i, d, r, s)` upcalls, whether payloads travelled eagerly or
+//! lazily. This module is a pure state machine — the embedding node turns
+//! the returned [`LSend`] intents into wire messages through the
+//! scheduler.
+
+use crate::config::ProtocolConfig;
+use crate::id::MsgId;
+use crate::msg::Payload;
+use crate::util::BoundedSet;
+use egm_membership::PartialView;
+use egm_rng::Rng;
+use egm_simnet::NodeId;
+
+/// An `L-Send(i, d, r, p)` intent produced by the gossip layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LSend {
+    /// Message identifier `i`.
+    pub id: MsgId,
+    /// Payload `d`.
+    pub payload: Payload,
+    /// Relay round `r` the message will travel at.
+    pub round: u32,
+    /// Target peer `p` from the peer sampling service.
+    pub to: NodeId,
+}
+
+/// Result of handing a message to the gossip layer: deliver locally at
+/// `round`, then perform the `sends`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipStep {
+    /// The delivered message identifier.
+    pub id: MsgId,
+    /// The delivered payload.
+    pub payload: Payload,
+    /// Round at which the payload arrived (0 for own multicasts).
+    pub round: u32,
+    /// Forwarding intents (empty once `round >= t`).
+    pub sends: Vec<LSend>,
+}
+
+/// The basic gossip protocol of Fig. 2.
+///
+/// # Examples
+///
+/// ```
+/// use egm_core::gossip::GossipLayer;
+/// use egm_core::{Payload, ProtocolConfig};
+/// use egm_membership::{PartialView, ViewConfig};
+/// use egm_rng::Rng;
+/// use egm_simnet::NodeId;
+///
+/// let config = ProtocolConfig::default().with_fanout(2);
+/// let mut gossip = GossipLayer::new(&config);
+/// let mut view = PartialView::new(NodeId(0), ViewConfig::default());
+/// view.insert(NodeId(1));
+/// view.insert(NodeId(2));
+/// let mut rng = Rng::seed_from_u64(1);
+///
+/// let step = gossip.multicast(&mut rng, &view, Payload { seq: 0, bytes: 256 });
+/// assert_eq!(step.round, 0);
+/// assert_eq!(step.sends.len(), 2);
+/// assert!(step.sends.iter().all(|s| s.round == 1));
+/// ```
+#[derive(Debug)]
+pub struct GossipLayer {
+    /// The known-message set `K` (line 2).
+    known: BoundedSet<MsgId>,
+    fanout: usize,
+    rounds: u32,
+}
+
+impl GossipLayer {
+    /// Creates the layer from the node configuration.
+    pub fn new(config: &ProtocolConfig) -> Self {
+        GossipLayer {
+            known: BoundedSet::new(config.known_capacity),
+            fanout: config.fanout,
+            rounds: config.rounds,
+        }
+    }
+
+    /// Number of message ids currently remembered in `K`.
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Whether message `id` is in `K`.
+    pub fn knows(&self, id: &MsgId) -> bool {
+        self.known.contains(id)
+    }
+
+    /// `Multicast(d)` (line 3): mint an id and forward at round 0.
+    pub fn multicast(&mut self, rng: &mut Rng, view: &PartialView, payload: Payload) -> GossipStep {
+        let id = MsgId::generate(rng);
+        self.forward(rng, view, id, payload, 0)
+            .expect("fresh ids are never duplicates")
+    }
+
+    /// `L-Receive(i, d, r, s)` (line 12): deliver-and-forward unless the
+    /// message is a duplicate, in which case `None` is returned.
+    pub fn on_l_receive(
+        &mut self,
+        rng: &mut Rng,
+        view: &PartialView,
+        id: MsgId,
+        payload: Payload,
+        round: u32,
+    ) -> Option<GossipStep> {
+        if self.known.contains(&id) {
+            return None; // line 13: i ∈ K
+        }
+        self.forward(rng, view, id, payload, round)
+    }
+
+    /// `Forward(i, d, r)` (line 5): deliver, remember, and relay to `f`
+    /// sampled peers at round `r + 1` while `r < t`.
+    fn forward(
+        &mut self,
+        rng: &mut Rng,
+        view: &PartialView,
+        id: MsgId,
+        payload: Payload,
+        round: u32,
+    ) -> Option<GossipStep> {
+        if !self.known.insert(id) {
+            return None;
+        }
+        let sends = if round < self.rounds {
+            view.sample(rng, self.fanout) // line 9: PeerSample(f)
+                .into_iter()
+                .map(|to| LSend { id, payload, round: round + 1, to })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Some(GossipStep { id, payload, round, sends })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::GossipLayer;
+    use crate::config::ProtocolConfig;
+    use crate::id::MsgId;
+    use crate::msg::Payload;
+    use egm_membership::{PartialView, ViewConfig};
+    use egm_rng::Rng;
+    use egm_simnet::NodeId;
+    use std::collections::HashSet;
+
+    fn setup(fanout: usize, peers: usize) -> (GossipLayer, PartialView, Rng) {
+        let config = ProtocolConfig::default()
+            .with_fanout(fanout)
+            .with_rounds(3);
+        let gossip = GossipLayer::new(&config);
+        let mut view = PartialView::new(NodeId(0), ViewConfig { capacity: 15, shuffle_size: 5 });
+        for i in 1..=peers {
+            view.insert(NodeId(i));
+        }
+        (gossip, view, Rng::seed_from_u64(9))
+    }
+
+    fn payload() -> Payload {
+        Payload { seq: 7, bytes: 256 }
+    }
+
+    #[test]
+    fn multicast_fans_out_to_f_distinct_peers() {
+        let (mut gossip, view, mut rng) = setup(4, 10);
+        let step = gossip.multicast(&mut rng, &view, payload());
+        assert_eq!(step.sends.len(), 4);
+        let targets: HashSet<_> = step.sends.iter().map(|s| s.to).collect();
+        assert_eq!(targets.len(), 4, "targets must be distinct");
+        assert!(step.sends.iter().all(|s| s.round == 1 && s.id == step.id));
+        assert!(gossip.knows(&step.id));
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let (mut gossip, view, mut rng) = setup(3, 5);
+        let id = MsgId::from_raw(42);
+        let first = gossip.on_l_receive(&mut rng, &view, id, payload(), 1);
+        assert!(first.is_some());
+        let second = gossip.on_l_receive(&mut rng, &view, id, payload(), 2);
+        assert!(second.is_none(), "duplicate must not deliver again");
+        assert_eq!(gossip.known_count(), 1);
+    }
+
+    #[test]
+    fn forwarding_stops_at_round_t() {
+        let (mut gossip, view, mut rng) = setup(3, 5);
+        // rounds = 3: r = 2 still forwards, r = 3 does not.
+        let step = gossip
+            .on_l_receive(&mut rng, &view, MsgId::from_raw(1), payload(), 2)
+            .expect("new message");
+        assert_eq!(step.sends.len(), 3);
+        assert!(step.sends.iter().all(|s| s.round == 3));
+        let stopped = gossip
+            .on_l_receive(&mut rng, &view, MsgId::from_raw(2), payload(), 3)
+            .expect("new message");
+        assert!(stopped.sends.is_empty(), "r >= t must not relay");
+    }
+
+    #[test]
+    fn small_view_limits_fanout() {
+        let (mut gossip, view, mut rng) = setup(11, 3);
+        let step = gossip.multicast(&mut rng, &view, payload());
+        assert_eq!(step.sends.len(), 3, "fanout capped by view size");
+    }
+
+    #[test]
+    fn delivery_round_is_the_arrival_round() {
+        let (mut gossip, view, mut rng) = setup(2, 4);
+        let step = gossip
+            .on_l_receive(&mut rng, &view, MsgId::from_raw(3), payload(), 2)
+            .expect("new message");
+        assert_eq!(step.round, 2);
+        assert_eq!(step.payload, payload());
+    }
+}

@@ -1,0 +1,507 @@
+//! The protocol node: gossip layer + payload scheduler + strategy +
+//! monitor + membership, wired to the simulator.
+//!
+//! This is the composition of Fig. 1: the application multicasts (injected
+//! by the harness as simulator commands), the gossip protocol relays, the
+//! Payload Scheduler turns `L-Send`s into `MSG`/`IHAVE`/`IWANT` exchanges
+//! under the node's [`TransmissionStrategy`], and the Performance Monitor
+//! (oracle or ping-based) feeds the strategy.
+
+use crate::config::ProtocolConfig;
+use crate::gossip::{GossipLayer, GossipStep};
+use crate::id::MsgId;
+use crate::monitor::Monitor;
+use crate::msg::{EgmMessage, Payload};
+use crate::scheduler::{PayloadScheduler, RequestAction, SchedulerStats};
+use crate::strategy::StrategyCtx;
+use crate::strategy::TransmissionStrategy;
+use egm_membership::PartialView;
+use egm_simnet::{Context, NodeId, Protocol, SimDuration, SimTime, TimerTag};
+use std::collections::HashMap;
+
+/// A payload delivered to the application at this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Harness sequence number of the multicast.
+    pub seq: u64,
+    /// Virtual delivery time.
+    pub time: SimTime,
+    /// Gossip round at which the payload arrived (0 = own multicast).
+    pub round: u32,
+}
+
+/// A multicast initiated at this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulticastRecord {
+    /// Harness sequence number.
+    pub seq: u64,
+    /// Virtual multicast time.
+    pub time: SimTime,
+}
+
+const TAG_SHUFFLE: TimerTag = 0;
+const TAG_PING: TimerTag = 1;
+const TAG_REQUEST_BASE: TimerTag = 2;
+
+/// Number of peers probed per ping round of the runtime monitor.
+const PING_FANOUT: usize = 3;
+
+/// A full protocol node, implementing [`egm_simnet::Protocol`].
+///
+/// # Examples
+///
+/// Construction is usually done by `egm-workload`'s scenario runner; by
+/// hand it looks like:
+///
+/// ```
+/// use egm_core::{EgmNode, ProtocolConfig, StrategySpec};
+/// use egm_core::monitor::{Monitor, NullMonitor};
+/// use egm_membership::{PartialView, ViewConfig};
+/// use egm_simnet::NodeId;
+///
+/// let config = ProtocolConfig::default().with_fanout(3);
+/// let mut view = PartialView::new(NodeId(0), config.view);
+/// view.insert(NodeId(1));
+/// let strategy = StrategySpec::Flat { pi: 0.5 }.build(None);
+/// let node = EgmNode::new(NodeId(0), config, view, strategy, Monitor::Null(NullMonitor));
+/// assert_eq!(node.deliveries().len(), 0);
+/// ```
+#[derive(Debug)]
+pub struct EgmNode {
+    id: NodeId,
+    config: ProtocolConfig,
+    view: PartialView,
+    gossip: GossipLayer,
+    scheduler: PayloadScheduler,
+    strategy: Box<dyn TransmissionStrategy>,
+    monitor: Monitor,
+    request_tags: HashMap<TimerTag, MsgId>,
+    next_tag: TimerTag,
+    multicasts: Vec<MulticastRecord>,
+    deliveries: Vec<DeliveryRecord>,
+}
+
+impl EgmNode {
+    /// Creates a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ProtocolConfig::validate`]) or the view does not belong to `id`.
+    pub fn new(
+        id: NodeId,
+        config: ProtocolConfig,
+        view: PartialView,
+        strategy: Box<dyn TransmissionStrategy>,
+        monitor: Monitor,
+    ) -> Self {
+        config.validate();
+        assert_eq!(view.owner(), id, "view owner must match the node id");
+        EgmNode {
+            id,
+            gossip: GossipLayer::new(&config),
+            scheduler: PayloadScheduler::new(&config),
+            config,
+            view,
+            strategy,
+            monitor,
+            request_tags: HashMap::new(),
+            next_tag: TAG_REQUEST_BASE,
+            multicasts: Vec::new(),
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Payloads delivered to the application, in delivery order.
+    pub fn deliveries(&self) -> &[DeliveryRecord] {
+        &self.deliveries
+    }
+
+    /// Multicasts initiated at this node.
+    pub fn multicasts(&self) -> &[MulticastRecord] {
+        &self.multicasts
+    }
+
+    /// Scheduler counters.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
+    }
+
+    /// The node's current partial view.
+    pub fn view(&self) -> &PartialView {
+        &self.view
+    }
+
+    /// The strategy's display label.
+    pub fn strategy_label(&self) -> String {
+        self.strategy.label()
+    }
+
+    /// The node's performance monitor.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Delivers a gossip step to the application and pushes its forwards
+    /// through the payload scheduler.
+    fn deliver_and_forward(&mut self, ctx: &mut Context<'_, EgmMessage>, step: GossipStep) {
+        self.deliveries.push(DeliveryRecord {
+            seq: step.payload.seq,
+            time: ctx.now(),
+            round: step.round,
+        });
+        for s in step.sends {
+            let wire = {
+                let mut sctx =
+                    StrategyCtx { me: self.id, rng: ctx.rng(), monitor: &self.monitor };
+                self.scheduler.l_send(
+                    &mut sctx,
+                    self.strategy.as_mut(),
+                    s.id,
+                    s.payload,
+                    s.round,
+                    s.to,
+                )
+            };
+            if let Some(wire) = wire {
+                ctx.send(s.to, wire);
+            }
+        }
+    }
+
+    /// Arms the request timer for a missing message.
+    fn arm_request_timer(
+        &mut self,
+        ctx: &mut Context<'_, EgmMessage>,
+        id: MsgId,
+        delay: SimDuration,
+    ) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.request_tags.insert(tag, id);
+        ctx.set_timer(delay, tag);
+    }
+}
+
+impl Protocol for EgmNode {
+    type Msg = EgmMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, EgmMessage>) {
+        // Initial ticks are staggered uniformly to avoid synchronizing
+        // every node's shuffle/ping on the same instants.
+        if let Some(interval) = self.config.shuffle_interval {
+            let first = interval.mul_f64(ctx.rng().f64());
+            ctx.set_timer(first, TAG_SHUFFLE);
+        }
+        if let Some(interval) = self.config.ping_interval {
+            let first = interval.mul_f64(ctx.rng().f64());
+            ctx.set_timer(first, TAG_PING);
+        }
+    }
+
+    fn on_receive(&mut self, ctx: &mut Context<'_, EgmMessage>, from: NodeId, msg: EgmMessage) {
+        match msg {
+            EgmMessage::Msg { id, payload, round } => {
+                self.scheduler.note_holder(id, from);
+                match self.scheduler.on_msg(id, payload, round) {
+                    Some((payload, round)) => {
+                        self.strategy.on_payload(from);
+                        if let Some(step) =
+                            self.gossip.on_l_receive(ctx.rng(), &self.view, id, payload, round)
+                        {
+                            self.deliver_and_forward(ctx, step);
+                        }
+                    }
+                    None => self.strategy.on_duplicate(from),
+                }
+            }
+            EgmMessage::IHave { id } => {
+                self.scheduler.note_holder(id, from);
+                if let Some(delay) = self.scheduler.on_ihave(self.strategy.as_ref(), id, from) {
+                    self.arm_request_timer(ctx, id, delay);
+                }
+            }
+            EgmMessage::IWant { id } => {
+                if let Some(reply) = self.scheduler.on_iwant(id) {
+                    ctx.send(from, reply);
+                }
+            }
+            EgmMessage::Shuffle(shuffle) => {
+                if let Some((to, reply)) = self.view.handle_shuffle(ctx.rng(), from, shuffle) {
+                    ctx.send(to, EgmMessage::Shuffle(reply));
+                }
+            }
+            EgmMessage::Ping { sent_us } => {
+                ctx.send(from, EgmMessage::Pong { sent_us });
+            }
+            EgmMessage::Pong { sent_us } => {
+                let rtt_ms = ctx.now().as_micros().saturating_sub(sent_us) as f64 / 1000.0;
+                if let Some(runtime) = self.monitor.runtime_mut() {
+                    runtime.record_rtt(from, rtt_ms);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, EgmMessage>, tag: TimerTag) {
+        match tag {
+            TAG_SHUFFLE => {
+                if let Some((to, msg)) = self.view.start_shuffle(ctx.rng()) {
+                    ctx.send(to, EgmMessage::Shuffle(msg));
+                }
+                if let Some(interval) = self.config.shuffle_interval {
+                    ctx.set_timer(interval, TAG_SHUFFLE);
+                }
+            }
+            TAG_PING => {
+                let now_us = ctx.now().as_micros();
+                let targets = self.view.sample(ctx.rng(), PING_FANOUT);
+                for to in targets {
+                    ctx.send(to, EgmMessage::Ping { sent_us: now_us });
+                }
+                if let Some(interval) = self.config.ping_interval {
+                    ctx.set_timer(interval, TAG_PING);
+                }
+            }
+            _ => {
+                let Some(&id) = self.request_tags.get(&tag) else {
+                    return; // stale timer
+                };
+                let action = {
+                    let mut sctx =
+                        StrategyCtx { me: self.id, rng: ctx.rng(), monitor: &self.monitor };
+                    self.scheduler.on_request_timer(&mut sctx, self.strategy.as_mut(), id)
+                };
+                match action {
+                    RequestAction::Resolved => {
+                        self.request_tags.remove(&tag);
+                    }
+                    RequestAction::Request(to, retry) => {
+                        ctx.send(to, EgmMessage::IWant { id });
+                        ctx.set_timer(retry, tag);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Context<'_, EgmMessage>, value: u64) {
+        let payload = Payload { seq: value, bytes: self.config.payload_bytes };
+        self.multicasts.push(MulticastRecord { seq: value, time: ctx.now() });
+        let step = self.gossip.multicast(ctx.rng(), &self.view, payload);
+        self.deliver_and_forward(ctx, step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::EgmNode;
+    use crate::config::ProtocolConfig;
+    use crate::monitor::{Monitor, NullMonitor};
+    use crate::strategy::StrategySpec;
+    use egm_membership::{bootstrap_views, ViewConfig};
+    use egm_rng::Rng;
+    use egm_simnet::{NodeId, Sim, SimConfig, SimDuration, SimTime};
+
+    /// Builds an n-node simulation with the given strategy for all nodes.
+    fn build_sim(n: usize, spec: StrategySpec, seed: u64) -> Sim<EgmNode> {
+        let config = ProtocolConfig {
+            fanout: 6,
+            rounds: 5,
+            view: ViewConfig { capacity: 10, shuffle_size: 3 },
+            retry_interval: SimDuration::from_ms(200.0),
+            shuffle_interval: None,
+            ..ProtocolConfig::default()
+        };
+        let mut rng = Rng::seed_from_u64(seed ^ 0xBEEF);
+        let views = bootstrap_views(n, &config.view, &mut rng);
+        let nodes = views
+            .into_iter()
+            .enumerate()
+            .map(|(i, view)| {
+                EgmNode::new(
+                    NodeId(i),
+                    config.clone(),
+                    view,
+                    spec.build(None),
+                    Monitor::Null(NullMonitor),
+                )
+            })
+            .collect();
+        Sim::new(SimConfig::uniform(n, 20.0), seed, nodes)
+    }
+
+    fn delivery_count(sim: &Sim<EgmNode>, seq: u64) -> usize {
+        sim.nodes()
+            .filter(|(_, n)| n.deliveries().iter().any(|d| d.seq == seq))
+            .count()
+    }
+
+    #[test]
+    fn eager_multicast_reaches_everyone_exactly_once() {
+        let mut sim = build_sim(20, StrategySpec::Flat { pi: 1.0 }, 1);
+        sim.schedule_command(SimTime::from_ms(10.0), NodeId(0), 0);
+        sim.run_for(SimDuration::from_ms(2000.0));
+        assert_eq!(delivery_count(&sim, 0), 20, "atomic delivery under eager push");
+        for (_, node) in sim.nodes() {
+            let count = node.deliveries().iter().filter(|d| d.seq == 0).count();
+            assert!(count <= 1, "no duplicate deliveries");
+        }
+    }
+
+    #[test]
+    fn pure_lazy_multicast_still_reaches_everyone() {
+        let mut sim = build_sim(20, StrategySpec::Flat { pi: 0.0 }, 2);
+        sim.schedule_command(SimTime::from_ms(10.0), NodeId(3), 7);
+        sim.run_for(SimDuration::from_ms(5000.0));
+        assert_eq!(delivery_count(&sim, 7), 20, "lazy push must still deliver");
+        // Lazy push transmits close to the optimal 1 payload per delivery:
+        // every non-source delivery needed exactly one MSG, and no
+        // redundant payloads flow unless a request raced a transfer.
+        let payloads = sim.traffic().total_payloads();
+        assert!(payloads <= 25, "lazy payloads should be near 19, got {payloads}");
+    }
+
+    #[test]
+    fn eager_uses_far_more_payloads_than_lazy() {
+        let mut eager_sim = build_sim(20, StrategySpec::Flat { pi: 1.0 }, 3);
+        eager_sim.schedule_command(SimTime::from_ms(10.0), NodeId(0), 0);
+        eager_sim.run_for(SimDuration::from_ms(3000.0));
+        let mut lazy_sim = build_sim(20, StrategySpec::Flat { pi: 0.0 }, 3);
+        lazy_sim.schedule_command(SimTime::from_ms(10.0), NodeId(0), 0);
+        lazy_sim.run_for(SimDuration::from_ms(3000.0));
+        assert!(
+            eager_sim.traffic().total_payloads() > 2 * lazy_sim.traffic().total_payloads(),
+            "eager {} vs lazy {}",
+            eager_sim.traffic().total_payloads(),
+            lazy_sim.traffic().total_payloads()
+        );
+    }
+
+    #[test]
+    fn lazy_delivery_is_slower_than_eager() {
+        let latency = |pi: f64| {
+            let mut sim = build_sim(15, StrategySpec::Flat { pi }, 4);
+            sim.schedule_command(SimTime::from_ms(0.0), NodeId(0), 0);
+            sim.run_for(SimDuration::from_ms(5000.0));
+            let mut sum = 0.0;
+            let mut count = 0;
+            for (id, node) in sim.nodes() {
+                if id != NodeId(0) {
+                    for d in node.deliveries() {
+                        sum += d.time.as_ms();
+                        count += 1;
+                    }
+                }
+            }
+            sum / count as f64
+        };
+        let eager = latency(1.0);
+        let lazy = latency(0.0);
+        assert!(
+            lazy > eager * 1.5,
+            "lazy mean {lazy}ms should exceed eager mean {eager}ms by the extra round trips"
+        );
+    }
+
+    #[test]
+    fn multicast_records_are_kept() {
+        let mut sim = build_sim(5, StrategySpec::Flat { pi: 1.0 }, 5);
+        sim.schedule_command(SimTime::from_ms(10.0), NodeId(2), 0);
+        sim.schedule_command(SimTime::from_ms(20.0), NodeId(2), 1);
+        sim.run_for(SimDuration::from_ms(500.0));
+        let node = sim.node(NodeId(2));
+        assert_eq!(node.multicasts().len(), 2);
+        assert_eq!(node.multicasts()[0].seq, 0);
+        assert_eq!(node.multicasts()[1].time, SimTime::from_ms(20.0));
+        // Source delivers its own message at round 0.
+        assert!(node.deliveries().iter().any(|d| d.seq == 0 && d.round == 0));
+    }
+
+    #[test]
+    fn scheduler_stats_reflect_strategy() {
+        let mut sim = build_sim(10, StrategySpec::Flat { pi: 0.0 }, 6);
+        sim.schedule_command(SimTime::from_ms(0.0), NodeId(0), 0);
+        sim.run_for(SimDuration::from_ms(3000.0));
+        let totals = sim.nodes().fold((0u64, 0u64), |acc, (_, n)| {
+            let s = n.scheduler_stats();
+            (acc.0 + s.eager_sends, acc.1 + s.lazy_advertisements)
+        });
+        assert_eq!(totals.0, 0, "pi=0 never sends eagerly");
+        assert!(totals.1 > 0, "pi=0 advertises");
+    }
+
+    #[test]
+    fn ping_monitor_learns_rtt() {
+        let config = ProtocolConfig {
+            fanout: 2,
+            rounds: 2,
+            view: ViewConfig { capacity: 4, shuffle_size: 2 },
+            shuffle_interval: None,
+            ping_interval: Some(SimDuration::from_ms(100.0)),
+            ..ProtocolConfig::default()
+        };
+        let mut rng = Rng::seed_from_u64(77);
+        let views = bootstrap_views(4, &config.view, &mut rng);
+        let nodes: Vec<EgmNode> = views
+            .into_iter()
+            .enumerate()
+            .map(|(i, view)| {
+                EgmNode::new(
+                    NodeId(i),
+                    config.clone(),
+                    view,
+                    StrategySpec::Flat { pi: 1.0 }.build(None),
+                    Monitor::Runtime(crate::monitor::RuntimeMonitor::new()),
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(SimConfig::uniform(4, 25.0), 8, nodes);
+        sim.run_for(SimDuration::from_ms(1000.0));
+        // After several ping rounds every node has RTT samples; one-way
+        // metric should approximate the 25ms link delay.
+        use crate::monitor::PerformanceMonitor;
+        let node = sim.node(NodeId(0));
+        let peer = node.view().peers()[0];
+        let metric = node.monitor().metric(NodeId(0), peer);
+        assert!((metric - 25.0).abs() < 1.0, "learned one-way delay {metric}");
+    }
+
+    #[test]
+    fn shuffling_keeps_views_valid() {
+        let config = ProtocolConfig {
+            fanout: 3,
+            rounds: 3,
+            view: ViewConfig { capacity: 5, shuffle_size: 2 },
+            shuffle_interval: Some(SimDuration::from_ms(50.0)),
+            ..ProtocolConfig::default()
+        };
+        let mut rng = Rng::seed_from_u64(99);
+        let views = bootstrap_views(10, &config.view, &mut rng);
+        let nodes: Vec<EgmNode> = views
+            .into_iter()
+            .enumerate()
+            .map(|(i, view)| {
+                EgmNode::new(
+                    NodeId(i),
+                    config.clone(),
+                    view,
+                    StrategySpec::Flat { pi: 1.0 }.build(None),
+                    Monitor::Null(NullMonitor),
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(SimConfig::uniform(10, 10.0), 10, nodes);
+        sim.run_for(SimDuration::from_ms(2000.0));
+        for (id, node) in sim.nodes() {
+            assert!(node.view().len() <= 5);
+            assert!(!node.view().contains(id), "view must not contain the owner");
+        }
+        assert!(sim.traffic().total_messages() > 0, "shuffles exchanged");
+    }
+}

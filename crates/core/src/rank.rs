@@ -1,0 +1,313 @@
+//! Best-node ranking for the Ranked and Hybrid strategies (§4.1).
+//!
+//! The paper selects a set of *best nodes* to serve as hubs. They may be
+//! configured explicitly (e.g. by an ISP) or computed from local monitors
+//! with a gossip-based sorting protocol [11]; crucially, the protocol
+//! tolerates approximate rankings (§6.5). Here we provide the oracle
+//! ranking used on the emulator — centrality over the model file — plus an
+//! explicit-set constructor, both producing a shared [`BestSet`].
+
+use egm_simnet::NodeId;
+use egm_topology::RoutedModel;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The shared set of best nodes (hubs).
+///
+/// # Examples
+///
+/// ```
+/// use egm_core::rank::BestSet;
+/// use egm_simnet::NodeId;
+///
+/// let best = BestSet::from_ids(10, &[NodeId(2), NodeId(7)]);
+/// assert!(best.is_best(NodeId(2)));
+/// assert!(!best.is_best(NodeId(3)));
+/// assert_eq!(best.best_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BestSet {
+    flags: Vec<bool>,
+}
+
+impl BestSet {
+    /// No best nodes at all (degenerates Ranked to pure lazy push).
+    pub fn none(n: usize) -> Self {
+        BestSet { flags: vec![false; n] }
+    }
+
+    /// Marks an explicit list of node ids as best.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn from_ids(n: usize, ids: &[NodeId]) -> Self {
+        let mut flags = vec![false; n];
+        for &id in ids {
+            assert!(id.index() < n, "best node {id} out of range");
+            flags[id.index()] = true;
+        }
+        BestSet { flags }
+    }
+
+    /// Ranks nodes by *latency centrality* over the model file: a node's
+    /// score is its mean one-way latency to every other node, and the
+    /// lowest-scoring `fraction` become best nodes (at least one).
+    ///
+    /// This is the oracle equivalent of the gossip-sorted ranking the
+    /// paper refers to; the Noise experiments (§6.5) then degrade it
+    /// gracefully.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]` or the model has fewer
+    /// than two clients.
+    pub fn by_centrality(model: &RoutedModel, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let n = model.client_count();
+        assert!(n >= 2, "need at least two clients to rank");
+        let mut scored: Vec<(f64, usize)> = (0..n)
+            .map(|i| {
+                let total: f64 = (0..n).filter(|&j| j != i).map(|j| model.latency_ms(i, j)).sum();
+                (total / (n - 1) as f64, i)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        let k = ((n as f64 * fraction).round() as usize).clamp(1, n);
+        let mut flags = vec![false; n];
+        for &(_, i) in &scored[..k] {
+            flags[i] = true;
+        }
+        BestSet { flags }
+    }
+
+    /// Ranks nodes by externally supplied scores (lower = better): the
+    /// lowest-scoring `fraction` become best nodes (at least one).
+    ///
+    /// This is the entry point for decentralized rankings, where each node
+    /// contributes its own locally measured score (e.g. mean RTT to its
+    /// view, gossip-aggregated as in the sorting protocol the paper cites
+    /// [11]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` is empty, contains non-finite values, or
+    /// `fraction` is outside `(0, 1]`.
+    pub fn from_scores(scores: &[f64], fraction: f64) -> Self {
+        assert!(!scores.is_empty(), "no scores to rank");
+        assert!(scores.iter().all(|s| s.is_finite()), "non-finite score");
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let n = scores.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            scores[a].partial_cmp(&scores[b]).expect("finite scores").then(a.cmp(&b))
+        });
+        let k = ((n as f64 * fraction).round() as usize).clamp(1, n);
+        let mut flags = vec![false; n];
+        for &i in &order[..k] {
+            flags[i] = true;
+        }
+        BestSet { flags }
+    }
+
+    /// Decentralized approximation of [`BestSet::by_centrality`]: each
+    /// node estimates its own centrality as the mean latency to
+    /// `samples_per_node` random peers (what a local latency monitor
+    /// measures against the node's shuffled views), and the global rank is
+    /// assembled from those noisy local scores.
+    ///
+    /// With few samples the ranking is approximate — exactly the regime
+    /// the paper's noise experiments (§6.5) show the protocol tolerates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_node == 0`, `fraction` is out of range, or
+    /// the model has fewer than two clients.
+    pub fn by_sampled_centrality(
+        model: &RoutedModel,
+        fraction: f64,
+        samples_per_node: usize,
+        rng: &mut egm_rng::Rng,
+    ) -> Self {
+        assert!(samples_per_node > 0, "need at least one sample per node");
+        let n = model.client_count();
+        assert!(n >= 2, "need at least two clients to rank");
+        let scores: Vec<f64> = (0..n)
+            .map(|i| {
+                let k = samples_per_node.min(n - 1);
+                let mut total = 0.0;
+                for idx in egm_rng::sample::distinct_indices(rng, n - 1, k) {
+                    let peer = if idx >= i { idx + 1 } else { idx };
+                    total += model.latency_ms(i, peer);
+                }
+                total / k as f64
+            })
+            .collect();
+        BestSet::from_scores(&scores, fraction)
+    }
+
+    /// Fraction of this set's best nodes that are also best in `other`
+    /// (1.0 = identical hub choice). Useful to quantify how close an
+    /// estimated ranking is to the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets cover different node counts or this set has no
+    /// best nodes.
+    pub fn overlap(&self, other: &BestSet) -> f64 {
+        assert_eq!(self.len(), other.len(), "sets must cover the same nodes");
+        let mine = self.best_ids();
+        assert!(!mine.is_empty(), "no best nodes to compare");
+        let shared = mine.iter().filter(|&&id| other.is_best(id)).count();
+        shared as f64 / mine.len() as f64
+    }
+
+    /// Whether `node` is a best node.
+    pub fn is_best(&self, node: NodeId) -> bool {
+        self.flags.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of nodes covered by this set.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the set covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Number of best nodes.
+    pub fn best_count(&self) -> usize {
+        self.flags.iter().filter(|&&b| b).count()
+    }
+
+    /// Ids of all best nodes, ascending.
+    pub fn best_ids(&self) -> Vec<NodeId> {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(NodeId(i)))
+            .collect()
+    }
+
+    /// Ids of all regular (non-best) nodes, ascending — the paper's "low"
+    /// population (80 % of nodes in §6.4).
+    pub fn regular_ids(&self) -> Vec<NodeId> {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (!b).then_some(NodeId(i)))
+            .collect()
+    }
+
+    /// Wraps the set for cheap sharing across nodes.
+    pub fn shared(self) -> Arc<BestSet> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BestSet;
+    use egm_simnet::NodeId;
+    use egm_topology::RoutedModel;
+
+    #[test]
+    fn explicit_set_membership() {
+        let best = BestSet::from_ids(5, &[NodeId(0), NodeId(4)]);
+        assert!(best.is_best(NodeId(0)));
+        assert!(best.is_best(NodeId(4)));
+        assert!(!best.is_best(NodeId(2)));
+        assert!(!best.is_best(NodeId(99)), "out of range is not best");
+        assert_eq!(best.best_ids(), vec![NodeId(0), NodeId(4)]);
+        assert_eq!(best.regular_ids().len(), 3);
+        assert_eq!(best.len(), 5);
+    }
+
+    #[test]
+    fn centrality_prefers_central_nodes() {
+        // Planar model: central nodes have lower mean distance=latency.
+        let model = RoutedModel::planar_synthetic(50, 100.0, 1.0, 9);
+        let best = BestSet::by_centrality(&model, 0.2);
+        assert_eq!(best.best_count(), 10);
+        // Every best node's mean latency must not exceed any regular
+        // node's mean latency.
+        let mean = |i: usize| -> f64 {
+            (0..50).filter(|&j| j != i).map(|j| model.latency_ms(i, j)).sum::<f64>() / 49.0
+        };
+        let worst_best =
+            best.best_ids().iter().map(|&b| mean(b.index())).fold(0.0f64, f64::max);
+        let best_regular = best
+            .regular_ids()
+            .iter()
+            .map(|&r| mean(r.index()))
+            .fold(f64::INFINITY, f64::min);
+        assert!(worst_best <= best_regular + 1e-9);
+    }
+
+    #[test]
+    fn centrality_selects_at_least_one() {
+        let model = RoutedModel::uniform_synthetic(3, 1.0, 2.0, 1);
+        let best = BestSet::by_centrality(&model, 0.01);
+        assert_eq!(best.best_count(), 1);
+    }
+
+    #[test]
+    fn none_has_no_best_nodes() {
+        let best = BestSet::none(4);
+        assert_eq!(best.best_count(), 0);
+        assert!(!best.is_empty());
+        assert_eq!(best.regular_ids().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_out_of_range_panics() {
+        let _ = BestSet::from_ids(2, &[NodeId(5)]);
+    }
+
+    #[test]
+    fn from_scores_picks_lowest() {
+        let best = BestSet::from_scores(&[5.0, 1.0, 3.0, 2.0], 0.5);
+        assert_eq!(best.best_ids(), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn from_scores_breaks_ties_deterministically() {
+        let a = BestSet::from_scores(&[1.0, 1.0, 1.0, 1.0], 0.25);
+        let b = BestSet::from_scores(&[1.0, 1.0, 1.0, 1.0], 0.25);
+        assert_eq!(a, b);
+        assert_eq!(a.best_count(), 1);
+    }
+
+    #[test]
+    fn sampled_centrality_approximates_oracle() {
+        use egm_rng::Rng;
+        let model = RoutedModel::planar_synthetic(60, 100.0, 1.0, 21);
+        let oracle = BestSet::by_centrality(&model, 0.2);
+        let mut rng = Rng::seed_from_u64(3);
+        // Dense sampling: near-perfect agreement.
+        let dense = BestSet::by_sampled_centrality(&model, 0.2, 40, &mut rng);
+        assert!(dense.overlap(&oracle) >= 0.8, "dense overlap {}", dense.overlap(&oracle));
+        // Sparse sampling: still much better than chance (0.2).
+        let sparse = BestSet::by_sampled_centrality(&model, 0.2, 4, &mut rng);
+        assert!(sparse.overlap(&oracle) > 0.35, "sparse overlap {}", sparse.overlap(&oracle));
+    }
+
+    #[test]
+    fn overlap_bounds() {
+        let a = BestSet::from_ids(6, &[NodeId(0), NodeId(1)]);
+        let b = BestSet::from_ids(6, &[NodeId(1), NodeId(2)]);
+        assert_eq!(a.overlap(&a), 1.0);
+        assert_eq!(a.overlap(&b), 0.5);
+        let c = BestSet::from_ids(6, &[NodeId(4), NodeId(5)]);
+        assert_eq!(a.overlap(&c), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn from_scores_rejects_nan() {
+        let _ = BestSet::from_scores(&[1.0, f64::NAN], 0.5);
+    }
+}

@@ -1,0 +1,422 @@
+//! The Payload Scheduler's Lazy Point-to-Point module — Fig. 3 of the
+//! paper.
+//!
+//! Sits between the gossip layer and the transport: every `L-Send` is
+//! either materialized as a full `MSG` (eager push) or replaced by an
+//! `IHAVE` advertisement with the payload cached for later `IWANT`
+//! requests (lazy push). The receiving side queues advertised-but-missing
+//! messages and schedules `IWANT`s according to the Transmission Strategy:
+//! first request after [`TransmissionStrategy::first_request_delay`], then
+//! periodically every `T` while sources are known, rotating through
+//! sources so that *"a queue eventually clears itself as requests on all
+//! known sources for a given message identifier are scheduled"*.
+
+use crate::config::ProtocolConfig;
+use crate::id::MsgId;
+use crate::msg::{EgmMessage, Payload};
+use crate::strategy::{StrategyCtx, TransmissionStrategy};
+use crate::util::{BoundedMap, BoundedSet};
+use egm_simnet::{NodeId, SimDuration};
+use std::collections::HashMap;
+
+/// Per-node scheduler counters, exposed for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Payloads pushed eagerly.
+    pub eager_sends: u64,
+    /// `IHAVE` advertisements sent instead of payload.
+    pub lazy_advertisements: u64,
+    /// `IWANT` requests issued.
+    pub requests_sent: u64,
+    /// Payload transmissions answering `IWANT`s.
+    pub request_replies: u64,
+    /// `IWANT`s that missed the cache (payload already evicted).
+    pub request_misses: u64,
+    /// Payloads received more than once.
+    pub duplicate_payloads: u64,
+    /// Transmissions skipped because the target was already known to hold
+    /// the message (NeEM-style suppression, off by default).
+    pub suppressed_sends: u64,
+}
+
+/// State for one advertised-but-missing message.
+#[derive(Debug, Clone)]
+struct MissingEntry {
+    /// Known sources in advertisement order.
+    sources: Vec<NodeId>,
+    /// Which sources have been asked in the current rotation.
+    requested: Vec<bool>,
+}
+
+impl MissingEntry {
+    fn add_source(&mut self, s: NodeId) {
+        if !self.sources.contains(&s) {
+            self.sources.push(s);
+            self.requested.push(false);
+        }
+    }
+
+    /// Indices of sources not yet requested this rotation; resets the
+    /// rotation when exhausted (requests cycle through all known sources).
+    fn candidates(&mut self) -> Vec<usize> {
+        if self.requested.iter().all(|&r| r) {
+            for r in &mut self.requested {
+                *r = false;
+            }
+        }
+        (0..self.sources.len()).filter(|&i| !self.requested[i]).collect()
+    }
+}
+
+/// Outcome of a request-timer expiry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestAction {
+    /// Payload arrived meanwhile (or the entry vanished): stop requesting.
+    Resolved,
+    /// Send `IWANT(id)` to the node and re-check after the retry interval.
+    Request(NodeId, SimDuration),
+}
+
+/// The Lazy Point-to-Point module (Fig. 3).
+///
+/// A pure state machine: the embedding node owns the timers and the
+/// transport, and translates the returned values into sends and timer
+/// arms. See `egm-core`'s `node` module for the full wiring.
+#[derive(Debug)]
+pub struct PayloadScheduler {
+    /// Received-payload set `R` (line 17).
+    received: BoundedSet<MsgId>,
+    /// Payload cache `C` (line 16): payload and round per advertised id.
+    cache: BoundedMap<MsgId, (Payload, u32)>,
+    /// Advertised-but-missing messages with their source queues.
+    missing: HashMap<MsgId, MissingEntry>,
+    /// Peers known to hold each message (they sent us the payload or an
+    /// advertisement). Only consulted when `suppress_known` is on.
+    holders: crate::util::BoundedMap<MsgId, Vec<NodeId>>,
+    suppress_known: bool,
+    retry_interval: SimDuration,
+    stats: SchedulerStats,
+}
+
+impl PayloadScheduler {
+    /// Creates the scheduler from the node configuration.
+    pub fn new(config: &ProtocolConfig) -> Self {
+        PayloadScheduler {
+            received: BoundedSet::new(config.known_capacity),
+            cache: BoundedMap::new(config.cache_capacity),
+            missing: HashMap::new(),
+            holders: BoundedMap::new(config.known_capacity),
+            suppress_known: config.suppress_known,
+            retry_interval: config.retry_interval,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Notes that `peer` is known to hold message `id` (it sent us the
+    /// payload or advertised it).
+    pub fn note_holder(&mut self, id: MsgId, peer: NodeId) {
+        match self.holders.get_mut(&id) {
+            Some(peers) => {
+                if !peers.contains(&peer) {
+                    peers.push(peer);
+                }
+            }
+            None => self.holders.insert(id, vec![peer]),
+        }
+    }
+
+    /// Whether `peer` is known to hold message `id`.
+    pub fn is_holder(&self, id: &MsgId, peer: NodeId) -> bool {
+        self.holders.get(id).is_some_and(|peers| peers.contains(&peer))
+    }
+
+    /// Scheduler counters.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Number of advertised-but-missing messages currently queued.
+    pub fn missing_count(&self) -> usize {
+        self.missing.len()
+    }
+
+    /// Whether the payload of `id` has been received.
+    pub fn has_received(&self, id: &MsgId) -> bool {
+        self.received.contains(id)
+    }
+
+    /// `L-Send(i, d, r, p)` (line 19): consult `Eager?` and produce either
+    /// the full `MSG` or an `IHAVE` (caching the payload for later
+    /// requests). Returns `None` when NeEM-style suppression is enabled
+    /// and the target is already known to hold the message.
+    pub fn l_send(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        strategy: &mut dyn TransmissionStrategy,
+        id: MsgId,
+        payload: Payload,
+        round: u32,
+        to: NodeId,
+    ) -> Option<EgmMessage> {
+        if self.suppress_known && self.is_holder(&id, to) {
+            self.stats.suppressed_sends += 1;
+            return None;
+        }
+        if strategy.eager(ctx, to, id, round) {
+            self.stats.eager_sends += 1;
+            Some(EgmMessage::Msg { id, payload, round })
+        } else {
+            self.cache.insert(id, (payload, round)); // line 23: C[i] = (d, r)
+            self.stats.lazy_advertisements += 1;
+            Some(EgmMessage::IHave { id })
+        }
+    }
+
+    /// `Receive(MSG(i, d, r), s)` (line 28): returns the payload to hand
+    /// to the gossip layer (`L-Receive`), or `None` for duplicates.
+    pub fn on_msg(&mut self, id: MsgId, payload: Payload, round: u32) -> Option<(Payload, u32)> {
+        if !self.received.insert(id) {
+            self.stats.duplicate_payloads += 1;
+            return None; // line 29: i ∈ R
+        }
+        self.missing.remove(&id); // line 31: Clear(i)
+        Some((payload, round))
+    }
+
+    /// `Receive(IHAVE(i), s)` (line 25): queue the source; returns the
+    /// delay after which the *first* request should fire when this is a
+    /// newly missing message (the caller arms a timer), or `None` when a
+    /// timer is already pending or the payload is already here.
+    pub fn on_ihave(
+        &mut self,
+        strategy: &dyn TransmissionStrategy,
+        id: MsgId,
+        from: NodeId,
+    ) -> Option<SimDuration> {
+        if self.received.contains(&id) {
+            return None; // line 26: i ∈ R
+        }
+        match self.missing.get_mut(&id) {
+            Some(entry) => {
+                entry.add_source(from); // Queue(i, s), timer already armed
+                None
+            }
+            None => {
+                self.missing
+                    .insert(id, MissingEntry { sources: vec![from], requested: vec![false] });
+                Some(strategy.first_request_delay())
+            }
+        }
+    }
+
+    /// `Receive(IWANT(i), s)` (line 33): answer from the cache.
+    ///
+    /// The paper notes a request can only follow our own advertisement, so
+    /// the payload "is guaranteed to be locally known" — with a bounded
+    /// cache an eviction can break that guarantee, which is counted in
+    /// [`SchedulerStats::request_misses`].
+    pub fn on_iwant(&mut self, id: MsgId) -> Option<EgmMessage> {
+        match self.cache.get(&id) {
+            Some(&(payload, round)) => {
+                self.stats.request_replies += 1;
+                Some(EgmMessage::Msg { id, payload, round })
+            }
+            None => {
+                self.stats.request_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Request-timer expiry for message `id` — the body of Task 2's
+    /// `ScheduleNext()` loop (line 38): pick a source via the strategy,
+    /// emit `IWANT`, and reschedule.
+    pub fn on_request_timer(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        strategy: &mut dyn TransmissionStrategy,
+        id: MsgId,
+    ) -> RequestAction {
+        if self.received.contains(&id) {
+            self.missing.remove(&id);
+            return RequestAction::Resolved;
+        }
+        let Some(entry) = self.missing.get_mut(&id) else {
+            return RequestAction::Resolved;
+        };
+        let candidates = entry.candidates();
+        debug_assert!(!candidates.is_empty(), "missing entries always have a source");
+        let picked_sources: Vec<NodeId> =
+            candidates.iter().map(|&i| entry.sources[i]).collect();
+        let choice = strategy.pick_source(ctx, &picked_sources);
+        let source_idx = candidates[choice.min(candidates.len() - 1)];
+        entry.requested[source_idx] = true;
+        self.stats.requests_sent += 1;
+        RequestAction::Request(entry.sources[source_idx], self.retry_interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{PayloadScheduler, RequestAction};
+    use crate::config::ProtocolConfig;
+    use crate::id::MsgId;
+    use crate::monitor::NullMonitor;
+    use crate::msg::{EgmMessage, Payload};
+    use crate::strategy::{Flat, StrategyCtx};
+    use egm_rng::Rng;
+    use egm_simnet::{NodeId, SimDuration};
+
+    fn scheduler() -> PayloadScheduler {
+        PayloadScheduler::new(&ProtocolConfig::default())
+    }
+
+    fn payload() -> Payload {
+        Payload { seq: 1, bytes: 256 }
+    }
+
+    fn with_ctx<R>(f: impl FnOnce(&mut StrategyCtx<'_>) -> R) -> R {
+        let mut rng = Rng::seed_from_u64(4);
+        let monitor = NullMonitor;
+        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn eager_strategy_sends_full_message() {
+        let mut sched = scheduler();
+        let mut eager = Flat::new(1.0);
+        let id = MsgId::from_raw(1);
+        let out = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(2)))
+            .expect("not suppressed");
+        assert!(matches!(out, EgmMessage::Msg { round: 1, .. }));
+        assert_eq!(sched.stats().eager_sends, 1);
+        assert_eq!(sched.stats().lazy_advertisements, 0);
+    }
+
+    #[test]
+    fn lazy_strategy_advertises_and_caches() {
+        let mut sched = scheduler();
+        let mut lazy = Flat::new(0.0);
+        let id = MsgId::from_raw(2);
+        let out = with_ctx(|ctx| sched.l_send(ctx, &mut lazy, id, payload(), 2, NodeId(3)))
+            .expect("not suppressed");
+        assert_eq!(out, EgmMessage::IHave { id });
+        assert_eq!(sched.stats().lazy_advertisements, 1);
+        // the cached payload answers IWANT with the original round
+        let reply = sched.on_iwant(id).expect("cache hit");
+        assert!(matches!(reply, EgmMessage::Msg { round: 2, .. }));
+        assert_eq!(sched.stats().request_replies, 1);
+    }
+
+    #[test]
+    fn iwant_miss_is_counted_not_fatal() {
+        let mut sched = scheduler();
+        assert!(sched.on_iwant(MsgId::from_raw(99)).is_none());
+        assert_eq!(sched.stats().request_misses, 1);
+    }
+
+    #[test]
+    fn duplicate_payloads_are_dropped() {
+        let mut sched = scheduler();
+        let id = MsgId::from_raw(3);
+        assert!(sched.on_msg(id, payload(), 1).is_some());
+        assert!(sched.on_msg(id, payload(), 2).is_none());
+        assert_eq!(sched.stats().duplicate_payloads, 1);
+        assert!(sched.has_received(&id));
+    }
+
+    #[test]
+    fn first_ihave_arms_timer_with_strategy_delay() {
+        let mut sched = scheduler();
+        let lazy = Flat::new(0.0);
+        let id = MsgId::from_raw(4);
+        let delay = sched.on_ihave(&lazy, id, NodeId(5));
+        assert_eq!(delay, Some(SimDuration::ZERO), "flat requests immediately");
+        // second advertisement only queues the source, no new timer
+        assert_eq!(sched.on_ihave(&lazy, id, NodeId(6)), None);
+        assert_eq!(sched.missing_count(), 1);
+    }
+
+    #[test]
+    fn ihave_after_payload_is_ignored() {
+        let mut sched = scheduler();
+        let lazy = Flat::new(0.0);
+        let id = MsgId::from_raw(5);
+        sched.on_msg(id, payload(), 1);
+        assert_eq!(sched.on_ihave(&lazy, id, NodeId(5)), None);
+        assert_eq!(sched.missing_count(), 0);
+    }
+
+    #[test]
+    fn request_timer_rotates_through_sources() {
+        let mut sched = scheduler();
+        let mut lazy = Flat::new(0.0);
+        let id = MsgId::from_raw(6);
+        sched.on_ihave(&lazy, id, NodeId(10));
+        sched.on_ihave(&lazy, id, NodeId(11));
+        let first = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, id));
+        let RequestAction::Request(s1, t) = first else {
+            panic!("expected a request");
+        };
+        assert_eq!(t, SimDuration::from_ms(400.0));
+        let second = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, id));
+        let RequestAction::Request(s2, _) = second else {
+            panic!("expected a request");
+        };
+        assert_ne!(s1, s2, "rotation must try the other source");
+        // Third request wraps around the rotation.
+        let third = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, id));
+        assert!(matches!(third, RequestAction::Request(_, _)));
+        assert_eq!(sched.stats().requests_sent, 3);
+    }
+
+    #[test]
+    fn request_timer_resolves_after_payload_arrives() {
+        let mut sched = scheduler();
+        let mut lazy = Flat::new(0.0);
+        let id = MsgId::from_raw(7);
+        sched.on_ihave(&lazy, id, NodeId(10));
+        sched.on_msg(id, payload(), 1);
+        let action = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, id));
+        assert_eq!(action, RequestAction::Resolved);
+        assert_eq!(sched.missing_count(), 0);
+        assert_eq!(sched.stats().requests_sent, 0);
+    }
+
+    #[test]
+    fn suppression_skips_known_holders() {
+        let config = ProtocolConfig { suppress_known: true, ..ProtocolConfig::default() };
+        let mut sched = PayloadScheduler::new(&config);
+        let mut eager = Flat::new(1.0);
+        let id = MsgId::from_raw(50);
+        sched.note_holder(id, NodeId(7));
+        assert!(sched.is_holder(&id, NodeId(7)));
+        assert!(!sched.is_holder(&id, NodeId(8)));
+        let to_holder = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(7)));
+        assert!(to_holder.is_none(), "send to a known holder must be suppressed");
+        assert_eq!(sched.stats().suppressed_sends, 1);
+        let to_other = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(8)));
+        assert!(to_other.is_some());
+    }
+
+    #[test]
+    fn suppression_is_off_by_default() {
+        let mut sched = scheduler();
+        let mut eager = Flat::new(1.0);
+        let id = MsgId::from_raw(51);
+        sched.note_holder(id, NodeId(7));
+        let out = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(7)));
+        assert!(out.is_some(), "pseudocode-faithful mode pushes regardless");
+        assert_eq!(sched.stats().suppressed_sends, 0);
+    }
+
+    #[test]
+    fn unknown_timer_is_resolved_quietly() {
+        let mut sched = scheduler();
+        let mut lazy = Flat::new(0.0);
+        let action =
+            with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, MsgId::from_raw(77)));
+        assert_eq!(action, RequestAction::Resolved);
+    }
+}

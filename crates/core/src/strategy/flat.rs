@@ -1,0 +1,101 @@
+//! The Flat strategy (§4.1): Bernoulli eager push.
+
+use super::{StrategyCtx, TransmissionStrategy};
+use crate::id::MsgId;
+use egm_simnet::NodeId;
+
+/// `Eager?` returns `true` with probability `pi`.
+///
+/// With `pi = 1` this is pure eager push gossip; with `pi = 0`, pure lazy
+/// push; in between it trades bandwidth for latency uniformly, with no
+/// knowledge of the environment — the paper's baseline (Fig. 5(a)).
+///
+/// Retransmission scheduling: the first request is issued immediately upon
+/// the first `IHAVE`; further requests every `T` (the node's retry
+/// interval) while sources are known.
+///
+/// # Examples
+///
+/// ```
+/// use egm_core::strategy::Flat;
+/// use egm_core::TransmissionStrategy;
+///
+/// let eager = Flat::new(1.0);
+/// assert_eq!(eager.label(), "flat pi=1.00");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flat {
+    pi: f64,
+}
+
+impl Flat {
+    /// Creates the strategy with eager probability `pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is outside `[0, 1]`.
+    pub fn new(pi: f64) -> Self {
+        assert!((0.0..=1.0).contains(&pi), "pi must be a probability, got {pi}");
+        Flat { pi }
+    }
+
+    /// The configured eager probability.
+    pub fn pi(&self) -> f64 {
+        self.pi
+    }
+}
+
+impl TransmissionStrategy for Flat {
+    fn eager(&mut self, ctx: &mut StrategyCtx<'_>, _to: NodeId, _id: MsgId, _round: u32) -> bool {
+        ctx.rng.bool(self.pi)
+    }
+
+    fn label(&self) -> String {
+        format!("flat pi={:.2}", self.pi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Flat;
+    use crate::id::MsgId;
+    use crate::monitor::NullMonitor;
+    use crate::strategy::{StrategyCtx, TransmissionStrategy};
+    use egm_rng::Rng;
+    use egm_simnet::NodeId;
+
+    fn eager_fraction(pi: f64, trials: u32) -> f64 {
+        let mut s = Flat::new(pi);
+        let mut rng = Rng::seed_from_u64(7);
+        let monitor = NullMonitor;
+        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        let hits = (0..trials)
+            .filter(|_| s.eager(&mut ctx, NodeId(1), MsgId::from_raw(1), 0))
+            .count();
+        hits as f64 / trials as f64
+    }
+
+    #[test]
+    fn extremes_are_pure_eager_and_pure_lazy() {
+        assert_eq!(eager_fraction(1.0, 1000), 1.0);
+        assert_eq!(eager_fraction(0.0, 1000), 0.0);
+    }
+
+    #[test]
+    fn intermediate_pi_is_calibrated() {
+        let frac = eager_fraction(0.3, 100_000);
+        assert!((frac - 0.3).abs() < 0.01, "eager fraction {frac}");
+    }
+
+    #[test]
+    fn first_request_is_immediate() {
+        use egm_simnet::SimDuration;
+        assert_eq!(Flat::new(0.5).first_request_delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_pi_panics() {
+        let _ = Flat::new(1.5);
+    }
+}

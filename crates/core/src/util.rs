@@ -1,0 +1,224 @@
+//! Bounded collections for duplicate suppression and payload caching.
+//!
+//! The paper leaves garbage collection of the known-message set `K`, the
+//! received set `R` and the payload cache `C` to prior work (§3.1–§3.2);
+//! here they are FIFO-bounded: oldest entries are evicted first, with
+//! capacities defaulting far above any experiment's live message count.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+/// A set with FIFO eviction once `capacity` is exceeded.
+///
+/// # Examples
+///
+/// ```
+/// use egm_core::util::BoundedSet;
+///
+/// let mut s = BoundedSet::new(2);
+/// s.insert(1);
+/// s.insert(2);
+/// s.insert(3); // evicts 1
+/// assert!(!s.contains(&1));
+/// assert!(s.contains(&3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedSet<T> {
+    set: HashSet<T>,
+    order: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T: Eq + Hash + Clone> BoundedSet<T> {
+    /// Creates a set bounded to `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        BoundedSet { set: HashSet::new(), order: VecDeque::new(), capacity }
+    }
+
+    /// Inserts a value; returns `true` if it was new. Evicts the oldest
+    /// element when full.
+    pub fn insert(&mut self, value: T) -> bool {
+        if self.set.contains(&value) {
+            return false;
+        }
+        if self.set.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        self.set.insert(value.clone());
+        self.order.push_back(value);
+        true
+    }
+
+    /// Whether the set currently holds `value`.
+    pub fn contains(&self, value: &T) -> bool {
+        self.set.contains(value)
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+/// A map with FIFO eviction once `capacity` is exceeded.
+#[derive(Debug, Clone)]
+pub struct BoundedMap<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
+    /// Creates a map bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        BoundedMap { map: HashMap::new(), order: VecDeque::new(), capacity }
+    }
+
+    /// Inserts an entry, evicting the oldest when full. Re-inserting an
+    /// existing key replaces the value without changing its age.
+    pub fn insert(&mut self, key: K, value: V) {
+        // Entry API is avoided on purpose: the eviction path below needs
+        // `key` by value only on the fresh-insert branch.
+        #[allow(clippy::map_entry)]
+        if self.map.contains_key(&key) {
+            self.map.insert(key, value);
+            return;
+        }
+        // Loop because the order queue may hold tombstones of removed keys.
+        while self.map.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.map.insert(key.clone(), value);
+        self.order.push_back(key);
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Looks up a key mutably.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.map.get_mut(key)
+    }
+
+    /// Removes a key, returning its value if present. (The FIFO order
+    /// entry is lazily skipped at eviction time.)
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key)
+    }
+
+    /// Whether the map holds `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{BoundedMap, BoundedSet};
+
+    #[test]
+    fn set_eviction_is_fifo() {
+        let mut s = BoundedSet::new(3);
+        for i in 0..5 {
+            assert!(s.insert(i));
+        }
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(&0) && !s.contains(&1));
+        assert!(s.contains(&2) && s.contains(&3) && s.contains(&4));
+    }
+
+    #[test]
+    fn set_duplicate_insert_reports_false() {
+        let mut s = BoundedSet::new(2);
+        assert!(s.insert("a"));
+        assert!(!s.insert("a"));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn map_eviction_is_fifo() {
+        let mut m = BoundedMap::new(2);
+        m.insert(1, "one");
+        m.insert(2, "two");
+        m.insert(3, "three");
+        assert!(m.get(&1).is_none());
+        assert_eq!(m.get(&3), Some(&"three"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn map_replace_keeps_age() {
+        let mut m = BoundedMap::new(2);
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.insert(1, "a2"); // replaces, 1 stays oldest
+        m.insert(3, "c"); // evicts 1
+        assert!(!m.contains_key(&1));
+        assert!(m.contains_key(&2) && m.contains_key(&3));
+    }
+
+    #[test]
+    fn map_remove_and_len() {
+        let mut m: BoundedMap<u32, u32> = BoundedMap::new(4);
+        assert!(m.is_empty());
+        m.insert(1, 10);
+        assert_eq!(m.remove(&1), Some(10));
+        assert_eq!(m.remove(&1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_set_panics() {
+        let _ = BoundedSet::<u32>::new(0);
+    }
+
+    #[test]
+    fn removed_key_does_not_break_eviction() {
+        // Lazily-skipped tombstones in the order queue must not evict live
+        // entries prematurely.
+        let mut m = BoundedMap::new(2);
+        m.insert(1, "a");
+        m.remove(&1);
+        m.insert(2, "b");
+        m.insert(3, "c");
+        m.insert(4, "d");
+        assert!(m.len() <= 2);
+        assert!(m.contains_key(&4));
+    }
+}

@@ -1,0 +1,36 @@
+//! Peer sampling service: partial-view membership with periodic shuffle.
+//!
+//! The paper's gossip layer assumes a peer sampling service [10] that
+//! returns a uniform sample of `f` other nodes (`PeerSample(f)`, Fig. 2),
+//! implemented in its testbed by NeEM's overlay management with *overlay
+//! fanout 15* and periodic shuffling of peers with neighbors (§5.2, §6.1).
+//!
+//! This crate provides [`PartialView`], a bounded view of the overlay with
+//! a Cyclon-style shuffle: each node periodically exchanges a random subset
+//! of its view with a random neighbor, keeping the overlay a continuously
+//! re-randomized connected graph. The embedding protocol (the `egm-core`
+//! node) drives the view with a timer and routes [`ShuffleMsg`]s; tests and
+//! deterministic experiments may instead freeze the overlay with
+//! [`PartialView::set_static`].
+//!
+//! # Examples
+//!
+//! ```
+//! use egm_membership::{bootstrap_views, ViewConfig};
+//! use egm_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(1);
+//! let mut views = bootstrap_views(10, &ViewConfig::default(), &mut rng);
+//! let sample = views[0].sample(&mut rng, 3);
+//! assert_eq!(sample.len(), 3);
+//! assert!(!sample.contains(&egm_simnet::NodeId(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod shuffle;
+mod view;
+
+pub use shuffle::ShuffleMsg;
+pub use view::{bootstrap_views, PartialView, ViewConfig};

@@ -1,0 +1,56 @@
+//! Shuffle wire messages.
+
+use egm_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A membership shuffle exchange (Cyclon-style).
+///
+/// A node periodically offers a random subset of its view (including its
+/// own id) to a random neighbor, which answers with a subset of its own
+/// view; both sides merge what they learn. These are control messages —
+/// the embedding node's [`egm_simnet::Wire`] implementation reports them
+/// as non-payload so they never count toward the paper's payload/msg
+/// metric.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShuffleMsg {
+    /// Offer of view entries; the receiver should reply.
+    Request {
+        /// Peer ids offered to the partner (includes the sender's id).
+        entries: Vec<NodeId>,
+    },
+    /// Answer carrying the partner's view entries.
+    Reply {
+        /// Peer ids offered back.
+        entries: Vec<NodeId>,
+    },
+}
+
+impl ShuffleMsg {
+    /// Number of peer entries carried.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            ShuffleMsg::Request { entries } | ShuffleMsg::Reply { entries } => entries.len(),
+        }
+    }
+
+    /// Approximate wire size in bytes (8 bytes per entry + 4 byte tag).
+    pub fn wire_bytes(&self) -> u32 {
+        4 + 8 * self.entry_count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ShuffleMsg;
+    use egm_simnet::NodeId;
+
+    #[test]
+    fn entry_count_and_size() {
+        let req = ShuffleMsg::Request { entries: vec![NodeId(1), NodeId(2)] };
+        assert_eq!(req.entry_count(), 2);
+        assert_eq!(req.wire_bytes(), 20);
+        let reply = ShuffleMsg::Reply { entries: vec![] };
+        assert_eq!(reply.entry_count(), 0);
+        assert_eq!(reply.wire_bytes(), 4);
+    }
+}

@@ -1,0 +1,400 @@
+//! The bounded partial view and uniform peer sampling.
+
+use crate::shuffle::ShuffleMsg;
+use egm_rng::{sample, Rng};
+use egm_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the partial view.
+///
+/// The paper uses an *overlay fanout* of 15 (§5.2): with 200 nodes this
+/// yields probability 0.999 of overlay connectedness under 15 % node
+/// failures [6].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewConfig {
+    /// Maximum number of peers kept in the view (overlay fanout).
+    pub capacity: usize,
+    /// Number of view entries exchanged per shuffle.
+    pub shuffle_size: usize,
+}
+
+impl Default for ViewConfig {
+    fn default() -> Self {
+        ViewConfig { capacity: 15, shuffle_size: 5 }
+    }
+}
+
+/// A bounded, continuously shuffled partial view of the overlay.
+///
+/// Invariants (checked in debug builds and by property tests):
+/// the view never contains the owning node or duplicates, and never
+/// exceeds `capacity`.
+///
+/// # Examples
+///
+/// ```
+/// use egm_membership::{PartialView, ViewConfig};
+/// use egm_rng::Rng;
+/// use egm_simnet::NodeId;
+///
+/// let mut rng = Rng::seed_from_u64(3);
+/// let mut view = PartialView::new(NodeId(0), ViewConfig::default());
+/// view.insert(NodeId(1));
+/// view.insert(NodeId(2));
+/// let peers = view.sample(&mut rng, 2);
+/// assert_eq!(peers.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialView {
+    owner: NodeId,
+    config: ViewConfig,
+    peers: Vec<NodeId>,
+    static_view: bool,
+}
+
+impl PartialView {
+    /// Creates an empty view owned by `owner`.
+    pub fn new(owner: NodeId, config: ViewConfig) -> Self {
+        PartialView { owner, config, peers: Vec::with_capacity(config.capacity), static_view: false }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Current peers, in internal order.
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Number of peers currently known.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Whether `peer` is in the view.
+    pub fn contains(&self, peer: NodeId) -> bool {
+        self.peers.contains(&peer)
+    }
+
+    /// Freezes the view: shuffle ticks become no-ops. Used for
+    /// deterministic experiments over a fixed random overlay.
+    pub fn set_static(&mut self, on: bool) {
+        self.static_view = on;
+    }
+
+    /// Whether the view is frozen.
+    pub fn is_static(&self) -> bool {
+        self.static_view
+    }
+
+    /// Inserts a peer, evicting a random entry if at capacity.
+    ///
+    /// Inserting the owner or an existing peer is a no-op. Returns whether
+    /// the peer is in the view afterwards.
+    pub fn insert(&mut self, peer: NodeId) -> bool {
+        if peer == self.owner {
+            return false;
+        }
+        if self.peers.contains(&peer) {
+            return true;
+        }
+        if self.peers.len() < self.config.capacity {
+            self.peers.push(peer);
+        } else {
+            // Deterministic eviction of the oldest entry keeps the insert
+            // path RNG-free; shuffling provides the randomness.
+            self.peers.remove(0);
+            self.peers.push(peer);
+        }
+        true
+    }
+
+    /// Removes a peer (e.g. one detected as failed). Returns whether it was
+    /// present.
+    pub fn remove(&mut self, peer: NodeId) -> bool {
+        if let Some(pos) = self.peers.iter().position(|&p| p == peer) {
+            self.peers.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `PeerSample(f)`: a uniform sample of up to `f` distinct peers.
+    ///
+    /// Returns fewer than `f` peers when the view is smaller than `f`.
+    pub fn sample(&self, rng: &mut Rng, f: usize) -> Vec<NodeId> {
+        let k = f.min(self.peers.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        sample::distinct_indices(rng, self.peers.len(), k)
+            .into_iter()
+            .map(|i| self.peers[i])
+            .collect()
+    }
+
+    /// One uniformly chosen peer, if any.
+    pub fn sample_one(&self, rng: &mut Rng) -> Option<NodeId> {
+        sample::choose(rng, &self.peers).copied()
+    }
+
+    /// Initiates a shuffle: picks a random partner and a subset to offer.
+    ///
+    /// Returns `None` if the view is static or empty. The offered subset
+    /// includes the owner id so the partner learns about us (Cyclon-style).
+    pub fn start_shuffle(&mut self, rng: &mut Rng) -> Option<(NodeId, ShuffleMsg)> {
+        if self.static_view || self.peers.is_empty() {
+            return None;
+        }
+        let partner = *sample::choose(rng, &self.peers).expect("non-empty view");
+        let mut offer = self.subset_excluding(rng, partner);
+        offer.truncate(self.config.shuffle_size.saturating_sub(1));
+        offer.push(self.owner);
+        Some((partner, ShuffleMsg::Request { entries: offer }))
+    }
+
+    /// Handles a shuffle message from `from`; returns a reply to send, if
+    /// any.
+    pub fn handle_shuffle(
+        &mut self,
+        rng: &mut Rng,
+        from: NodeId,
+        msg: ShuffleMsg,
+    ) -> Option<(NodeId, ShuffleMsg)> {
+        match msg {
+            ShuffleMsg::Request { entries } => {
+                let mut reply = self.subset_excluding(rng, from);
+                reply.truncate(self.config.shuffle_size);
+                self.merge(&entries);
+                // Requests also teach us about the requester.
+                self.insert(from);
+                Some((from, ShuffleMsg::Reply { entries: reply }))
+            }
+            ShuffleMsg::Reply { entries } => {
+                self.merge(&entries);
+                None
+            }
+        }
+    }
+
+    fn subset_excluding(&self, rng: &mut Rng, excluded: NodeId) -> Vec<NodeId> {
+        let candidates: Vec<NodeId> =
+            self.peers.iter().copied().filter(|&p| p != excluded).collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let k = self.config.shuffle_size.min(candidates.len());
+        sample::distinct_indices(rng, candidates.len(), k)
+            .into_iter()
+            .map(|i| candidates[i])
+            .collect()
+    }
+
+    fn merge(&mut self, entries: &[NodeId]) {
+        for &p in entries {
+            self.insert(p);
+        }
+        debug_assert!(self.peers.len() <= self.config.capacity);
+        debug_assert!(!self.peers.contains(&self.owner));
+    }
+}
+
+/// Builds a bootstrapped overlay: every node gets a uniform random view of
+/// `capacity` distinct peers (or `n - 1` if smaller), as after a completed
+/// join protocol.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn bootstrap_views(n: usize, config: &ViewConfig, rng: &mut Rng) -> Vec<PartialView> {
+    assert!(n > 0, "need at least one node");
+    (0..n)
+        .map(|i| {
+            let mut view = PartialView::new(NodeId(i), *config);
+            let k = config.capacity.min(n.saturating_sub(1));
+            // Sample k distinct peers from 0..n-1 excluding i by index
+            // remapping: indices >= i shift up by one.
+            if k > 0 {
+                for idx in sample::distinct_indices(rng, n - 1, k) {
+                    let peer = if idx >= i { idx + 1 } else { idx };
+                    view.insert(NodeId(peer));
+                }
+            }
+            view
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{bootstrap_views, PartialView, ViewConfig};
+    use crate::shuffle::ShuffleMsg;
+    use egm_rng::Rng;
+    use egm_simnet::NodeId;
+    use std::collections::HashSet;
+
+    fn cfg(capacity: usize, shuffle: usize) -> ViewConfig {
+        ViewConfig { capacity, shuffle_size: shuffle }
+    }
+
+    #[test]
+    fn insert_rejects_owner_and_duplicates() {
+        let mut v = PartialView::new(NodeId(0), cfg(3, 2));
+        assert!(!v.insert(NodeId(0)));
+        assert!(v.insert(NodeId(1)));
+        assert!(v.insert(NodeId(1)));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn insert_evicts_oldest_at_capacity() {
+        let mut v = PartialView::new(NodeId(0), cfg(2, 2));
+        v.insert(NodeId(1));
+        v.insert(NodeId(2));
+        v.insert(NodeId(3));
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(NodeId(1)), "oldest entry evicted");
+        assert!(v.contains(NodeId(2)) && v.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut v = PartialView::new(NodeId(0), cfg(4, 2));
+        v.insert(NodeId(5));
+        assert!(v.remove(NodeId(5)));
+        assert!(!v.remove(NodeId(5)));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn sample_is_distinct_and_never_owner() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut v = PartialView::new(NodeId(0), cfg(10, 3));
+        for i in 1..=10 {
+            v.insert(NodeId(i));
+        }
+        for _ in 0..100 {
+            let s = v.sample(&mut rng, 4);
+            assert_eq!(s.len(), 4);
+            let set: HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 4);
+            assert!(!s.contains(&NodeId(0)));
+        }
+        // Sampling more than view size returns the whole view.
+        assert_eq!(v.sample(&mut rng, 50).len(), 10);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut v = PartialView::new(NodeId(0), cfg(10, 3));
+        for i in 1..=10 {
+            v.insert(NodeId(i));
+        }
+        let mut counts = [0usize; 11];
+        for _ in 0..10_000 {
+            for p in v.sample(&mut rng, 1) {
+                counts[p.index()] += 1;
+            }
+        }
+        for &c in &counts[1..] {
+            let frac = c as f64 / 10_000.0;
+            assert!((frac - 0.1).abs() < 0.03, "peer frequency {frac}");
+        }
+    }
+
+    #[test]
+    fn shuffle_request_reply_cycle_preserves_invariants() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut a = PartialView::new(NodeId(0), cfg(5, 3));
+        let mut b = PartialView::new(NodeId(1), cfg(5, 3));
+        for i in 2..6 {
+            a.insert(NodeId(i));
+        }
+        for i in 6..10 {
+            b.insert(NodeId(i));
+        }
+        a.insert(NodeId(1));
+        let (to, req) = a.start_shuffle(&mut rng).expect("view non-empty");
+        assert!(a.contains(to));
+        let (back, reply) = b.handle_shuffle(&mut rng, NodeId(0), req).expect("reply");
+        assert_eq!(back, NodeId(0));
+        assert!(a.handle_shuffle(&mut rng, NodeId(1), reply).is_none());
+        for v in [&a, &b] {
+            assert!(v.len() <= 5);
+            assert!(!v.contains(v.owner()));
+            let set: HashSet<_> = v.peers().iter().collect();
+            assert_eq!(set.len(), v.len(), "no duplicates");
+        }
+        // b learned about a through the request's self-entry.
+        assert!(b.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn static_view_never_shuffles() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut v = PartialView::new(NodeId(0), cfg(5, 3));
+        v.insert(NodeId(1));
+        v.set_static(true);
+        assert!(v.is_static());
+        assert!(v.start_shuffle(&mut rng).is_none());
+    }
+
+    #[test]
+    fn empty_view_cannot_shuffle_or_sample() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut v = PartialView::new(NodeId(0), cfg(5, 3));
+        assert!(v.start_shuffle(&mut rng).is_none());
+        assert!(v.sample(&mut rng, 3).is_empty());
+        assert!(v.sample_one(&mut rng).is_none());
+    }
+
+    #[test]
+    fn bootstrap_views_are_full_and_valid() {
+        let mut rng = Rng::seed_from_u64(6);
+        let views = bootstrap_views(30, &cfg(15, 5), &mut rng);
+        assert_eq!(views.len(), 30);
+        for (i, v) in views.iter().enumerate() {
+            assert_eq!(v.len(), 15);
+            assert!(!v.contains(NodeId(i)));
+            let set: HashSet<_> = v.peers().iter().collect();
+            assert_eq!(set.len(), 15);
+            assert!(v.peers().iter().all(|p| p.index() < 30));
+        }
+    }
+
+    #[test]
+    fn bootstrap_small_network_views_are_complete() {
+        let mut rng = Rng::seed_from_u64(7);
+        let views = bootstrap_views(3, &cfg(15, 5), &mut rng);
+        for v in &views {
+            assert_eq!(v.len(), 2, "everyone knows everyone in a 3-node net");
+        }
+    }
+
+    #[test]
+    fn shuffle_reply_subset_excludes_requester() {
+        // The reply must never offer the requester its own id.
+        let mut rng = Rng::seed_from_u64(8);
+        let mut b = PartialView::new(NodeId(1), cfg(5, 5));
+        b.insert(NodeId(0));
+        b.insert(NodeId(2));
+        let (_, reply) = b
+            .handle_shuffle(&mut rng, NodeId(0), ShuffleMsg::Request { entries: vec![] })
+            .expect("reply");
+        match reply {
+            ShuffleMsg::Reply { entries } => {
+                assert!(!entries.contains(&NodeId(0)), "reply leaks requester id back");
+            }
+            _ => panic!("expected reply"),
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Multicast/delivery logging: latency and reliability.
+
+use crate::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Log of multicasts and deliveries for one experiment run.
+///
+/// Mirrors §5.3 of the paper: *"All messages multicast and delivered are
+/// logged for later processing. Namely, end-to-end latency can be
+/// measured..."*. Node identity is a plain index so the log is independent
+/// of the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use egm_metrics::DeliveryLog;
+///
+/// let mut log = DeliveryLog::new(3);
+/// let m = log.record_multicast(0, 100.0);
+/// log.record_delivery(m, 1, 150.0, 1);
+/// log.record_delivery(m, 2, 160.0, 2);
+/// assert_eq!(log.delivery_count(m), 2);
+/// assert_eq!(log.latencies(), vec![50.0, 60.0]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeliveryLog {
+    node_count: usize,
+    /// Per message: (source node, multicast time ms).
+    sends: Vec<(usize, f64)>,
+    /// Per message: per node, Some((delivery time ms, gossip round)).
+    deliveries: Vec<Vec<Option<(f64, u32)>>>,
+}
+
+impl DeliveryLog {
+    /// Creates an empty log for `node_count` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count == 0`.
+    pub fn new(node_count: usize) -> Self {
+        assert!(node_count > 0, "need at least one node");
+        DeliveryLog { node_count, sends: Vec::new(), deliveries: Vec::new() }
+    }
+
+    /// Number of nodes the log covers.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of multicasts recorded.
+    pub fn message_count(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Records a multicast by `source` at `time_ms`; returns the message
+    /// index used for delivery records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn record_multicast(&mut self, source: usize, time_ms: f64) -> usize {
+        assert!(source < self.node_count, "source out of range");
+        self.sends.push((source, time_ms));
+        self.deliveries.push(vec![None; self.node_count]);
+        self.sends.len() - 1
+    }
+
+    /// Records the first delivery of message `msg` at `node`.
+    ///
+    /// Later duplicate records for the same (msg, node) are ignored — the
+    /// protocol's `Deliver` upcall fires once per node, but the harness is
+    /// defensive about it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg` or `node` is out of range.
+    pub fn record_delivery(&mut self, msg: usize, node: usize, time_ms: f64, round: u32) {
+        assert!(msg < self.sends.len(), "unknown message {msg}");
+        assert!(node < self.node_count, "node out of range");
+        let slot = &mut self.deliveries[msg][node];
+        if slot.is_none() {
+            *slot = Some((time_ms, round));
+        }
+    }
+
+    /// Number of nodes that delivered message `msg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg` is out of range.
+    pub fn delivery_count(&self, msg: usize) -> usize {
+        self.deliveries[msg].iter().flatten().count()
+    }
+
+    /// End-to-end latencies (ms) of all deliveries at nodes *other than
+    /// the source* (the source delivers to itself at multicast time).
+    pub fn latencies(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (msg, &(source, t0)) in self.sends.iter().enumerate() {
+            for (node, slot) in self.deliveries[msg].iter().enumerate() {
+                if node == source {
+                    continue;
+                }
+                if let Some((t, _)) = slot {
+                    out.push(t - t0);
+                }
+            }
+        }
+        out
+    }
+
+    /// Summary of delivery latency, or `None` if nothing was delivered.
+    pub fn latency_summary(&self) -> Option<Summary> {
+        let l = self.latencies();
+        if l.is_empty() {
+            None
+        } else {
+            Some(Summary::from_samples(&l))
+        }
+    }
+
+    /// Gossip rounds (hops) after which deliveries happened, excluding the
+    /// source's own delivery at round 0.
+    pub fn delivery_rounds(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (msg, &(source, _)) in self.sends.iter().enumerate() {
+            for (node, slot) in self.deliveries[msg].iter().enumerate() {
+                if node == source {
+                    continue;
+                }
+                if let Some((_, r)) = slot {
+                    out.push(*r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean fraction of `eligible` nodes that delivered each message — the
+    /// paper's *mean deliveries %* (Fig. 5(b)). The source counts as having
+    /// delivered its own message.
+    ///
+    /// `eligible[i] == false` excludes node `i` (e.g. nodes silenced by
+    /// fault injection) from the denominator and numerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eligible.len()` differs from the node count, if no nodes
+    /// are eligible, or if no messages were recorded.
+    pub fn mean_delivery_fraction(&self, eligible: &[bool]) -> f64 {
+        assert_eq!(eligible.len(), self.node_count, "eligibility mask size");
+        let eligible_count = eligible.iter().filter(|&&e| e).count();
+        assert!(eligible_count > 0, "no eligible nodes");
+        assert!(!self.sends.is_empty(), "no messages recorded");
+        let mut total = 0.0;
+        for (msg, &(source, _)) in self.sends.iter().enumerate() {
+            let mut delivered = 0;
+            for (node, slot) in self.deliveries[msg].iter().enumerate() {
+                if !eligible[node] {
+                    continue;
+                }
+                if slot.is_some() || node == source {
+                    delivered += 1;
+                }
+            }
+            total += delivered as f64 / eligible_count as f64;
+        }
+        total / self.sends.len() as f64
+    }
+
+    /// Fraction of messages delivered by *every* eligible node (atomic
+    /// delivery rate).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DeliveryLog::mean_delivery_fraction`].
+    pub fn atomic_delivery_fraction(&self, eligible: &[bool]) -> f64 {
+        assert_eq!(eligible.len(), self.node_count, "eligibility mask size");
+        assert!(!self.sends.is_empty(), "no messages recorded");
+        let mut atomic = 0usize;
+        for (msg, &(source, _)) in self.sends.iter().enumerate() {
+            let all = self.deliveries[msg]
+                .iter()
+                .enumerate()
+                .filter(|(node, _)| eligible[*node])
+                .all(|(node, slot)| slot.is_some() || node == source);
+            if all {
+                atomic += 1;
+            }
+        }
+        atomic as f64 / self.sends.len() as f64
+    }
+
+    /// Total number of deliveries recorded (excluding implicit source
+    /// self-deliveries).
+    pub fn total_deliveries(&self) -> u64 {
+        self.deliveries.iter().map(|d| d.iter().flatten().count() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DeliveryLog;
+
+    fn two_message_log() -> DeliveryLog {
+        let mut log = DeliveryLog::new(4);
+        let m0 = log.record_multicast(0, 0.0);
+        log.record_delivery(m0, 1, 40.0, 1);
+        log.record_delivery(m0, 2, 55.0, 2);
+        log.record_delivery(m0, 3, 70.0, 3);
+        let m1 = log.record_multicast(1, 100.0);
+        log.record_delivery(m1, 0, 145.0, 1);
+        log.record_delivery(m1, 2, 150.0, 2);
+        log
+    }
+
+    #[test]
+    fn latencies_exclude_source() {
+        let log = two_message_log();
+        assert_eq!(log.latencies(), vec![40.0, 55.0, 70.0, 45.0, 50.0]);
+        let s = log.latency_summary().expect("non-empty");
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 52.0);
+    }
+
+    #[test]
+    fn duplicate_deliveries_keep_first() {
+        let mut log = DeliveryLog::new(2);
+        let m = log.record_multicast(0, 0.0);
+        log.record_delivery(m, 1, 30.0, 1);
+        log.record_delivery(m, 1, 99.0, 5);
+        assert_eq!(log.latencies(), vec![30.0]);
+        assert_eq!(log.delivery_count(m), 1);
+    }
+
+    #[test]
+    fn delivery_fraction_counts_source() {
+        let log = two_message_log();
+        let all = vec![true; 4];
+        // m0: 4/4 (incl. source), m1: 3/4 (node 3 missed)
+        assert!((log.mean_delivery_fraction(&all) - 0.875).abs() < 1e-12);
+        assert_eq!(log.atomic_delivery_fraction(&all), 0.5);
+    }
+
+    #[test]
+    fn eligibility_mask_excludes_dead_nodes() {
+        let log = two_message_log();
+        // Consider node 3 dead: m0 delivered by {0,1,2}, m1 by {1,0,2}.
+        let eligible = vec![true, true, true, false];
+        assert_eq!(log.mean_delivery_fraction(&eligible), 1.0);
+        assert_eq!(log.atomic_delivery_fraction(&eligible), 1.0);
+    }
+
+    #[test]
+    fn delivery_rounds_track_gossip_depth() {
+        let log = two_message_log();
+        assert_eq!(log.delivery_rounds(), vec![1, 2, 3, 1, 2]);
+        assert_eq!(log.total_deliveries(), 5);
+        assert_eq!(log.message_count(), 2);
+        assert_eq!(log.node_count(), 4);
+    }
+
+    #[test]
+    fn empty_log_has_no_latency_summary() {
+        let mut log = DeliveryLog::new(2);
+        assert!(log.latency_summary().is_none());
+        let m = log.record_multicast(0, 0.0);
+        assert_eq!(log.delivery_count(m), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown message")]
+    fn delivery_for_unknown_message_panics() {
+        let mut log = DeliveryLog::new(2);
+        log.record_delivery(0, 1, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no eligible nodes")]
+    fn all_dead_mask_panics() {
+        let mut log = DeliveryLog::new(2);
+        log.record_multicast(0, 0.0);
+        let _ = log.mean_delivery_fraction(&[false, false]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Self-contained deterministic pseudo-random number generation.
+//!
+//! All stochastic components of the reproduction (topology generation, the
+//! discrete-event simulator, protocol randomness) draw from [`Rng`], an
+//! implementation of the xoshiro256\*\* generator seeded through SplitMix64.
+//! Keeping the generator in-tree guarantees that a given seed produces the
+//! same experiment forever, independent of external crate version bumps —
+//! a property the paper's methodology (§5.4, confidence intervals over
+//! repeated runs) depends on.
+//!
+//! # Examples
+//!
+//! ```
+//! use egm_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let die = rng.range_usize(1, 7); // uniform in [1, 7)
+//! assert!((1..7).contains(&die));
+//!
+//! // Forked streams are independent but fully determined by the parent seed.
+//! let mut child = rng.fork();
+//! let _ = child.next_u64();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod xoshiro;
+
+pub use xoshiro::Rng;
+
+/// Extension helpers for sampling from collections.
+///
+/// These are free functions rather than methods on `Rng` where they would
+/// otherwise force generic parameters onto every call site.
+pub mod sample {
+    use super::Rng;
+
+    /// Returns `k` distinct indices drawn uniformly from `0..n`.
+    ///
+    /// Uses Floyd's algorithm, which performs `k` insertions regardless of
+    /// `n`. The result is in insertion order (not sorted, not uniform over
+    /// permutations — uniform over *sets*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn distinct_indices(rng: &mut Rng, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = rng.range_usize(0, j + 1);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen
+    }
+
+    /// Draws one element uniformly from a non-empty slice.
+    ///
+    /// Returns `None` when the slice is empty.
+    pub fn choose<'a, T>(rng: &mut Rng, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[rng.range_usize(0, items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle of a mutable slice.
+    pub fn shuffle<T>(rng: &mut Rng, items: &mut [T]) {
+        let n = items.len();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = rng.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample::{choose, distinct_indices, shuffle};
+    use super::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn distinct_indices_are_distinct_and_in_range() {
+        let mut rng = Rng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 17, 100] {
+            for k in [0usize, 1, n / 2, n] {
+                let picks = distinct_indices(&mut rng, n, k);
+                assert_eq!(picks.len(), k);
+                let set: HashSet<_> = picks.iter().copied().collect();
+                assert_eq!(set.len(), k, "duplicates in {picks:?}");
+                assert!(picks.iter().all(|&i| i < n));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn distinct_indices_rejects_oversample() {
+        let mut rng = Rng::seed_from_u64(1);
+        let _ = distinct_indices(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = Rng::seed_from_u64(3);
+        let empty: [u8; 0] = [];
+        assert!(choose(&mut rng, &empty).is_none());
+        assert_eq!(choose(&mut rng, &[9]), Some(&9));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_indices_cover_all_eventually() {
+        // Sampling n-of-n must return every index.
+        let mut rng = Rng::seed_from_u64(5);
+        let picks = distinct_indices(&mut rng, 12, 12);
+        let set: HashSet<_> = picks.into_iter().collect();
+        assert_eq!(set.len(), 12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Internal event-queue types.
+
+use crate::time::SimTime;
+use crate::NodeId;
+use std::cmp::Ordering;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver a message that survived the network.
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    /// Fire a protocol timer.
+    Timer { node: NodeId, tag: u64 },
+    /// Deliver a harness command to a protocol node.
+    Command { node: NodeId, value: u64 },
+    /// Silence a node (fault injection).
+    Silence(NodeId),
+    /// Revive a previously silenced node.
+    Revive(NodeId),
+}
+
+/// A scheduled event; ordering is by time, then schedule sequence, making
+/// the simulation fully deterministic.
+#[derive(Debug)]
+pub(crate) struct Scheduled<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{EventKind, Scheduled};
+    use crate::{NodeId, SimTime};
+    use std::collections::BinaryHeap;
+
+    fn ev(ms: f64, seq: u64) -> Scheduled<()> {
+        Scheduled {
+            time: SimTime::from_ms(ms),
+            seq,
+            kind: EventKind::Timer { node: NodeId(0), tag: 0 },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(5.0, 0));
+        heap.push(ev(1.0, 1));
+        heap.push(ev(3.0, 2));
+        assert_eq!(heap.pop().expect("nonempty").time, SimTime::from_ms(1.0));
+        assert_eq!(heap.pop().expect("nonempty").time, SimTime::from_ms(3.0));
+        assert_eq!(heap.pop().expect("nonempty").time, SimTime::from_ms(5.0));
+    }
+
+    #[test]
+    fn ties_break_by_sequence() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(2.0, 7));
+        heap.push(ev(2.0, 3));
+        heap.push(ev(2.0, 5));
+        assert_eq!(heap.pop().expect("nonempty").seq, 3);
+        assert_eq!(heap.pop().expect("nonempty").seq, 5);
+        assert_eq!(heap.pop().expect("nonempty").seq, 7);
+    }
+}

@@ -1,0 +1,353 @@
+//! The virtual network: delays, loss, jitter, and fault injection.
+
+use crate::time::{SimDuration, SimTime};
+use crate::NodeId;
+use egm_rng::Rng;
+use egm_topology::RoutedModel;
+
+/// Configuration of the virtual network between `n` protocol nodes.
+///
+/// Delay between a pair of nodes is the routed model latency (or a
+/// synthetic constant/matrix), optionally perturbed by uniform
+/// multiplicative jitter; messages are dropped independently with
+/// probability `loss`, and any traffic to or from a *silenced* node is
+/// dropped — the paper's firewall-based failure injection (§6.3).
+///
+/// # Examples
+///
+/// ```
+/// use egm_simnet::SimConfig;
+///
+/// let cfg = SimConfig::uniform(10, 25.0).with_loss(0.01).with_jitter(0.05);
+/// assert_eq!(cfg.node_count(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    delay: DelaySource,
+    /// Independent drop probability per message.
+    loss: f64,
+    /// Uniform multiplicative jitter: delay is scaled by a factor drawn
+    /// from `[1 - jitter, 1 + jitter]`.
+    jitter: f64,
+    /// Delay floor applied after jitter (also used for self-sends).
+    min_delay: SimDuration,
+    /// Per-node egress bandwidth in bytes/second; `None` models infinite
+    /// capacity. When set, each transmission occupies the sender's uplink
+    /// for `bytes / bandwidth` and queues FIFO behind earlier sends —
+    /// reproducing the burst-induced latency of gossip fanouts that §5.3
+    /// observes on the ModelNet testbed.
+    egress_bandwidth: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+enum DelaySource {
+    /// Constant one-way delay between every pair.
+    Uniform { n: usize, ms: f64 },
+    /// Latencies from a routed topology model.
+    Model(RoutedModel),
+}
+
+impl SimConfig {
+    /// A network of `n` nodes with constant pairwise one-way delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `ms` is negative/non-finite.
+    pub fn uniform(n: usize, ms: f64) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(ms.is_finite() && ms >= 0.0, "bad delay");
+        SimConfig {
+            delay: DelaySource::Uniform { n, ms },
+            loss: 0.0,
+            jitter: 0.0,
+            min_delay: SimDuration::from_micros(10),
+            egress_bandwidth: None,
+        }
+    }
+
+    /// A network whose delays come from a routed topology model — the
+    /// standard configuration for reproducing the paper.
+    pub fn from_model(model: RoutedModel) -> Self {
+        SimConfig {
+            delay: DelaySource::Model(model),
+            loss: 0.0,
+            jitter: 0.0,
+            min_delay: SimDuration::from_micros(10),
+            egress_bandwidth: None,
+        }
+    }
+
+    /// Sets the per-node egress bandwidth in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not strictly positive and finite.
+    pub fn with_egress_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        self.egress_bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Sets the independent per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.loss = loss;
+        self
+    }
+
+    /// Sets uniform multiplicative jitter (fraction of the base delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is outside `[0, 1)`.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Number of protocol nodes.
+    pub fn node_count(&self) -> usize {
+        match &self.delay {
+            DelaySource::Uniform { n, .. } => *n,
+            DelaySource::Model(m) => m.client_count(),
+        }
+    }
+}
+
+/// The instantiated virtual network (configuration + mutable fault and
+/// egress-queue state).
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: SimConfig,
+    silenced: Vec<bool>,
+    /// Time each node's uplink becomes free (egress-bandwidth model).
+    egress_free: Vec<SimTime>,
+}
+
+impl Network {
+    /// Builds the network from its configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let n = config.node_count();
+        Network { config, silenced: vec![false; n], egress_free: vec![SimTime::ZERO; n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.silenced.len()
+    }
+
+    /// Base one-way delay between two nodes, before jitter.
+    pub fn base_delay(&self, from: NodeId, to: NodeId) -> SimDuration {
+        if from == to {
+            return self.config.min_delay;
+        }
+        let ms = match &self.config.delay {
+            DelaySource::Uniform { ms, .. } => *ms,
+            DelaySource::Model(m) => m.latency_ms(from.index(), to.index()),
+        };
+        let d = SimDuration::from_ms(ms);
+        if d < self.config.min_delay {
+            self.config.min_delay
+        } else {
+            d
+        }
+    }
+
+    /// Decides the fate of one message of `bytes` sent at `now`:
+    /// `Some(delay)` to deliver after `delay` (queueing + serialization +
+    /// propagation), `None` if dropped by loss or silencing.
+    pub fn transmit(
+        &mut self,
+        rng: &mut Rng,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u32,
+    ) -> Option<SimDuration> {
+        if self.silenced[from.index()] || self.silenced[to.index()] {
+            return None;
+        }
+        if self.config.loss > 0.0 && rng.bool(self.config.loss) {
+            return None;
+        }
+        let base = self.base_delay(from, to);
+        let propagation = if self.config.jitter > 0.0 {
+            let factor = rng.range_f64(1.0 - self.config.jitter, 1.0 + self.config.jitter);
+            base.mul_f64(factor)
+        } else {
+            base
+        };
+        let mut delay = propagation;
+        if let Some(bw) = self.config.egress_bandwidth {
+            // FIFO uplink: the message departs when the link frees up and
+            // occupies it for its serialization time.
+            let serialization = SimDuration::from_ms(bytes as f64 / bw * 1000.0);
+            let free = self.egress_free[from.index()];
+            let depart_done = if free > now { free } else { now } + serialization;
+            self.egress_free[from.index()] = depart_done;
+            delay = (depart_done - now) + propagation;
+        }
+        Some(if delay < self.config.min_delay { self.config.min_delay } else { delay })
+    }
+
+    /// Silences a node: all of its future traffic, in and out, is dropped.
+    ///
+    /// This emulates the paper's fail-by-firewall (§6.3): the process keeps
+    /// running but its packets vanish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn silence(&mut self, node: NodeId) {
+        self.silenced[node.index()] = true;
+    }
+
+    /// Reverses [`Network::silence`] — used to model transient partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn revive(&mut self, node: NodeId) {
+        self.silenced[node.index()] = false;
+    }
+
+    /// Whether the node is currently silenced.
+    pub fn is_silenced(&self, node: NodeId) -> bool {
+        self.silenced[node.index()]
+    }
+
+    /// Indices of all currently silenced nodes.
+    pub fn silenced_nodes(&self) -> Vec<NodeId> {
+        self.silenced
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(NodeId(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Network, SimConfig};
+    use crate::{NodeId, SimDuration};
+    use egm_rng::Rng;
+    use egm_topology::RoutedModel;
+
+    #[test]
+    fn uniform_delay_is_constant() {
+        let net = Network::new(SimConfig::uniform(3, 25.0));
+        assert_eq!(net.base_delay(NodeId(0), NodeId(2)), SimDuration::from_ms(25.0));
+        // self-sends use the floor delay
+        assert_eq!(net.base_delay(NodeId(1), NodeId(1)), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn model_delay_matches_matrix() {
+        let model = RoutedModel::uniform_synthetic(4, 10.0, 20.0, 1);
+        let expect = model.latency_ms(1, 3);
+        let net = Network::new(SimConfig::from_model(model));
+        assert_eq!(net.base_delay(NodeId(1), NodeId(3)), SimDuration::from_ms(expect));
+    }
+
+    fn tx(net: &mut Network, rng: &mut Rng, from: usize, to: usize) -> Option<SimDuration> {
+        net.transmit(rng, crate::SimTime::ZERO, NodeId(from), NodeId(to), 100)
+    }
+
+    #[test]
+    fn zero_loss_always_delivers() {
+        let mut net = Network::new(SimConfig::uniform(2, 5.0));
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(tx(&mut net, &mut rng, 0, 1).is_some());
+        }
+    }
+
+    #[test]
+    fn full_loss_always_drops() {
+        let mut net = Network::new(SimConfig::uniform(2, 5.0).with_loss(1.0));
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(tx(&mut net, &mut rng, 0, 1).is_none());
+        }
+    }
+
+    #[test]
+    fn partial_loss_is_calibrated() {
+        let mut net = Network::new(SimConfig::uniform(2, 5.0).with_loss(0.2));
+        let mut rng = Rng::seed_from_u64(2);
+        let delivered =
+            (0..10_000).filter(|_| tx(&mut net, &mut rng, 0, 1).is_some()).count();
+        let frac = delivered as f64 / 10_000.0;
+        assert!((frac - 0.8).abs() < 0.02, "delivered fraction {frac}");
+    }
+
+    #[test]
+    fn silencing_kills_both_directions() {
+        let mut net = Network::new(SimConfig::uniform(3, 5.0));
+        net.silence(NodeId(1));
+        let mut rng = Rng::seed_from_u64(3);
+        assert!(tx(&mut net, &mut rng, 0, 1).is_none());
+        assert!(tx(&mut net, &mut rng, 1, 0).is_none());
+        assert!(tx(&mut net, &mut rng, 0, 2).is_some());
+        assert!(net.is_silenced(NodeId(1)));
+        assert_eq!(net.silenced_nodes(), vec![NodeId(1)]);
+        net.revive(NodeId(1));
+        assert!(tx(&mut net, &mut rng, 0, 1).is_some());
+    }
+
+    #[test]
+    fn jitter_spreads_delay_within_bounds() {
+        let mut net = Network::new(SimConfig::uniform(2, 100.0).with_jitter(0.1));
+        let mut rng = Rng::seed_from_u64(4);
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for _ in 0..1000 {
+            let d = tx(&mut net, &mut rng, 0, 1).expect("no loss").as_ms();
+            min = min.min(d);
+            max = max.max(d);
+        }
+        assert!(min >= 90.0 && max <= 110.0, "range [{min}, {max}]");
+        assert!(max - min > 10.0, "jitter should spread delays");
+    }
+
+    #[test]
+    fn egress_bandwidth_serializes_bursts() {
+        // 1000 bytes/sec, 100-byte messages => 100ms serialization each.
+        let mut net =
+            Network::new(SimConfig::uniform(2, 10.0).with_egress_bandwidth(1000.0));
+        let mut rng = Rng::seed_from_u64(5);
+        let d1 = tx(&mut net, &mut rng, 0, 1).expect("delivered").as_ms();
+        let d2 = tx(&mut net, &mut rng, 0, 1).expect("delivered").as_ms();
+        let d3 = tx(&mut net, &mut rng, 0, 1).expect("delivered").as_ms();
+        assert!((d1 - 110.0).abs() < 0.01, "first: serialization + propagation, got {d1}");
+        assert!((d2 - 210.0).abs() < 0.01, "second queues behind first, got {d2}");
+        assert!((d3 - 310.0).abs() < 0.01, "third queues further, got {d3}");
+        // A different sender has its own free uplink.
+        let other = tx(&mut net, &mut rng, 1, 0).expect("delivered").as_ms();
+        assert!((other - 110.0).abs() < 0.01, "per-node uplinks, got {other}");
+    }
+
+    #[test]
+    fn infinite_bandwidth_has_no_queueing() {
+        let mut net = Network::new(SimConfig::uniform(2, 10.0));
+        let mut rng = Rng::seed_from_u64(6);
+        for _ in 0..10 {
+            let d = tx(&mut net, &mut rng, 0, 1).expect("delivered").as_ms();
+            assert_eq!(d, 10.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_loss_panics() {
+        let _ = SimConfig::uniform(2, 5.0).with_loss(1.5);
+    }
+}

@@ -1,0 +1,525 @@
+//! The simulation engine: event loop, protocol trait, and node context.
+
+use crate::event::{EventKind, Scheduled};
+use crate::net::{Network, SimConfig};
+use crate::stats::Traffic;
+use crate::time::{SimDuration, SimTime};
+use crate::wire::Wire;
+use crate::NodeId;
+use egm_rng::Rng;
+use std::collections::BinaryHeap;
+
+/// Tag identifying a protocol timer; meaning is private to the node that
+/// set it.
+pub type TimerTag = u64;
+
+/// Behaviour of a simulated protocol node.
+///
+/// All callbacks receive a [`Context`] giving access to the virtual clock,
+/// the node's own id and RNG stream, message sending and timers. Nodes are
+/// single-threaded and run to completion per event (the actor model), so no
+/// synchronization is ever needed.
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub trait Protocol {
+    /// Message type exchanged by this protocol.
+    type Msg: Wire;
+
+    /// Called once at simulation start (time zero), in node-id order.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_receive(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
+        let _ = (ctx, tag);
+    }
+
+    /// Called when the experiment harness injects a command (see
+    /// [`Sim::schedule_command`]) — e.g. "multicast message number `value`
+    /// now" from the traffic generator.
+    fn on_command(&mut self, ctx: &mut Context<'_, Self::Msg>, value: u64) {
+        let _ = (ctx, value);
+    }
+}
+
+/// Everything a node may touch during a callback.
+///
+/// Borrowed mutably for the duration of one event dispatch.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    id: NodeId,
+    now: SimTime,
+    core: &'a mut SimCore<M>,
+}
+
+impl<M: Wire> Context<'_, M> {
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.core.network.node_count()
+    }
+
+    /// This node's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.core.node_rngs[self.id.index()]
+    }
+
+    /// Sends `msg` to `to` over the virtual network.
+    ///
+    /// The message is tallied in [`Sim::traffic`] (even if subsequently
+    /// dropped by loss or silencing, matching how ModelNet logs sender-side
+    /// transmissions), then delivered after the network delay unless
+    /// dropped.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let from = self.id;
+        let bytes = msg.wire_bytes();
+        self.core.traffic.record(from, to, bytes, msg.is_payload());
+        if let Some(delay) =
+            self.core.network.transmit(&mut self.core.net_rng, self.now, from, to, bytes)
+        {
+            let time = self.now + delay;
+            self.core.push(time, EventKind::Deliver { to, from, msg });
+        }
+    }
+
+    /// Schedules [`Protocol::on_timer`] for this node after `delay`.
+    ///
+    /// Timers cannot be cancelled; nodes should ignore stale tags.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
+        let time = self.now + delay;
+        let node = self.id;
+        self.core.push(time, EventKind::Timer { node, tag });
+    }
+}
+
+/// Shared mutable simulation state (everything but the nodes themselves).
+#[derive(Debug)]
+struct SimCore<M> {
+    queue: BinaryHeap<Scheduled<M>>,
+    seq: u64,
+    network: Network,
+    traffic: Traffic,
+    node_rngs: Vec<Rng>,
+    net_rng: Rng,
+}
+
+impl<M> SimCore<M> {
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        self.queue.push(Scheduled { time, seq: self.seq, kind });
+        self.seq += 1;
+    }
+}
+
+/// The discrete-event simulator driving a set of [`Protocol`] nodes.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct Sim<P: Protocol> {
+    core: SimCore<P::Msg>,
+    nodes: Vec<P>,
+    now: SimTime,
+    started: bool,
+    events_processed: u64,
+}
+
+impl<P: Protocol> Sim<P> {
+    /// Creates a simulation of `nodes` over the configured network.
+    ///
+    /// `seed` determines every random choice in the run: node RNG streams
+    /// are forked from it in id order, plus one stream for the network
+    /// (loss/jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of nodes does not match the network
+    /// configuration.
+    pub fn new(config: SimConfig, seed: u64, nodes: Vec<P>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            config.node_count(),
+            "node vector must match network size"
+        );
+        let mut root = Rng::seed_from_u64(seed);
+        let node_rngs: Vec<Rng> = (0..nodes.len()).map(|_| root.fork()).collect();
+        let net_rng = root.fork();
+        Sim {
+            core: SimCore {
+                queue: BinaryHeap::new(),
+                seq: 0,
+                network: Network::new(config),
+                traffic: Traffic::default(),
+                node_rngs,
+                net_rng,
+            },
+            nodes,
+            now: SimTime::ZERO,
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Transport-level traffic accounting.
+    pub fn traffic(&self) -> &Traffic {
+        &self.core.traffic
+    }
+
+    /// Immutable access to a protocol node (e.g. to read final state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a protocol node (e.g. for harness-side setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over all nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// The virtual network (to inspect fault state).
+    pub fn network(&self) -> &Network {
+        &self.core.network
+    }
+
+    /// Injects a message from outside the simulation (no traffic tally),
+    /// delivered after the usual network delay. Useful in tests.
+    pub fn send_external(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        let bytes = msg.wire_bytes();
+        self.core.traffic.record(from, to, bytes, msg.is_payload());
+        if let Some(delay) =
+            self.core.network.transmit(&mut self.core.net_rng, self.now, from, to, bytes)
+        {
+            let time = self.now + delay;
+            self.core.push(time, EventKind::Deliver { to, from, msg });
+        }
+    }
+
+    /// Schedules a harness command for `node` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, value: u64) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.core.push(at, EventKind::Command { node, value });
+    }
+
+    /// Schedules node silencing (fault injection, §6.3) at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_silence(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.core.push(at, EventKind::Silence(node));
+    }
+
+    /// Schedules node revival at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_revive(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.core.push(at, EventKind::Revive(node));
+    }
+
+    /// Runs [`Protocol::on_start`] on every node if not yet done.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let mut ctx = Context { id: NodeId(i), now: self.now, core: &mut self.core };
+            self.nodes[i].on_start(&mut ctx);
+        }
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(ev) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time must be monotonic");
+        self.now = ev.time;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { to, from, msg } => {
+                let mut ctx = Context { id: to, now: self.now, core: &mut self.core };
+                self.nodes[to.index()].on_receive(&mut ctx, from, msg);
+            }
+            EventKind::Timer { node, tag } => {
+                let mut ctx = Context { id: node, now: self.now, core: &mut self.core };
+                self.nodes[node.index()].on_timer(&mut ctx, tag);
+            }
+            EventKind::Command { node, value } => {
+                let mut ctx = Context { id: node, now: self.now, core: &mut self.core };
+                self.nodes[node.index()].on_command(&mut ctx, value);
+            }
+            EventKind::Silence(node) => self.core.network.silence(node),
+            EventKind::Revive(node) => self.core.network.revive(node),
+        }
+        true
+    }
+
+    /// Runs until the event queue is exhausted or virtual time would pass
+    /// `deadline`; the clock finishes at `deadline` if it was reached.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        loop {
+            match self.core.queue.peek() {
+                Some(ev) if ev.time <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the queue is fully drained (beware periodic timers:
+    /// protocols that always re-arm will never drain).
+    pub fn run_to_idle(&mut self) {
+        while self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Context, Protocol, Sim};
+    use crate::net::SimConfig;
+    use crate::time::{SimDuration, SimTime};
+    use crate::wire::Wire;
+    use crate::NodeId;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Wire for Msg {
+        fn wire_bytes(&self) -> u32 {
+            16
+        }
+        fn is_payload(&self) -> bool {
+            matches!(self, Msg::Ping(_))
+        }
+    }
+
+    /// Echoes pings; counts pongs; multicasts on command.
+    #[derive(Default)]
+    struct Echo {
+        pongs: Vec<(u32, f64)>,
+        timers: Vec<u64>,
+        started_at: Option<f64>,
+    }
+
+    impl Protocol for Echo {
+        type Msg = Msg;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            self.started_at = Some(ctx.now().as_ms());
+        }
+
+        fn on_receive(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping(k) => ctx.send(from, Msg::Pong(k)),
+                Msg::Pong(k) => self.pongs.push((k, ctx.now().as_ms())),
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, tag: u64) {
+            self.timers.push(tag);
+        }
+
+        fn on_command(&mut self, ctx: &mut Context<'_, Msg>, value: u64) {
+            let n = ctx.node_count();
+            for i in 0..n {
+                if NodeId(i) != ctx.id() {
+                    ctx.send(NodeId(i), Msg::Ping(value as u32));
+                }
+            }
+        }
+    }
+
+    fn two_nodes(ms: f64) -> Sim<Echo> {
+        Sim::new(SimConfig::uniform(2, ms), 7, vec![Echo::default(), Echo::default()])
+    }
+
+    #[test]
+    fn round_trip_takes_two_delays() {
+        let mut sim = two_nodes(10.0);
+        sim.send_external(NodeId(1), NodeId(0), Msg::Ping(1));
+        sim.run_for(SimDuration::from_ms(100.0));
+        // external ping: delivered to n0 at 10ms; pong back to n1 at 20ms
+        assert_eq!(sim.node(NodeId(1)).pongs, vec![(1, 20.0)]);
+        assert_eq!(sim.now(), SimTime::from_ms(100.0));
+    }
+
+    #[test]
+    fn on_start_runs_once_at_zero() {
+        let mut sim = two_nodes(1.0);
+        sim.run_for(SimDuration::from_ms(1.0));
+        assert_eq!(sim.node(NodeId(0)).started_at, Some(0.0));
+        sim.run_for(SimDuration::from_ms(1.0));
+        assert_eq!(sim.node(NodeId(1)).started_at, Some(0.0));
+    }
+
+    #[test]
+    fn timers_fire_at_exact_times_in_order() {
+        struct TimerNode {
+            fired: Vec<(u64, f64)>,
+        }
+        impl Protocol for TimerNode {
+            type Msg = Msg;
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_ms(5.0), 5);
+                ctx.set_timer(SimDuration::from_ms(1.0), 1);
+                ctx.set_timer(SimDuration::from_ms(3.0), 3);
+            }
+            fn on_receive(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+                self.fired.push((tag, ctx.now().as_ms()));
+            }
+        }
+        let mut sim = Sim::new(
+            SimConfig::uniform(1, 1.0),
+            1,
+            vec![TimerNode { fired: Vec::new() }],
+        );
+        sim.run_to_idle();
+        assert_eq!(sim.node(NodeId(0)).fired, vec![(1, 1.0), (3, 3.0), (5, 5.0)]);
+    }
+
+    #[test]
+    fn commands_trigger_protocol_behaviour() {
+        let mut sim = two_nodes(10.0);
+        sim.schedule_command(SimTime::from_ms(50.0), NodeId(0), 9);
+        sim.run_for(SimDuration::from_ms(200.0));
+        // command at 50 → ping at 60 → pong delivered at 70
+        assert_eq!(sim.node(NodeId(0)).pongs, vec![(9, 70.0)]);
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let mut sim = two_nodes(10.0);
+        sim.schedule_command(SimTime::from_ms(0.0), NodeId(0), 1);
+        sim.run_for(SimDuration::from_ms(100.0));
+        // 1 ping (payload) + 1 pong (control), external none
+        assert_eq!(sim.traffic().total_messages(), 2);
+        assert_eq!(sim.traffic().total_payloads(), 1);
+        assert_eq!(sim.traffic().total_bytes(), 32);
+    }
+
+    #[test]
+    fn silencing_stops_delivery_but_not_accounting() {
+        let mut sim = two_nodes(10.0);
+        sim.schedule_silence(SimTime::from_ms(0.0), NodeId(1));
+        sim.schedule_command(SimTime::from_ms(1.0), NodeId(0), 2);
+        sim.run_for(SimDuration::from_ms(100.0));
+        assert!(sim.node(NodeId(0)).pongs.is_empty());
+        assert_eq!(sim.traffic().total_messages(), 1, "send was still tallied");
+        assert!(sim.network().is_silenced(NodeId(1)));
+    }
+
+    #[test]
+    fn revive_restores_connectivity() {
+        let mut sim = two_nodes(10.0);
+        sim.schedule_silence(SimTime::from_ms(0.0), NodeId(1));
+        sim.schedule_revive(SimTime::from_ms(50.0), NodeId(1));
+        sim.schedule_command(SimTime::from_ms(60.0), NodeId(0), 3);
+        sim.run_for(SimDuration::from_ms(200.0));
+        assert_eq!(sim.node(NodeId(0)).pongs.len(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let mut sim = Sim::new(
+                SimConfig::uniform(4, 10.0).with_loss(0.3).with_jitter(0.2),
+                seed,
+                (0..4).map(|_| Echo::default()).collect(),
+            );
+            for k in 0..20 {
+                sim.schedule_command(SimTime::from_ms(k as f64 * 7.0), NodeId(k % 4), k as u64);
+            }
+            sim.run_for(SimDuration::from_ms(1000.0));
+            (
+                sim.traffic().total_messages(),
+                sim.traffic().total_bytes(),
+                sim.nodes().map(|(_, n)| n.pongs.clone()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).2, run(12).2, "different seeds should differ");
+    }
+
+    #[test]
+    fn run_until_stops_clock_at_deadline() {
+        let mut sim = two_nodes(10.0);
+        sim.schedule_command(SimTime::from_ms(500.0), NodeId(0), 1);
+        sim.run_until(SimTime::from_ms(100.0));
+        assert_eq!(sim.now(), SimTime::from_ms(100.0));
+        assert_eq!(sim.events_processed(), 0);
+        sim.run_until(SimTime::from_ms(600.0));
+        assert!(sim.events_processed() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match network size")]
+    fn node_count_mismatch_panics() {
+        let _ = Sim::new(SimConfig::uniform(3, 1.0), 0, vec![Echo::default()]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Transport-level traffic accounting.
+//!
+//! ModelNet experiments log every payload transmission per link (§5.3); the
+//! simulator does the same here, at the point where messages enter the
+//! virtual network. Loss and silencing are applied *after* accounting:
+//! a transmitted-but-dropped packet still consumed bandwidth at the sender,
+//! which matches how the paper counts transmissions.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-directed-link tally of traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkTally {
+    /// Messages of any kind sent over this link.
+    pub messages: u64,
+    /// Total bytes sent over this link.
+    pub bytes: u64,
+    /// Payload-bearing messages sent over this link.
+    pub payloads: u64,
+}
+
+/// Aggregated traffic over the whole virtual network.
+///
+/// # Examples
+///
+/// ```
+/// use egm_simnet::{NodeId, Traffic};
+///
+/// let mut t = Traffic::default();
+/// t.record(NodeId(0), NodeId(1), 280, true);
+/// t.record(NodeId(0), NodeId(1), 40, false);
+/// assert_eq!(t.total_payloads(), 1);
+/// assert_eq!(t.total_bytes(), 320);
+/// assert_eq!(t.node_payloads_sent(NodeId(0)), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Traffic {
+    links: HashMap<(NodeId, NodeId), LinkTally>,
+    total: LinkTally,
+}
+
+impl Traffic {
+    /// Records one message from `from` to `to`.
+    pub fn record(&mut self, from: NodeId, to: NodeId, bytes: u32, payload: bool) {
+        let tally = self.links.entry((from, to)).or_default();
+        tally.messages += 1;
+        tally.bytes += u64::from(bytes);
+        self.total.messages += 1;
+        self.total.bytes += u64::from(bytes);
+        if payload {
+            tally.payloads += 1;
+            self.total.payloads += 1;
+        }
+    }
+
+    /// Total messages sent (including later-dropped ones).
+    pub fn total_messages(&self) -> u64 {
+        self.total.messages
+    }
+
+    /// Total bytes sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.total.bytes
+    }
+
+    /// Total payload transmissions.
+    pub fn total_payloads(&self) -> u64 {
+        self.total.payloads
+    }
+
+    /// Number of directed links that carried at least one message.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Tally for one directed link, if it carried traffic.
+    pub fn link(&self, from: NodeId, to: NodeId) -> Option<LinkTally> {
+        self.links.get(&(from, to)).copied()
+    }
+
+    /// All directed links and their tallies, in deterministic
+    /// (source, destination) order.
+    pub fn links(&self) -> Vec<((NodeId, NodeId), LinkTally)> {
+        let mut v: Vec<_> = self.links.iter().map(|(&k, &t)| (k, t)).collect();
+        v.sort_by_key(|&((a, b), _)| (a, b));
+        v
+    }
+
+    /// Payload transmissions sent by one node (summed over its outgoing
+    /// links).
+    pub fn node_payloads_sent(&self, node: NodeId) -> u64 {
+        self.links
+            .iter()
+            .filter(|&(&(from, _), _)| from == node)
+            .map(|(_, t)| t.payloads)
+            .sum()
+    }
+
+    /// Per-node payload transmission counts for nodes `0..n`.
+    pub fn payloads_sent_per_node(&self, n: usize) -> Vec<u64> {
+        let mut out = vec![0u64; n];
+        for (&(from, _), t) in &self.links {
+            if from.index() < n {
+                out[from.index()] += t.payloads;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Traffic;
+    use crate::NodeId;
+
+    #[test]
+    fn records_accumulate_per_link() {
+        let mut t = Traffic::default();
+        t.record(NodeId(0), NodeId(1), 100, true);
+        t.record(NodeId(0), NodeId(1), 50, false);
+        t.record(NodeId(1), NodeId(0), 10, true);
+        let l01 = t.link(NodeId(0), NodeId(1)).expect("link exists");
+        assert_eq!(l01.messages, 2);
+        assert_eq!(l01.bytes, 150);
+        assert_eq!(l01.payloads, 1);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.total_messages(), 3);
+        assert_eq!(t.total_payloads(), 2);
+        assert!(t.link(NodeId(2), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn links_are_sorted_deterministically() {
+        let mut t = Traffic::default();
+        t.record(NodeId(2), NodeId(0), 1, false);
+        t.record(NodeId(0), NodeId(2), 1, false);
+        t.record(NodeId(0), NodeId(1), 1, false);
+        let keys: Vec<_> = t.links().iter().map(|&(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(2), NodeId(0))
+            ]
+        );
+    }
+
+    #[test]
+    fn per_node_payload_counts() {
+        let mut t = Traffic::default();
+        t.record(NodeId(0), NodeId(1), 1, true);
+        t.record(NodeId(0), NodeId(2), 1, true);
+        t.record(NodeId(1), NodeId(2), 1, false);
+        assert_eq!(t.payloads_sent_per_node(3), vec![2, 0, 0]);
+        assert_eq!(t.node_payloads_sent(NodeId(0)), 2);
+        assert_eq!(t.node_payloads_sent(NodeId(9)), 0);
+    }
+}

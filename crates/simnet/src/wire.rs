@@ -1,0 +1,61 @@
+//! The [`Wire`] trait: what the virtual network needs to know about a
+//! protocol message.
+
+/// A message that can cross the simulated network.
+///
+/// The simulator uses [`Wire::wire_bytes`] for byte accounting and
+/// [`Wire::is_payload`] to tally *payload transmissions* per link — the
+/// quantity behind the paper's payload/msg metric (Fig. 5) and the emergent
+/// structure plots (Fig. 4, top-5 % connections by payload carried).
+///
+/// # Examples
+///
+/// ```
+/// use egm_simnet::Wire;
+///
+/// #[derive(Clone, Debug)]
+/// enum Msg { Data(Vec<u8>), Ack }
+///
+/// impl Wire for Msg {
+///     fn wire_bytes(&self) -> u32 {
+///         match self {
+///             // 24-byte header as in NeEM (§5.3).
+///             Msg::Data(d) => 24 + d.len() as u32,
+///             Msg::Ack => 24,
+///         }
+///     }
+///     fn is_payload(&self) -> bool {
+///         matches!(self, Msg::Data(_))
+///     }
+/// }
+/// ```
+pub trait Wire: Clone + std::fmt::Debug {
+    /// Size of this message on the wire, in bytes (headers included).
+    fn wire_bytes(&self) -> u32;
+
+    /// Whether this message carries application payload (as opposed to
+    /// control traffic such as `IHAVE`/`IWANT`, membership shuffles or
+    /// monitor pings).
+    fn is_payload(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Wire;
+
+    #[derive(Clone, Debug)]
+    struct Tiny;
+    impl Wire for Tiny {
+        fn wire_bytes(&self) -> u32 {
+            1
+        }
+    }
+
+    #[test]
+    fn default_is_control_traffic() {
+        assert!(!Tiny.is_payload());
+        assert_eq!(Tiny.wire_bytes(), 1);
+    }
+}

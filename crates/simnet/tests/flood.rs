@@ -1,0 +1,100 @@
+//! Simulator stress test: a naive flooding protocol over many nodes.
+
+use egm_simnet::{Context, NodeId, Protocol, Sim, SimConfig, SimDuration, SimTime, Wire};
+
+#[derive(Clone, Debug)]
+struct Flood {
+    hops: u32,
+}
+
+impl Wire for Flood {
+    fn wire_bytes(&self) -> u32 {
+        64
+    }
+    fn is_payload(&self) -> bool {
+        true
+    }
+}
+
+/// Forwards the first copy it sees to every other node, decrementing a
+/// hop budget.
+struct Node {
+    seen: bool,
+    received_at: Option<SimTime>,
+}
+
+impl Protocol for Node {
+    type Msg = Flood;
+
+    fn on_receive(&mut self, ctx: &mut Context<'_, Flood>, _from: NodeId, msg: Flood) {
+        if self.seen {
+            return;
+        }
+        self.seen = true;
+        self.received_at = Some(ctx.now());
+        if msg.hops == 0 {
+            return;
+        }
+        for i in 0..ctx.node_count() {
+            if NodeId(i) != ctx.id() {
+                ctx.send(NodeId(i), Flood { hops: msg.hops - 1 });
+            }
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Context<'_, Flood>, _value: u64) {
+        self.seen = true;
+        self.received_at = Some(ctx.now());
+        for i in 0..ctx.node_count() {
+            if NodeId(i) != ctx.id() {
+                ctx.send(NodeId(i), Flood { hops: 2 });
+            }
+        }
+    }
+}
+
+fn nodes(n: usize) -> Vec<Node> {
+    (0..n).map(|_| Node { seen: false, received_at: None }).collect()
+}
+
+#[test]
+fn five_hundred_node_flood_terminates_and_covers_everyone() {
+    let n = 500;
+    let mut sim = Sim::new(SimConfig::uniform(n, 10.0), 1, nodes(n));
+    sim.schedule_command(SimTime::from_ms(0.0), NodeId(0), 0);
+    sim.run_for(SimDuration::from_ms(100.0));
+    let covered = sim.nodes().filter(|(_, node)| node.seen).count();
+    assert_eq!(covered, n);
+    // One-hop coverage: everyone hears the seed directly at exactly 10ms.
+    for (id, node) in sim.nodes() {
+        if id != NodeId(0) {
+            assert_eq!(node.received_at, Some(SimTime::from_ms(10.0)));
+        }
+    }
+    // Messages: seed sends n-1, then each of n-1 nodes floods n-1 copies.
+    assert_eq!(sim.traffic().total_messages() as usize, (n - 1) * n);
+}
+
+#[test]
+fn flood_with_loss_still_mostly_covers() {
+    let n = 200;
+    let mut sim = Sim::new(SimConfig::uniform(n, 5.0).with_loss(0.3), 2, nodes(n));
+    sim.schedule_command(SimTime::from_ms(0.0), NodeId(0), 0);
+    sim.run_for(SimDuration::from_ms(100.0));
+    let covered = sim.nodes().filter(|(_, node)| node.seen).count();
+    // Two-hop flood with 30% loss: coverage should remain near-total.
+    assert!(covered > n * 95 / 100, "covered {covered}/{n}");
+}
+
+#[test]
+fn event_count_is_deterministic() {
+    let run = || {
+        let n = 100;
+        let mut sim =
+            Sim::new(SimConfig::uniform(n, 5.0).with_loss(0.1).with_jitter(0.2), 3, nodes(n));
+        sim.schedule_command(SimTime::from_ms(0.0), NodeId(7), 0);
+        sim.run_for(SimDuration::from_ms(200.0));
+        (sim.events_processed(), sim.traffic().total_bytes())
+    };
+    assert_eq!(run(), run());
+}

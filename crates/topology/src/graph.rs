@@ -1,0 +1,270 @@
+//! Weighted undirected router graph with Dijkstra shortest paths.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Index of a router vertex in a [`Graph`].
+pub type RouterId = usize;
+
+/// An undirected graph with millisecond edge weights, stored as adjacency
+/// lists.
+///
+/// # Examples
+///
+/// ```
+/// use egm_topology::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 10.0);
+/// g.add_edge(1, 2, 5.0);
+/// let paths = g.shortest_paths(0);
+/// assert_eq!(paths.latency_ms[2], 15.0);
+/// assert_eq!(paths.hops[2], 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(RouterId, f64)>>,
+    edge_count: usize,
+}
+
+/// Result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Total path latency in milliseconds per destination
+    /// (`f64::INFINITY` when unreachable).
+    pub latency_ms: Vec<f64>,
+    /// Number of edges on the latency-shortest path (`u32::MAX` when
+    /// unreachable).
+    pub hops: Vec<u32>,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: RouterId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; ties broken by node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds a new vertex and returns its id.
+    pub fn add_vertex(&mut self) -> RouterId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds an undirected edge with the given latency.
+    ///
+    /// Parallel edges are ignored (the first one wins), matching a router
+    /// graph where a single physical link connects two routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, if `a == b`, or if
+    /// `latency_ms` is not finite and positive.
+    pub fn add_edge(&mut self, a: RouterId, b: RouterId, latency_ms: f64) {
+        assert!(a < self.adj.len() && b < self.adj.len(), "vertex out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(
+            latency_ms.is_finite() && latency_ms > 0.0,
+            "latency must be finite and positive, got {latency_ms}"
+        );
+        if self.adj[a].iter().any(|&(n, _)| n == b) {
+            return;
+        }
+        self.adj[a].push((b, latency_ms));
+        self.adj[b].push((a, latency_ms));
+        self.edge_count += 1;
+    }
+
+    /// Returns `true` if an edge between `a` and `b` exists.
+    pub fn has_edge(&self, a: RouterId, b: RouterId) -> bool {
+        self.adj.get(a).is_some_and(|ns| ns.iter().any(|&(n, _)| n == b))
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: RouterId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Neighbors of `v` with edge latencies.
+    pub fn neighbors(&self, v: RouterId) -> &[(RouterId, f64)] {
+        &self.adj[v]
+    }
+
+    /// Dijkstra from `source`, minimizing latency (hops recorded along the
+    /// chosen latency-optimal paths).
+    pub fn shortest_paths(&self, source: RouterId) -> ShortestPaths {
+        let n = self.adj.len();
+        let mut latency_ms = vec![f64::INFINITY; n];
+        let mut hops = vec![u32::MAX; n];
+        let mut heap = BinaryHeap::new();
+        latency_ms[source] = 0.0;
+        hops[source] = 0;
+        heap.push(HeapEntry { dist: 0.0, node: source });
+        while let Some(HeapEntry { dist, node }) = heap.pop() {
+            if dist > latency_ms[node] {
+                continue;
+            }
+            for &(next, w) in &self.adj[node] {
+                let nd = dist + w;
+                let better = nd < latency_ms[next]
+                    || (nd == latency_ms[next] && hops[node] + 1 < hops[next]);
+                if better {
+                    latency_ms[next] = nd;
+                    hops[next] = hops[node] + 1;
+                    heap.push(HeapEntry { dist: nd, node: next });
+                }
+            }
+        }
+        ShortestPaths { latency_ms, hops }
+    }
+
+    /// Returns `true` if every vertex is reachable from vertex 0 (or the
+    /// graph is empty).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(n, _) in &self.adj[v] {
+                if !seen[n] {
+                    seen[n] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Graph;
+
+    fn diamond() -> Graph {
+        // 0 -1ms- 1 -1ms- 3, and 0 -5ms- 2 -5ms- 3
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 5.0);
+        g.add_edge(2, 3, 5.0);
+        g
+    }
+
+    #[test]
+    fn dijkstra_prefers_lower_latency() {
+        let g = diamond();
+        let sp = g.shortest_paths(0);
+        assert_eq!(sp.latency_ms[3], 2.0);
+        assert_eq!(sp.hops[3], 2);
+        assert_eq!(sp.latency_ms[2], 5.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let sp = g.shortest_paths(0);
+        assert!(sp.latency_ms[2].is_infinite());
+        assert_eq!(sp.hops[2], u32::MAX);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn parallel_edges_are_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 100.0);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.shortest_paths(0).latency_ms[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = Graph::new(1);
+        g.add_edge(0, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be finite")]
+    fn non_positive_latency_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    fn connectivity_detects_connected_ring() {
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5, 1.0);
+        }
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn shortest_paths_from_each_source_are_symmetric() {
+        let g = diamond();
+        for a in 0..4 {
+            let spa = g.shortest_paths(a);
+            for b in 0..4 {
+                let spb = g.shortest_paths(b);
+                assert_eq!(spa.latency_ms[b], spb.latency_ms[a]);
+            }
+        }
+    }
+
+    #[test]
+    fn add_vertex_grows_graph() {
+        let mut g = Graph::new(0);
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        g.add_edge(a, b, 2.0);
+        assert_eq!(g.vertex_count(), 2);
+        assert!(g.has_edge(a, b));
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.neighbors(a), &[(b, 2.0)]);
+    }
+}

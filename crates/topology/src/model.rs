@@ -1,0 +1,279 @@
+//! The routed network model: the latency/hop/coordinate oracle exposed to
+//! the simulator and to the paper's performance monitors.
+
+use crate::geometry::Point;
+use crate::stats::ModelStats;
+use egm_rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Client-to-client routed network model.
+///
+/// This is the "model file" of the paper's ModelNet setup (§4.3): a dense
+/// matrix of one-way latencies and hop counts between the *client* nodes
+/// that run the protocol, plus each client's pseudo-geographic coordinate.
+/// The simulator uses the latency matrix to delay packets; oracle monitors
+/// read latency or coordinates directly, exactly as the paper extracts them
+/// "directly from the model file".
+///
+/// Construct one with [`TransitStubConfig::build`](crate::TransitStubConfig)
+/// for the realistic topology, or with the synthetic constructors below for
+/// controlled tests.
+///
+/// # Examples
+///
+/// ```
+/// use egm_topology::RoutedModel;
+///
+/// let model = RoutedModel::uniform_synthetic(8, 39.0, 60.0, 1);
+/// assert_eq!(model.client_count(), 8);
+/// let l = model.latency_ms(0, 5);
+/// assert!((39.0..60.0).contains(&l));
+/// assert_eq!(l, model.latency_ms(5, 0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutedModel {
+    n: usize,
+    /// Flattened `n × n` one-way latency matrix in milliseconds.
+    latency_ms: Vec<f64>,
+    /// Flattened `n × n` hop-count matrix.
+    hops: Vec<u32>,
+    /// Pseudo-geographic coordinate per client.
+    coords: Vec<Point>,
+    /// Number of routers in the underlying graph (0 for synthetic models).
+    router_count: usize,
+}
+
+impl RoutedModel {
+    /// Builds a model from dense matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix sizes do not match `n × n`, if any latency is
+    /// negative or non-finite, if the diagonal is non-zero, or if the
+    /// matrices are asymmetric.
+    pub fn from_matrices(
+        latency_ms: Vec<f64>,
+        hops: Vec<u32>,
+        coords: Vec<Point>,
+        router_count: usize,
+    ) -> Self {
+        let n = coords.len();
+        assert_eq!(latency_ms.len(), n * n, "latency matrix must be n×n");
+        assert_eq!(hops.len(), n * n, "hop matrix must be n×n");
+        for a in 0..n {
+            assert_eq!(latency_ms[a * n + a], 0.0, "diagonal must be zero");
+            for b in 0..n {
+                let l = latency_ms[a * n + b];
+                assert!(l.is_finite() && l >= 0.0, "bad latency {l} at ({a},{b})");
+                assert_eq!(l, latency_ms[b * n + a], "asymmetric latency at ({a},{b})");
+                assert_eq!(hops[a * n + b], hops[b * n + a], "asymmetric hops at ({a},{b})");
+            }
+        }
+        RoutedModel { n, latency_ms, hops, coords, router_count }
+    }
+
+    /// Synthetic model with i.i.d. uniform pairwise latencies in
+    /// `[lo_ms, hi_ms)` and no geographic structure.
+    ///
+    /// Hop counts are fixed at 1 and coordinates are placed on a circle so
+    /// distance-based monitors remain usable in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the latency range is empty or negative.
+    pub fn uniform_synthetic(n: usize, lo_ms: f64, hi_ms: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one client");
+        assert!(0.0 <= lo_ms && lo_ms < hi_ms, "bad latency range");
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut latency_ms = vec![0.0; n * n];
+        let mut hops = vec![0u32; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let l = rng.range_f64(lo_ms, hi_ms);
+                latency_ms[a * n + b] = l;
+                latency_ms[b * n + a] = l;
+                hops[a * n + b] = 1;
+                hops[b * n + a] = 1;
+            }
+        }
+        let coords = (0..n)
+            .map(|i| {
+                let theta = i as f64 / n as f64 * std::f64::consts::TAU;
+                Point::new(500.0 + 400.0 * theta.cos(), 500.0 + 400.0 * theta.sin())
+            })
+            .collect();
+        RoutedModel { n, latency_ms, hops, coords, router_count: 0 }
+    }
+
+    /// Synthetic model where latency is proportional to distance between
+    /// points uniformly placed on the plane (`ms_per_unit` scaling).
+    ///
+    /// Useful for testing distance-driven strategies (Radius) with an exact
+    /// latency/distance correspondence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `ms_per_unit <= 0`.
+    pub fn planar_synthetic(n: usize, plane: f64, ms_per_unit: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one client");
+        assert!(ms_per_unit > 0.0, "ms_per_unit must be positive");
+        let mut rng = Rng::seed_from_u64(seed);
+        let coords: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.range_f64(0.0, plane), rng.range_f64(0.0, plane)))
+            .collect();
+        let mut latency_ms = vec![0.0; n * n];
+        let mut hops = vec![0u32; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let l = coords[a].distance(coords[b]) * ms_per_unit;
+                latency_ms[a * n + b] = l;
+                latency_ms[b * n + a] = l;
+                hops[a * n + b] = 1;
+                hops[b * n + a] = 1;
+            }
+        }
+        RoutedModel { n, latency_ms, hops, coords, router_count: 0 }
+    }
+
+    /// Number of client nodes in the model.
+    pub fn client_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of routers in the generating graph (0 for synthetic models).
+    pub fn router_count(&self) -> usize {
+        self.router_count
+    }
+
+    /// One-way latency between two clients in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn latency_ms(&self, a: usize, b: usize) -> f64 {
+        assert!(a < self.n && b < self.n, "client index out of range");
+        self.latency_ms[a * self.n + b]
+    }
+
+    /// Router-level hop count between two clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.n && b < self.n, "client index out of range");
+        self.hops[a * self.n + b]
+    }
+
+    /// Pseudo-geographic coordinate of a client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn coord(&self, a: usize) -> Point {
+        self.coords[a]
+    }
+
+    /// Euclidean pseudo-geographic distance between two clients.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        self.coords[a].distance(self.coords[b])
+    }
+
+    /// Aggregate statistics over all distinct client pairs (§5.1 of the
+    /// paper).
+    pub fn stats(&self) -> ModelStats {
+        let mut lat = Vec::with_capacity(self.n * (self.n - 1) / 2);
+        let mut hop = Vec::with_capacity(lat.capacity());
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                lat.push(self.latency_ms(a, b));
+                hop.push(self.hops(a, b));
+            }
+        }
+        ModelStats::from_pairs(&lat, &hop, self.router_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RoutedModel;
+    use crate::geometry::Point;
+
+    #[test]
+    fn uniform_synthetic_bounds_and_symmetry() {
+        let m = RoutedModel::uniform_synthetic(12, 10.0, 20.0, 3);
+        for a in 0..12 {
+            assert_eq!(m.latency_ms(a, a), 0.0);
+            for b in 0..12 {
+                if a != b {
+                    let l = m.latency_ms(a, b);
+                    assert!((10.0..20.0).contains(&l));
+                    assert_eq!(l, m.latency_ms(b, a));
+                    assert_eq!(m.hops(a, b), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planar_synthetic_latency_tracks_distance() {
+        let m = RoutedModel::planar_synthetic(10, 100.0, 0.5, 4);
+        for a in 0..10 {
+            for b in 0..10 {
+                if a != b {
+                    let expect = m.distance(a, b) * 0.5;
+                    assert!((m.latency_ms(a, b) - expect).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_models_are_reproducible() {
+        let a = RoutedModel::uniform_synthetic(6, 1.0, 2.0, 9);
+        let b = RoutedModel::uniform_synthetic(6, 1.0, 2.0, 9);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(a.latency_ms(i, j), b.latency_ms(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn from_matrices_accepts_valid_input() {
+        let coords = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let m = RoutedModel::from_matrices(vec![0.0, 5.0, 5.0, 0.0], vec![0, 2, 2, 0], coords, 7);
+        assert_eq!(m.latency_ms(0, 1), 5.0);
+        assert_eq!(m.hops(0, 1), 2);
+        assert_eq!(m.router_count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric latency")]
+    fn from_matrices_rejects_asymmetry() {
+        let coords = vec![Point::default(), Point::default()];
+        let _ = RoutedModel::from_matrices(vec![0.0, 5.0, 6.0, 0.0], vec![0, 1, 1, 0], coords, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn from_matrices_rejects_nonzero_diagonal() {
+        let coords = vec![Point::default()];
+        let _ = RoutedModel::from_matrices(vec![1.0], vec![0], coords, 0);
+    }
+
+    #[test]
+    fn stats_cover_all_pairs() {
+        let m = RoutedModel::uniform_synthetic(20, 39.0, 60.0, 5);
+        let s = m.stats();
+        assert_eq!(s.pair_count, 20 * 19 / 2);
+        assert!(s.mean_latency_ms > 39.0 && s.mean_latency_ms < 60.0);
+        assert!((s.frac_latency_39_60 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let m = RoutedModel::uniform_synthetic(4, 1.0, 2.0, 2);
+        assert!(format!("{m:?}").contains("RoutedModel"));
+    }
+}

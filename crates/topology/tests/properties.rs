@@ -1,0 +1,64 @@
+//! Property-based tests of the topology generator.
+
+use egm_topology::{RoutedModel, TransitStubConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Small generated models are always fully connected with symmetric,
+    /// finite latencies and consistent hop counts.
+    #[test]
+    fn generated_models_are_well_formed(seed in 0u64..200, clients in 2usize..20) {
+        let model = TransitStubConfig::small().with_clients(clients).with_seed(seed).build();
+        prop_assert_eq!(model.client_count(), clients);
+        for a in 0..clients {
+            prop_assert_eq!(model.latency_ms(a, a), 0.0);
+            prop_assert_eq!(model.hops(a, a), 0);
+            for b in (a + 1)..clients {
+                let l = model.latency_ms(a, b);
+                prop_assert!(l.is_finite() && l > 0.0);
+                prop_assert_eq!(l, model.latency_ms(b, a));
+                prop_assert_eq!(model.hops(a, b), model.hops(b, a));
+                prop_assert!(model.hops(a, b) >= 1, "distinct stubs need a router hop");
+            }
+        }
+    }
+
+    /// Model statistics are internally consistent.
+    #[test]
+    fn stats_are_consistent(seed in 0u64..100) {
+        let model = TransitStubConfig::small().with_clients(10).with_seed(seed).build();
+        let s = model.stats();
+        prop_assert_eq!(s.pair_count, 45);
+        prop_assert!(s.min_latency_ms <= s.mean_latency_ms);
+        prop_assert!(s.mean_latency_ms <= s.max_latency_ms);
+        prop_assert!((0.0..=1.0).contains(&s.frac_latency_39_60));
+        prop_assert!((0.0..=1.0).contains(&s.frac_hops_5_6));
+    }
+
+    /// Synthetic models respect their declared latency ranges.
+    #[test]
+    fn synthetic_ranges_hold(seed in 0u64..200, n in 2usize..30) {
+        let m = RoutedModel::uniform_synthetic(n, 10.0, 20.0, seed);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    prop_assert!((10.0..20.0).contains(&m.latency_ms(a, b)));
+                }
+            }
+        }
+    }
+
+    /// Distance and coordinates agree for planar models.
+    #[test]
+    fn planar_distance_consistency(seed in 0u64..100, n in 2usize..20) {
+        let m = RoutedModel::planar_synthetic(n, 50.0, 2.0, seed);
+        for a in 0..n {
+            for b in 0..n {
+                let d = m.coord(a).distance(m.coord(b));
+                prop_assert!((m.distance(a, b) - d).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! §5.1 network-model properties and §5.4 run statistics,
+//! paper-vs-measured.
+
+use super::Scale;
+use crate::scenario::Scenario;
+use egm_core::StrategySpec;
+use egm_metrics::{table, Table};
+use egm_topology::ModelStats;
+
+/// Paper-quoted §5.1 values for the Inet-3.0 model.
+pub const PAPER_MEAN_HOPS: f64 = 5.54;
+/// Paper: fraction of pairs within 5–6 hops.
+pub const PAPER_FRAC_HOPS_5_6: f64 = 0.7428;
+/// Paper: mean end-to-end latency (ms).
+pub const PAPER_MEAN_LATENCY_MS: f64 = 49.83;
+/// Paper: fraction of pairs within 39–60 ms.
+pub const PAPER_FRAC_LATENCY_39_60: f64 = 0.50;
+
+/// Result of the model-statistics experiment.
+#[derive(Debug, Clone)]
+pub struct NetStats {
+    /// Measured model statistics.
+    pub stats: ModelStats,
+    /// Total deliveries of the eager reference run (§5.4 quotes 40 000
+    /// for 400 messages × 100 nodes).
+    pub eager_deliveries: u64,
+    /// Total packets transmitted in the eager reference run (§5.4 quotes
+    /// 440 000).
+    pub eager_packets: u64,
+    /// Mean gossip round at delivery (§6.2 quotes ≈4.5).
+    pub mean_delivery_round: f64,
+}
+
+/// Measures the generated model against the paper's §5.1 numbers and runs
+/// the §5.4 eager reference workload.
+pub fn run(scale: &Scale) -> NetStats {
+    let model = super::shared_model(scale);
+    let stats = model.stats();
+    let scenario: Scenario =
+        super::base_scenario(scale).with_strategy(StrategySpec::Flat { pi: 1.0 });
+    let outcome = crate::runner::run_detailed(&scenario, Some(model));
+    NetStats {
+        stats,
+        // total_deliveries already includes the sources' own deliveries,
+        // matching §5.4's 400 msgs × 100 nodes = 40 000 accounting.
+        eager_deliveries: outcome.log.total_deliveries(),
+        eager_packets: outcome.report.total_payloads,
+        mean_delivery_round: outcome.report.mean_delivery_round,
+    }
+}
+
+impl NetStats {
+    /// Renders the paper-vs-measured table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["quantity", "paper", "measured"]);
+        t.row(["mean hop distance", &format!("{PAPER_MEAN_HOPS}"), &table::num(self.stats.mean_hops, 2)]);
+        t.row([
+            "pairs within 5-6 hops (%)",
+            &format!("{:.1}", PAPER_FRAC_HOPS_5_6 * 100.0),
+            &table::pct(self.stats.frac_hops_5_6),
+        ]);
+        t.row([
+            "mean e2e latency (ms)",
+            &format!("{PAPER_MEAN_LATENCY_MS}"),
+            &table::num(self.stats.mean_latency_ms, 2),
+        ]);
+        t.row([
+            "pairs within 39-60ms (%)",
+            &format!("{:.0}", PAPER_FRAC_LATENCY_39_60 * 100.0),
+            &table::pct(self.stats.frac_latency_39_60),
+        ]);
+        t.row(["routers", "3037", &self.stats.router_count.to_string()]);
+        t.row([
+            "eager run: deliveries",
+            "40000 (at 100 nodes)",
+            &self.eager_deliveries.to_string(),
+        ]);
+        t.row([
+            "eager run: payload packets",
+            "440000 (at 100 nodes)",
+            &self.eager_packets.to_string(),
+        ]);
+        t.row([
+            "mean gossip rounds to delivery",
+            "4.5",
+            &table::num(self.mean_delivery_round, 2),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{run, Scale};
+
+    #[test]
+    fn netstats_report_shape() {
+        let scale = Scale { nodes: 20, messages: 10, seed: 7 };
+        let ns = run(&scale);
+        // 10 messages × 20 nodes = 200 deliveries under eager push (with
+        // high probability; allow a couple of misses).
+        assert!(ns.eager_deliveries >= 190, "deliveries {}", ns.eager_deliveries);
+        assert!(ns.eager_packets > ns.eager_deliveries, "fanout redundancy");
+        assert!(ns.mean_delivery_round >= 1.0);
+        let text = ns.render();
+        assert!(text.contains("mean hop distance"));
+        assert!(text.contains("5.54"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Fault plans: node silencing after warm-up (§6.3).
+//!
+//! The paper *"simulates failed nodes by silencing them with firewall
+//! rules after letting them join the overlay and warm up, i.e. immediately
+//! before starting to log message deliveries"*. A [`FaultPlan`] selects a
+//! fraction of nodes — uniformly at random, or precisely the best-ranked
+//! hubs (the adversarial case of Fig. 5(b)) — and the runner silences them
+//! at the end of warm-up. Failed nodes neither multicast nor count toward
+//! delivery statistics.
+
+use egm_core::BestSet;
+use egm_rng::{sample, Rng};
+use egm_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// How failed nodes are selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSelection {
+    /// Uniformly random victims.
+    Random,
+    /// The best-ranked nodes — exactly those carrying most payload under
+    /// the Ranked strategy.
+    BestRanked,
+}
+
+/// A fault-injection plan.
+///
+/// # Examples
+///
+/// ```
+/// use egm_workload::{FaultPlan, FaultSelection};
+///
+/// let plan = FaultPlan::new(0.2, FaultSelection::Random);
+/// assert_eq!(plan.victim_count(100), 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Fraction of nodes to silence, in `[0, 1)`.
+    pub fraction: f64,
+    /// Victim selection policy.
+    pub selection: FaultSelection,
+}
+
+impl FaultPlan {
+    /// Creates a plan killing `fraction` of nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1)` (killing everyone leaves
+    /// nothing to measure).
+    pub fn new(fraction: f64, selection: FaultSelection) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "fault fraction must be in [0, 1)");
+        FaultPlan { fraction, selection }
+    }
+
+    /// Number of victims for an `n`-node system.
+    pub fn victim_count(&self, n: usize) -> usize {
+        ((n as f64 * self.fraction).round() as usize).min(n.saturating_sub(1))
+    }
+
+    /// Chooses the victims.
+    ///
+    /// For [`FaultSelection::BestRanked`], the best set must be provided
+    /// (hubs are killed first; if the plan needs more victims than there
+    /// are hubs, the remainder is drawn randomly from regular nodes —
+    /// matching "select the nodes with the best ranks").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `BestRanked` is requested without a best set.
+    pub fn choose_victims(&self, n: usize, best: Option<&BestSet>, rng: &mut Rng) -> Vec<NodeId> {
+        let k = self.victim_count(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        match self.selection {
+            FaultSelection::Random => sample::distinct_indices(rng, n, k)
+                .into_iter()
+                .map(NodeId)
+                .collect(),
+            FaultSelection::BestRanked => {
+                let best = best.expect("BestRanked faults require a best set");
+                let mut victims: Vec<NodeId> = best.best_ids();
+                if victims.len() > k {
+                    victims.truncate(k);
+                } else if victims.len() < k {
+                    let regular = best.regular_ids();
+                    let extra = k - victims.len();
+                    for idx in sample::distinct_indices(rng, regular.len(), extra) {
+                        victims.push(regular[idx]);
+                    }
+                }
+                victims
+            }
+        }
+    }
+}
+
+/// Transient churn: nodes go silent for a while and come back, repeatedly,
+/// *during* dissemination.
+///
+/// This extends §6.3's permanent fail-by-firewall to the transient
+/// partitions real overlays see. Every `period_ms`, one uniformly random
+/// node is silenced for `down_ms` and then revived. Unlike permanent
+/// victims, churned nodes stay in the delivery denominator: messages they
+/// miss while down genuinely count against reliability.
+///
+/// # Examples
+///
+/// ```
+/// use egm_workload::faults::ChurnPlan;
+///
+/// let plan = ChurnPlan::new(500.0, 1500.0);
+/// assert_eq!(plan.events_within(5000.0), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPlan {
+    /// Interval between churn events in milliseconds.
+    pub period_ms: f64,
+    /// How long each churned node stays silent, in milliseconds.
+    pub down_ms: f64,
+}
+
+impl ChurnPlan {
+    /// Creates a plan with the given churn period and outage duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is not strictly positive and finite.
+    pub fn new(period_ms: f64, down_ms: f64) -> Self {
+        assert!(period_ms.is_finite() && period_ms > 0.0, "period must be positive");
+        assert!(down_ms.is_finite() && down_ms > 0.0, "down time must be positive");
+        ChurnPlan { period_ms, down_ms }
+    }
+
+    /// Number of churn events within a window of `window_ms`.
+    pub fn events_within(&self, window_ms: f64) -> usize {
+        if window_ms <= 0.0 {
+            0
+        } else {
+            (window_ms / self.period_ms).floor() as usize
+        }
+    }
+
+    /// Picks the victim of the `k`-th churn event among `n` nodes.
+    pub fn victim(&self, n: usize, rng: &mut Rng) -> NodeId {
+        NodeId(rng.range_usize(0, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{ChurnPlan, FaultPlan, FaultSelection};
+    use egm_core::BestSet;
+    use egm_rng::Rng;
+    use egm_simnet::NodeId;
+    use std::collections::HashSet;
+
+    #[test]
+    fn victim_counts_round_and_cap() {
+        let plan = FaultPlan::new(0.5, FaultSelection::Random);
+        assert_eq!(plan.victim_count(10), 5);
+        assert_eq!(plan.victim_count(1), 0, "never kill the last node");
+        let heavy = FaultPlan::new(0.99, FaultSelection::Random);
+        assert_eq!(heavy.victim_count(10), 9);
+    }
+
+    #[test]
+    fn random_victims_are_distinct() {
+        let plan = FaultPlan::new(0.4, FaultSelection::Random);
+        let mut rng = Rng::seed_from_u64(1);
+        let victims = plan.choose_victims(20, None, &mut rng);
+        assert_eq!(victims.len(), 8);
+        let set: HashSet<_> = victims.iter().collect();
+        assert_eq!(set.len(), 8);
+        assert!(victims.iter().all(|v| v.index() < 20));
+    }
+
+    #[test]
+    fn best_ranked_kills_hubs_first() {
+        let best = BestSet::from_ids(10, &[NodeId(1), NodeId(3)]);
+        let plan = FaultPlan::new(0.2, FaultSelection::BestRanked);
+        let mut rng = Rng::seed_from_u64(2);
+        let victims = plan.choose_victims(10, Some(&best), &mut rng);
+        assert_eq!(victims, vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn best_ranked_spills_into_regular_nodes() {
+        let best = BestSet::from_ids(10, &[NodeId(0)]);
+        let plan = FaultPlan::new(0.5, FaultSelection::BestRanked);
+        let mut rng = Rng::seed_from_u64(3);
+        let victims = plan.choose_victims(10, Some(&best), &mut rng);
+        assert_eq!(victims.len(), 5);
+        assert!(victims.contains(&NodeId(0)), "hub dies first");
+        let set: HashSet<_> = victims.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn zero_fraction_kills_nobody() {
+        let plan = FaultPlan::new(0.0, FaultSelection::Random);
+        let mut rng = Rng::seed_from_u64(4);
+        assert!(plan.choose_victims(10, None, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault fraction")]
+    fn full_kill_is_rejected() {
+        let _ = FaultPlan::new(1.0, FaultSelection::Random);
+    }
+
+    #[test]
+    #[should_panic(expected = "require a best set")]
+    fn best_ranked_without_set_panics() {
+        let plan = FaultPlan::new(0.2, FaultSelection::BestRanked);
+        let mut rng = Rng::seed_from_u64(5);
+        let _ = plan.choose_victims(10, None, &mut rng);
+    }
+
+    #[test]
+    fn churn_event_counting() {
+        let plan = ChurnPlan::new(100.0, 50.0);
+        assert_eq!(plan.events_within(1000.0), 10);
+        assert_eq!(plan.events_within(99.0), 0);
+        assert_eq!(plan.events_within(-5.0), 0);
+    }
+
+    #[test]
+    fn churn_victims_are_in_range() {
+        let plan = ChurnPlan::new(100.0, 50.0);
+        let mut rng = Rng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert!(plan.victim(7, &mut rng).index() < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn churn_rejects_zero_period() {
+        let _ = ChurnPlan::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness: scenarios, traffic, faults, calibration, and the
+//! paper's figure experiments.
+//!
+//! One [`Scenario`] describes a full experiment run — topology, protocol
+//! parameters, strategy, monitor, noise, fault plan and workload — and
+//! [`Scenario::run`] executes it deterministically, producing an
+//! [`egm_metrics::RunReport`]. The [`experiments`] module then sweeps
+//! scenarios to regenerate every figure of the paper's evaluation
+//! (Fig. 4, 5(a–c), 6(a–c)) plus the §5.1 network-model statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use egm_core::StrategySpec;
+//! use egm_workload::Scenario;
+//!
+//! let report = Scenario::smoke_test()
+//!     .with_strategy(StrategySpec::Flat { pi: 1.0 })
+//!     .run();
+//! assert!(report.mean_delivery_fraction > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod experiments;
+pub mod faults;
+pub mod runner;
+pub mod scenario;
+pub mod traffic;
+
+pub use faults::{FaultPlan, FaultSelection};
+pub use scenario::{NoiseConfig, Scenario, TopologySource};

@@ -1,0 +1,317 @@
+//! Scenario execution: build → warm up → inject faults → multicast →
+//! drain → measure.
+
+use crate::scenario::Scenario;
+use crate::traffic;
+use egm_core::strategy::Noisy;
+use egm_core::{EgmNode, SchedulerStats};
+use egm_metrics::{link, DeliveryLog, RunReport};
+use egm_rng::Rng;
+use egm_simnet::{NodeId, Sim, SimConfig, SimDuration, SimTime};
+use egm_topology::RoutedModel;
+use std::sync::Arc;
+
+/// Everything measured in one run: the summary report plus the raw data
+/// the figure harnesses and examples drill into.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The aggregated report (one figure point).
+    pub report: RunReport,
+    /// Full multicast/delivery log.
+    pub log: DeliveryLog,
+    /// Payload counts per directed link that carried any traffic,
+    /// alongside the link endpoints.
+    pub payload_links: Vec<((NodeId, NodeId), u64)>,
+    /// Payloads sent per node.
+    pub payloads_per_node: Vec<u64>,
+    /// Nodes silenced by the fault plan.
+    pub victims: Vec<NodeId>,
+    /// Ids of best nodes (empty when the strategy has none).
+    pub best_ids: Vec<NodeId>,
+    /// Aggregated scheduler counters over all nodes.
+    pub scheduler: SchedulerStats,
+    /// The network model the run used.
+    pub model: Arc<RoutedModel>,
+}
+
+/// Runs a scenario (see [`Scenario::run`]); `model` overrides topology
+/// construction so sweeps can share one network.
+pub fn run(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> RunReport {
+    run_detailed(scenario, model).report
+}
+
+/// Runs a scenario and returns the full [`RunOutcome`].
+///
+/// # Panics
+///
+/// Panics if a provided model's size differs from the scenario's node
+/// count, or if the scenario is internally inconsistent (e.g. zero
+/// messages).
+pub fn run_detailed(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> RunOutcome {
+    let n = scenario.node_count();
+    assert!(n > 1, "need at least two nodes");
+    assert!(scenario.messages > 0, "need at least one message");
+    let model =
+        model.unwrap_or_else(|| Arc::new(scenario.topology.build(scenario.seed ^ 0x7090)));
+    assert_eq!(model.client_count(), n, "model size must match scenario");
+
+    // Harness randomness (views, victims, traffic plan) is forked from the
+    // scenario seed, independent of the simulator's own streams.
+    let mut rng = Rng::seed_from_u64(scenario.seed ^ 0xE1A7_BEEF);
+
+    let best = match &scenario.best_override {
+        Some(b) => {
+            assert_eq!(b.len(), n, "best-set override must cover all nodes");
+            Some(b.clone())
+        }
+        None => scenario.strategy.best_set_for(&model),
+    };
+    let best_ids = best.as_ref().map(|b| b.best_ids()).unwrap_or_default();
+
+    // Build nodes over a bootstrapped overlay.
+    let mut views = egm_membership::bootstrap_views(n, &scenario.protocol.view, &mut rng);
+    if scenario.protocol.shuffle_interval.is_none() {
+        for v in &mut views {
+            v.set_static(true);
+        }
+    }
+    let nodes: Vec<EgmNode> = views
+        .into_iter()
+        .enumerate()
+        .map(|(i, view)| {
+            let mut strategy = scenario.strategy.build(best.clone());
+            if let Some(noise) = scenario.noise {
+                strategy = Noisy::boxed(strategy, noise.c, noise.o);
+            }
+            let monitor = scenario.monitor.build(Some(&model));
+            EgmNode::new(NodeId(i), scenario.protocol.clone(), view, strategy, monitor)
+        })
+        .collect();
+
+    let mut sim_config = SimConfig::from_model((*model).clone())
+        .with_loss(scenario.loss)
+        .with_jitter(scenario.jitter);
+    if let Some(bw) = scenario.egress_bandwidth {
+        sim_config = sim_config.with_egress_bandwidth(bw);
+    }
+    let mut sim = Sim::new(sim_config, scenario.seed, nodes);
+
+    // Fault injection at the end of warm-up, immediately before traffic
+    // starts (§6.3).
+    let warmup_end = SimTime::from_ms(scenario.warmup_ms);
+    let victims = match &scenario.faults {
+        Some(plan) => plan.choose_victims(n, best.as_deref(), &mut rng),
+        None => Vec::new(),
+    };
+    for &v in &victims {
+        sim.schedule_silence(warmup_end, v);
+    }
+
+    // Traffic: live nodes multicast round-robin (§5.3).
+    let senders: Vec<NodeId> =
+        (0..n).map(NodeId).filter(|id| !victims.contains(id)).collect();
+    let schedule =
+        traffic::plan(&senders, scenario.messages, warmup_end, scenario.mean_interval_ms, &mut rng);
+    for p in &schedule {
+        sim.schedule_command(p.at, p.source, p.seq);
+    }
+    let end = schedule.last().expect("non-empty schedule").at
+        + SimDuration::from_ms(scenario.drain_ms);
+
+    // Transient churn (extension): periodic silence + revive cycles among
+    // non-victim nodes while traffic flows.
+    if let Some(churn) = scenario.churn {
+        let window = (end - warmup_end).as_ms();
+        for k in 1..=churn.events_within(window) {
+            let mut node = churn.victim(n, &mut rng);
+            while victims.contains(&node) {
+                node = churn.victim(n, &mut rng);
+            }
+            let down = warmup_end + SimDuration::from_ms(k as f64 * churn.period_ms);
+            sim.schedule_silence(down, node);
+            sim.schedule_revive(down + SimDuration::from_ms(churn.down_ms), node);
+        }
+    }
+
+    sim.run_until(end);
+
+    collect(scenario, sim, model, victims, best_ids)
+}
+
+/// Gathers node-side and network-side records into the outcome.
+fn collect(
+    scenario: &Scenario,
+    sim: Sim<EgmNode>,
+    model: Arc<RoutedModel>,
+    victims: Vec<NodeId>,
+    best_ids: Vec<NodeId>,
+) -> RunOutcome {
+    let n = sim.node_count();
+
+    // Rebuild the delivery log from per-node records.
+    let mut sends: Vec<Option<(usize, f64)>> = vec![None; scenario.messages];
+    for (id, node) in sim.nodes() {
+        for m in node.multicasts() {
+            sends[m.seq as usize] = Some((id.index(), m.time.as_ms()));
+        }
+    }
+    let mut log = DeliveryLog::new(n);
+    for (seq, send) in sends.iter().enumerate() {
+        let (source, time) = send.unwrap_or_else(|| panic!("message {seq} was never multicast"));
+        let idx = log.record_multicast(source, time);
+        debug_assert_eq!(idx, seq);
+    }
+    for (id, node) in sim.nodes() {
+        for d in node.deliveries() {
+            log.record_delivery(d.seq as usize, id.index(), d.time.as_ms(), d.round);
+        }
+    }
+
+    let mut scheduler = SchedulerStats::default();
+    for (_, node) in sim.nodes() {
+        let s = node.scheduler_stats();
+        scheduler.eager_sends += s.eager_sends;
+        scheduler.lazy_advertisements += s.lazy_advertisements;
+        scheduler.requests_sent += s.requests_sent;
+        scheduler.request_replies += s.request_replies;
+        scheduler.request_misses += s.request_misses;
+        scheduler.duplicate_payloads += s.duplicate_payloads;
+    }
+
+    let traffic = sim.traffic();
+    let payload_links: Vec<((NodeId, NodeId), u64)> =
+        traffic.links().into_iter().map(|(pair, tally)| (pair, tally.payloads)).collect();
+    let payloads_per_node = traffic.payloads_sent_per_node(n);
+
+    let eligible: Vec<bool> = (0..n).map(|i| !victims.contains(&NodeId(i))).collect();
+    let total_deliveries = log.total_deliveries();
+
+    let label = match scenario.noise {
+        Some(noise) => format!("{} o={:.0}%", scenario.strategy.label(), noise.o * 100.0),
+        None => scenario.strategy.label(),
+    };
+    let mut report = RunReport::empty(label, n, scenario.messages);
+    report.latency = log.latency_summary();
+    report.payloads_per_delivery = if total_deliveries == 0 {
+        0.0
+    } else {
+        traffic.total_payloads() as f64 / total_deliveries as f64
+    };
+    // Per-group payload contribution: payload transmissions *sent by* the
+    // group, per message and group member ("payload/message", §6.4).
+    if !best_ids.is_empty() {
+        let live_group = |ids: &[NodeId]| -> Option<f64> {
+            let live: Vec<&NodeId> =
+                ids.iter().filter(|id| eligible[id.index()]).collect();
+            if live.is_empty() {
+                return None;
+            }
+            let sent: u64 = live.iter().map(|id| payloads_per_node[id.index()]).sum();
+            Some(sent as f64 / (scenario.messages as f64 * live.len() as f64))
+        };
+        let regular: Vec<NodeId> =
+            (0..n).map(NodeId).filter(|id| !best_ids.contains(id)).collect();
+        report.payloads_per_delivery_low = live_group(&regular);
+        report.payloads_per_delivery_best = live_group(&best_ids);
+    }
+    report.mean_delivery_fraction = log.mean_delivery_fraction(&eligible);
+    report.atomic_delivery_fraction = log.atomic_delivery_fraction(&eligible);
+    if !payload_links.is_empty() {
+        let counts: Vec<u64> = payload_links.iter().map(|&(_, c)| c).collect();
+        report.top5_link_share = link::top_fraction_share(&counts, 0.05);
+        report.link_gini = link::gini(&counts);
+    }
+    report.node_gini = link::gini(&payloads_per_node);
+    let rounds = log.delivery_rounds();
+    report.mean_delivery_round = if rounds.is_empty() {
+        0.0
+    } else {
+        rounds.iter().map(|&r| r as f64).sum::<f64>() / rounds.len() as f64
+    };
+    report.total_messages = traffic.total_messages();
+    report.total_payloads = traffic.total_payloads();
+    report.total_bytes = traffic.total_bytes();
+    report.used_links = traffic.link_count();
+    report.sim_duration_ms = sim.now().as_ms();
+
+    RunOutcome {
+        report,
+        log,
+        payload_links,
+        payloads_per_node,
+        victims,
+        best_ids,
+        scheduler,
+        model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenario::Scenario;
+    use crate::{FaultPlan, FaultSelection};
+    use egm_core::StrategySpec;
+
+    #[test]
+    fn eager_smoke_run_delivers_everything() {
+        let report = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 1.0 }).run();
+        assert!(report.mean_delivery_fraction > 0.99, "{report}");
+        assert!(report.payloads_per_delivery > 3.0, "{report}");
+        assert_eq!(report.messages, 30);
+        assert_eq!(report.nodes, 24);
+    }
+
+    #[test]
+    fn lazy_smoke_run_is_near_optimal_bandwidth() {
+        let report = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 0.0 }).run();
+        assert!(report.mean_delivery_fraction > 0.99, "{report}");
+        assert!(report.payloads_per_delivery < 1.3, "{report}");
+    }
+
+    #[test]
+    fn lazy_is_slower_than_eager() {
+        let eager = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 1.0 }).run();
+        let lazy = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 0.0 }).run();
+        assert!(
+            lazy.mean_latency_ms() > 1.5 * eager.mean_latency_ms(),
+            "lazy {} vs eager {}",
+            lazy.mean_latency_ms(),
+            eager.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_report_exactly() {
+        let scenario = Scenario::smoke_test().with_strategy(StrategySpec::Ttl { u: 2 });
+        let a = scenario.run();
+        let b = scenario.run();
+        assert_eq!(a, b, "runs must be deterministic");
+    }
+
+    #[test]
+    fn fault_injection_excludes_victims() {
+        let scenario = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Flat { pi: 1.0 })
+            .with_faults(Some(FaultPlan::new(0.25, FaultSelection::Random)));
+        let outcome = super::run_detailed(&scenario, None);
+        assert_eq!(outcome.victims.len(), 6);
+        // Victims never multicast.
+        for m in 0..outcome.log.message_count() {
+            assert!(outcome.log.delivery_count(m) > 0);
+        }
+        assert!(outcome.report.mean_delivery_fraction > 0.9, "{}", outcome.report);
+    }
+
+    #[test]
+    fn ranked_outcome_exposes_best_ids() {
+        let scenario =
+            Scenario::smoke_test().with_strategy(StrategySpec::Ranked { best_fraction: 0.25 });
+        let outcome = super::run_detailed(&scenario, None);
+        assert_eq!(outcome.best_ids.len(), 6);
+        assert!(outcome.report.payloads_per_delivery_low.is_some());
+        assert!(outcome.report.payloads_per_delivery_best.is_some());
+        let low = outcome.report.payloads_per_delivery_low.expect("set");
+        let best = outcome.report.payloads_per_delivery_best.expect("set");
+        assert!(best > low, "hubs must carry more: best {best} vs low {low}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Scenario description: everything one experiment run needs.
+
+use crate::faults::{ChurnPlan, FaultPlan};
+use egm_core::{MonitorSpec, ProtocolConfig, StrategySpec};
+use egm_metrics::RunReport;
+use egm_topology::{RoutedModel, TransitStubConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Where the network model comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySource {
+    /// Generate a transit–stub model (the paper's Inet-3.0 setting).
+    TransitStub(TransitStubConfig),
+    /// Synthetic uniform pairwise latencies — fast, for tests.
+    Uniform {
+        /// Number of clients.
+        nodes: usize,
+        /// Lower latency bound (ms).
+        lo_ms: f64,
+        /// Upper latency bound (ms).
+        hi_ms: f64,
+    },
+    /// Synthetic planar model: latency proportional to distance.
+    Planar {
+        /// Number of clients.
+        nodes: usize,
+        /// Plane side in map units.
+        plane: f64,
+        /// Milliseconds per map unit.
+        ms_per_unit: f64,
+    },
+}
+
+impl TopologySource {
+    /// Number of clients this source will produce.
+    pub fn node_count(&self) -> usize {
+        match self {
+            TopologySource::TransitStub(c) => c.clients,
+            TopologySource::Uniform { nodes, .. } | TopologySource::Planar { nodes, .. } => *nodes,
+        }
+    }
+
+    /// Builds the routed model with the given seed.
+    pub fn build(&self, seed: u64) -> RoutedModel {
+        match self {
+            TopologySource::TransitStub(c) => c.clone().with_seed(seed).build(),
+            TopologySource::Uniform { nodes, lo_ms, hi_ms } => {
+                RoutedModel::uniform_synthetic(*nodes, *lo_ms, *hi_ms, seed)
+            }
+            TopologySource::Planar { nodes, plane, ms_per_unit } => {
+                RoutedModel::planar_synthetic(*nodes, *plane, *ms_per_unit, seed)
+            }
+        }
+    }
+}
+
+/// Noise injection configuration (§4.3): ratio `o` plus the calibration
+/// constant `c` (the strategy's overall eager rate, see
+/// [`crate::calibrate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Noise ratio `o ∈ [0, 1]`.
+    pub o: f64,
+    /// Calibration constant `c ∈ [0, 1]`.
+    pub c: f64,
+}
+
+/// A complete experiment description.
+///
+/// Use the builder-style `with_*` methods to derive variants; see the
+/// crate-level example.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Network model source.
+    pub topology: TopologySource,
+    /// Per-node protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// The transmission strategy all nodes run.
+    pub strategy: StrategySpec,
+    /// The performance monitor all nodes host.
+    pub monitor: MonitorSpec,
+    /// Optional noise wrapper around the strategy.
+    pub noise: Option<NoiseConfig>,
+    /// Optional fault plan (node silencing after warm-up, §6.3).
+    pub faults: Option<FaultPlan>,
+    /// Optional transient churn during dissemination (extension).
+    pub churn: Option<ChurnPlan>,
+    /// Number of multicast messages (400 in §5.3).
+    pub messages: usize,
+    /// Mean interval between multicasts in ms (500 in §5.3; actual gaps
+    /// are uniform in `[0, 2 × mean)`).
+    pub mean_interval_ms: f64,
+    /// Warm-up time before traffic starts (overlay joins and shuffles).
+    pub warmup_ms: f64,
+    /// Drain time after the last multicast before measurement stops.
+    pub drain_ms: f64,
+    /// Per-message network loss probability.
+    pub loss: f64,
+    /// Network jitter fraction.
+    pub jitter: f64,
+    /// Per-node egress bandwidth in bytes/second (`None` = unconstrained).
+    /// Models the burst serialization the paper observes on its testbed
+    /// (§5.3).
+    pub egress_bandwidth: Option<f64>,
+    /// Overrides the best-node set computed from the strategy spec (used
+    /// to plug in decentralized / estimated rankings).
+    pub best_override: Option<std::sync::Arc<egm_core::BestSet>>,
+    /// Master seed: drives topology, views, node RNGs and the network.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's experimental configuration (§5.2–§5.3): 100 nodes on a
+    /// transit–stub model, 400 × 256 B messages at 500 ms mean interval,
+    /// fanout 11, overlay fanout 15, 400 ms retransmission period.
+    pub fn paper_default() -> Self {
+        Scenario {
+            topology: TopologySource::TransitStub(TransitStubConfig::default()),
+            protocol: ProtocolConfig::default(),
+            strategy: StrategySpec::Flat { pi: 1.0 },
+            monitor: MonitorSpec::OracleLatency,
+            noise: None,
+            faults: None,
+            churn: None,
+            messages: 400,
+            mean_interval_ms: 500.0,
+            warmup_ms: 3000.0,
+            drain_ms: 5000.0,
+            loss: 0.0,
+            jitter: 0.0,
+            egress_bandwidth: None,
+            best_override: None,
+            seed: 42,
+        }
+    }
+
+    /// A small, fast configuration for unit/integration tests: 24 nodes
+    /// on a uniform 39–60 ms synthetic network, 30 messages.
+    pub fn smoke_test() -> Self {
+        Scenario {
+            topology: TopologySource::Uniform { nodes: 24, lo_ms: 39.0, hi_ms: 60.0 },
+            protocol: ProtocolConfig {
+                fanout: 6,
+                rounds: 5,
+                shuffle_interval: None,
+                ..ProtocolConfig::default()
+            },
+            monitor: MonitorSpec::OracleLatency,
+            messages: 30,
+            mean_interval_ms: 100.0,
+            warmup_ms: 200.0,
+            drain_ms: 3000.0,
+            ..Scenario::paper_default()
+        }
+    }
+
+    /// Number of protocol nodes.
+    pub fn node_count(&self) -> usize {
+        self.topology.node_count()
+    }
+
+    /// Sets the strategy (builder style).
+    pub fn with_strategy(mut self, strategy: StrategySpec) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the monitor (builder style).
+    pub fn with_monitor(mut self, monitor: MonitorSpec) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// Sets the noise configuration (builder style).
+    pub fn with_noise(mut self, noise: Option<NoiseConfig>) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the fault plan (builder style).
+    pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the churn plan (builder style).
+    pub fn with_churn(mut self, churn: Option<ChurnPlan>) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Overrides the best-node set (builder style).
+    pub fn with_best_override(
+        mut self,
+        best: Option<std::sync::Arc<egm_core::BestSet>>,
+    ) -> Self {
+        self.best_override = best;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the message count (builder style).
+    pub fn with_messages(mut self, messages: usize) -> Self {
+        self.messages = messages;
+        self
+    }
+
+    /// Runs the scenario, building the topology from the scenario seed.
+    ///
+    /// See [`crate::runner::run`] for details; use
+    /// [`Scenario::run_with_model`] to share one topology across a sweep
+    /// (the paper holds the network model fixed while varying strategy).
+    pub fn run(&self) -> RunReport {
+        crate::runner::run(self, None)
+    }
+
+    /// Runs the scenario over a pre-built network model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model size differs from the scenario's node count.
+    pub fn run_with_model(&self, model: Arc<RoutedModel>) -> RunReport {
+        crate::runner::run(self, Some(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Scenario, TopologySource};
+
+    #[test]
+    fn paper_default_matches_section_5() {
+        let s = Scenario::paper_default();
+        assert_eq!(s.node_count(), 100);
+        assert_eq!(s.messages, 400);
+        assert_eq!(s.mean_interval_ms, 500.0);
+        assert_eq!(s.protocol.fanout, 11);
+    }
+
+    #[test]
+    fn topology_sources_build_expected_sizes() {
+        let u = TopologySource::Uniform { nodes: 8, lo_ms: 1.0, hi_ms: 2.0 };
+        assert_eq!(u.node_count(), 8);
+        assert_eq!(u.build(1).client_count(), 8);
+        let p = TopologySource::Planar { nodes: 5, plane: 100.0, ms_per_unit: 0.5 };
+        assert_eq!(p.build(2).client_count(), 5);
+    }
+
+    #[test]
+    fn builders_compose() {
+        use egm_core::StrategySpec;
+        let s = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Ttl { u: 2 })
+            .with_seed(9)
+            .with_messages(5);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.strategy, StrategySpec::Ttl { u: 2 });
+    }
+}

@@ -1,0 +1,108 @@
+//! Traffic generation (§5.3): round-robin multicasts at uniform random
+//! intervals.
+
+use egm_rng::Rng;
+use egm_simnet::{NodeId, SimTime};
+
+/// One planned multicast: who sends sequence number `seq` and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedMulticast {
+    /// Harness sequence number (also the metrics message index).
+    pub seq: u64,
+    /// Sending node.
+    pub source: NodeId,
+    /// Virtual send time.
+    pub at: SimTime,
+}
+
+/// Plans `messages` multicasts starting at `start`, rotating round-robin
+/// over `senders` with gaps drawn uniformly from `[0, 2 × mean)` — i.e. a
+/// uniform random interval with the requested average, as in §5.3.
+///
+/// # Panics
+///
+/// Panics if `senders` is empty or `mean_interval_ms` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use egm_rng::Rng;
+/// use egm_simnet::{NodeId, SimTime};
+/// use egm_workload::traffic::plan;
+///
+/// let mut rng = Rng::seed_from_u64(1);
+/// let senders = [NodeId(0), NodeId(1)];
+/// let schedule = plan(&senders, 4, SimTime::ZERO, 500.0, &mut rng);
+/// assert_eq!(schedule.len(), 4);
+/// assert_eq!(schedule[0].source, NodeId(0));
+/// assert_eq!(schedule[1].source, NodeId(1));
+/// assert_eq!(schedule[2].source, NodeId(0)); // round robin
+/// ```
+pub fn plan(
+    senders: &[NodeId],
+    messages: usize,
+    start: SimTime,
+    mean_interval_ms: f64,
+    rng: &mut Rng,
+) -> Vec<PlannedMulticast> {
+    assert!(!senders.is_empty(), "need at least one sender");
+    assert!(mean_interval_ms >= 0.0, "interval must be non-negative");
+    let mut out = Vec::with_capacity(messages);
+    let mut t = start;
+    for seq in 0..messages {
+        let gap = rng.range_f64(0.0, 2.0 * mean_interval_ms.max(f64::MIN_POSITIVE));
+        t += egm_simnet::SimDuration::from_ms(gap);
+        out.push(PlannedMulticast {
+            seq: seq as u64,
+            source: senders[seq % senders.len()],
+            at: t,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::plan;
+    use egm_rng::Rng;
+    use egm_simnet::{NodeId, SimTime};
+
+    #[test]
+    fn round_robin_over_senders() {
+        let mut rng = Rng::seed_from_u64(2);
+        let senders = [NodeId(3), NodeId(5), NodeId(9)];
+        let schedule = plan(&senders, 7, SimTime::ZERO, 100.0, &mut rng);
+        for (i, p) in schedule.iter().enumerate() {
+            assert_eq!(p.seq, i as u64);
+            assert_eq!(p.source, senders[i % 3]);
+        }
+    }
+
+    #[test]
+    fn times_are_increasing_and_after_start() {
+        let mut rng = Rng::seed_from_u64(3);
+        let start = SimTime::from_ms(1000.0);
+        let schedule = plan(&[NodeId(0)], 50, start, 100.0, &mut rng);
+        let mut last = start;
+        for p in &schedule {
+            assert!(p.at >= last);
+            last = p.at;
+        }
+    }
+
+    #[test]
+    fn mean_gap_is_calibrated() {
+        let mut rng = Rng::seed_from_u64(4);
+        let schedule = plan(&[NodeId(0)], 10_000, SimTime::ZERO, 500.0, &mut rng);
+        let total = schedule.last().expect("non-empty").at.as_ms();
+        let mean = total / 10_000.0;
+        assert!((mean - 500.0).abs() < 15.0, "mean gap {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sender")]
+    fn no_senders_panics() {
+        let mut rng = Rng::seed_from_u64(5);
+        let _ = plan(&[], 1, SimTime::ZERO, 100.0, &mut rng);
+    }
+}

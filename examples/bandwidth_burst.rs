@@ -1,0 +1,58 @@
+//! Burst serialization: constrain each node's uplink and watch eager
+//! gossip's fanout bursts inflate latency while lazy push barely notices.
+//!
+//! §5.3 of the paper observes that epidemic multicast "produces a bursty
+//! load, in particular when using eager push gossip" — enough that the
+//! authors cap virtual-node density to avoid falsified latencies. This
+//! example reproduces the effect with the simulator's per-node egress
+//! bandwidth model: every transmission queues FIFO on the sender's uplink
+//! for `bytes / bandwidth`.
+//!
+//! ```sh
+//! cargo run --release --example bandwidth_burst
+//! ```
+
+use egm_core::StrategySpec;
+use egm_metrics::{table, Table};
+use egm_workload::experiments::{base_scenario, shared_model, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let model = shared_model(&scale);
+    println!(
+        "per-node uplink sweep, {} nodes × {} messages (fanout 11, 280B payload packets)\n",
+        scale.nodes, scale.messages
+    );
+
+    let mut t = Table::new([
+        "uplink (KB/s)",
+        "eager latency (ms)",
+        "lazy latency (ms)",
+        "eager delivered (%)",
+        "lazy delivered (%)",
+    ]);
+    for bw_kbps in [f64::INFINITY, 500.0, 100.0, 50.0] {
+        let with_bw = |pi: f64| {
+            let mut s = base_scenario(&scale).with_strategy(StrategySpec::Flat { pi });
+            if bw_kbps.is_finite() {
+                s.egress_bandwidth = Some(bw_kbps * 1000.0);
+            }
+            s.run_with_model(model.clone())
+        };
+        let eager = with_bw(1.0);
+        let lazy = with_bw(0.0);
+        t.row([
+            if bw_kbps.is_finite() { format!("{bw_kbps:.0}") } else { "unlimited".into() },
+            table::num(eager.mean_latency_ms(), 0),
+            table::num(lazy.mean_latency_ms(), 0),
+            table::pct(eager.mean_delivery_fraction),
+            table::pct(lazy.mean_delivery_fraction),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "eager push pays for its fanout bursts as uplinks narrow; lazy push's\n\
+         single-payload-per-destination schedule is almost unaffected — the\n\
+         bandwidth side of the paper's latency/bandwidth tradeoff."
+    );
+}

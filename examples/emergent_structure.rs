@@ -1,0 +1,26 @@
+//! Emergent structure (paper Fig. 4): compare how strategies concentrate
+//! payload traffic onto few links, and draw the structure as an ASCII map
+//! of the pseudo-geographic plane.
+//!
+//! ```sh
+//! cargo run --release --example emergent_structure
+//! ```
+
+use egm_workload::experiments::{fig4, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("reproducing Fig. 4 at {} nodes × {} messages...\n", scale.nodes, scale.messages);
+
+    let rows = fig4::run(&scale);
+    println!("{}", fig4::render(&rows));
+    println!(
+        "paper: eager spreads traffic evenly (top-5% links carry ~7%);\n\
+         Radius forms a geographic mesh (~37%); Ranked forms super-nodes (~30%).\n"
+    );
+
+    for row in &rows {
+        println!("--- {} — node load map ('#' = hottest nodes) ---", row.label);
+        println!("{}", fig4::structure_map(&row.outcome, 64, 18));
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerate the paper's entire evaluation in one go: §5.1/§5.4
+//! statistics, Fig. 4, Fig. 5(a–c), Fig. 6 and the suppression ablation.
+//!
+//! ```sh
+//! EGM_SCALE=paper cargo run --release --example full_report
+//! ```
+
+use egm_workload::experiments::{
+    ablation, fig4, fig5a, fig5b, fig5c, fig6, netstats, rank_quality, Scale,
+};
+
+fn banner(title: &str) {
+    println!("\n==================== {title} ====================");
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "regenerating the full evaluation at {} nodes × {} messages (seed {})",
+        scale.nodes, scale.messages, scale.seed
+    );
+
+    banner("§5.1 / §5.4 — network model and run statistics");
+    println!("{}", netstats::run(&scale).render());
+
+    banner("Fig. 4 — emergent structure (top-5% connections)");
+    println!("{}", fig4::render(&fig4::run(&scale)));
+
+    banner("Fig. 5(a) — latency vs payload/msg");
+    println!("{}", fig5a::render(&fig5a::run(&scale)));
+
+    banner("Fig. 5(b) — mean deliveries vs dead nodes");
+    println!("{}", fig5b::render(&fig5b::run(&scale)));
+
+    banner("Fig. 5(c) — hybrid strategy");
+    println!("{}", fig5c::render(&fig5c::run(&scale)));
+
+    banner("Fig. 6 — degradation of structure under noise");
+    println!("{}", fig6::render(&fig6::run(&scale)));
+
+    banner("Ablation — NeEM redundancy suppression");
+    println!("{}", ablation::render(&ablation::run(&scale)));
+
+    banner("Extension — decentralized ranking quality");
+    println!("{}", rank_quality::render(&rank_quality::run(&scale)));
+}
