@@ -8,7 +8,11 @@ use egm_workload::experiments::{ablation, Scale};
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
     let rows = ablation::run(&scale);
-    print_figure("Ablation: NeEM redundancy suppression", &scale, &ablation::render(&rows));
+    print_figure(
+        "Ablation: NeEM redundancy suppression",
+        &scale,
+        &ablation::render(&rows),
+    );
 
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);

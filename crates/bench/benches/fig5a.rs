@@ -8,7 +8,11 @@ use egm_workload::experiments::{fig5a, Scale};
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
     let points = fig5a::run(&scale);
-    print_figure("Fig. 5(a): latency vs payload/msg", &scale, &fig5a::render(&points));
+    print_figure(
+        "Fig. 5(a): latency vs payload/msg",
+        &scale,
+        &fig5a::render(&points),
+    );
 
     let mut group = c.benchmark_group("fig5a");
     group.sample_size(10);

@@ -9,7 +9,11 @@ use egm_workload::{FaultPlan, FaultSelection};
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
     let points = fig5b::run(&scale);
-    print_figure("Fig. 5(b): mean deliveries vs dead nodes", &scale, &fig5b::render(&points));
+    print_figure(
+        "Fig. 5(b): mean deliveries vs dead nodes",
+        &scale,
+        &fig5b::render(&points),
+    );
 
     let mut group = c.benchmark_group("fig5b");
     group.sample_size(10);

@@ -8,7 +8,11 @@ use egm_workload::experiments::{fig5c, Scale};
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
     let points = fig5c::run(&scale);
-    print_figure("Fig. 5(c): hybrid strategy", &scale, &fig5c::render(&points));
+    print_figure(
+        "Fig. 5(c): hybrid strategy",
+        &scale,
+        &fig5c::render(&points),
+    );
 
     let mut group = c.benchmark_group("fig5c");
     group.sample_size(10);

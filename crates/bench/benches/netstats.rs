@@ -9,7 +9,11 @@ use egm_workload::experiments::{netstats, Scale};
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
     let stats = netstats::run(&scale);
-    print_figure("§5.1/§5.4 network model statistics", &scale, &stats.render());
+    print_figure(
+        "§5.1/§5.4 network model statistics",
+        &scale,
+        &stats.render(),
+    );
 
     let mut group = c.benchmark_group("netstats");
     group.sample_size(10);

@@ -6,9 +6,50 @@
 //! scenario execution so `cargo bench` doubles as both the reproduction
 //! record and a performance regression guard.
 //!
+//! # Scale
+//!
 //! Scale is controlled by the `EGM_SCALE` environment variable: unset or
 //! `quick` runs a reduced configuration (50 nodes × 120 messages);
-//! `paper` reproduces the full 100 nodes × 400 messages of §5.3.
+//! `paper` reproduces the full 100 nodes × 400 messages of §5.3. Every
+//! figure experiment reads it through
+//! [`egm_workload::experiments::Scale::from_env`].
+//!
+//! # Parallel sweeps
+//!
+//! Figure experiments execute their independent points through
+//! `egm_workload::runner::run_sweep`, which fans scenarios across cores
+//! and returns results in input order, byte-identical to sequential
+//! execution (each run forks its whole RNG tree from its own seed). Cap
+//! or disable the parallelism with `RAYON_NUM_THREADS`.
+//!
+//! # Perf trajectory: `BENCH_events_per_sec.json`
+//!
+//! The `events_per_sec` binary (`cargo run --release -p egm_bench --bin
+//! events_per_sec`) measures raw event-loop throughput on the
+//! representative 100-node Ranked scenario and writes
+//! `BENCH_events_per_sec.json` at the repository root so successive PRs
+//! can track the trend. The JSON schema is one flat object:
+//!
+//! ```json
+//! {
+//!   "bench": "events_per_sec",
+//!   "scenario": "ranked best=20% oracle-latency transit-stub",
+//!   "nodes": 100,
+//!   "messages": 150,
+//!   "runs": 5,
+//!   "events": 208898,
+//!   "best_wall_ms": 55.1,
+//!   "mean_wall_ms": 60.2,
+//!   "events_per_sec": 3794504
+//! }
+//! ```
+//!
+//! `events` is the deterministic simulator event count of the scenario
+//! (identical across runs and machines for a given code version — a
+//! changed value means the protocol behaviour changed, not just its
+//! speed); `events_per_sec` is computed from the best wall time.
+//! `EGM_BENCH_RUNS`, `EGM_BENCH_MESSAGES` and `EGM_BENCH_OUT` override
+//! the run count, workload size and output path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -121,7 +121,10 @@ impl ProtocolConfig {
         );
         assert!(self.cache_capacity > 0, "cache capacity must be positive");
         assert!(self.known_capacity > 0, "known capacity must be positive");
-        assert!(self.retry_interval > SimDuration::ZERO, "retry interval must be positive");
+        assert!(
+            self.retry_interval > SimDuration::ZERO,
+            "retry interval must be positive"
+        );
     }
 }
 

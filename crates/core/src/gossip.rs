@@ -71,6 +71,11 @@ pub struct GossipLayer {
     known: BoundedSet<MsgId>,
     fanout: usize,
     rounds: u32,
+    /// Scratch for peer-sample indices, reused across forwards so the
+    /// per-event cost is one exact-capacity `sends` allocation.
+    scratch_idx: Vec<usize>,
+    /// Scratch peer sample handed back by the view.
+    scratch_peers: Vec<NodeId>,
 }
 
 impl GossipLayer {
@@ -80,6 +85,8 @@ impl GossipLayer {
             known: BoundedSet::new(config.known_capacity),
             fanout: config.fanout,
             rounds: config.rounds,
+            scratch_idx: Vec::new(),
+            scratch_peers: Vec::new(),
         }
     }
 
@@ -130,14 +137,31 @@ impl GossipLayer {
             return None;
         }
         let sends = if round < self.rounds {
-            view.sample(rng, self.fanout) // line 9: PeerSample(f)
-                .into_iter()
-                .map(|to| LSend { id, payload, round: round + 1, to })
-                .collect()
+            // line 9: PeerSample(f), drawn into reusable scratch buffers
+            // so each forward costs one exact-capacity allocation.
+            view.sample_into(
+                rng,
+                self.fanout,
+                &mut self.scratch_idx,
+                &mut self.scratch_peers,
+            );
+            let mut sends = Vec::with_capacity(self.scratch_peers.len());
+            sends.extend(self.scratch_peers.iter().map(|&to| LSend {
+                id,
+                payload,
+                round: round + 1,
+                to,
+            }));
+            sends
         } else {
             Vec::new()
         };
-        Some(GossipStep { id, payload, round, sends })
+        Some(GossipStep {
+            id,
+            payload,
+            round,
+            sends,
+        })
     }
 }
 
@@ -153,11 +177,15 @@ mod tests {
     use std::collections::HashSet;
 
     fn setup(fanout: usize, peers: usize) -> (GossipLayer, PartialView, Rng) {
-        let config = ProtocolConfig::default()
-            .with_fanout(fanout)
-            .with_rounds(3);
+        let config = ProtocolConfig::default().with_fanout(fanout).with_rounds(3);
         let gossip = GossipLayer::new(&config);
-        let mut view = PartialView::new(NodeId(0), ViewConfig { capacity: 15, shuffle_size: 5 });
+        let mut view = PartialView::new(
+            NodeId(0),
+            ViewConfig {
+                capacity: 15,
+                shuffle_size: 5,
+            },
+        );
         for i in 1..=peers {
             view.insert(NodeId(i));
         }

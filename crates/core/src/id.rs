@@ -21,10 +21,14 @@ use serde::{Deserialize, Serialize};
 /// let b = MsgId::generate(&mut rng);
 /// assert_ne!(a, b);
 /// ```
+// Stored as (hi, lo) u64 halves rather than one u128: a u128 field makes
+// the whole enum of wire messages 16-byte aligned, growing every
+// event-queue entry in the simulator's BinaryHeap. The derived Ord over
+// (hi, lo) is lexicographic, i.e. identical to the u128 ordering.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
-pub struct MsgId(u128);
+pub struct MsgId(u64, u64);
 
 impl MsgId {
     /// Wire size of an identifier in bytes.
@@ -32,25 +36,25 @@ impl MsgId {
 
     /// Draws a fresh random identifier (`MkId()` in Fig. 2).
     pub fn generate(rng: &mut Rng) -> Self {
-        let hi = rng.next_u64() as u128;
-        let lo = rng.next_u64() as u128;
-        MsgId((hi << 64) | lo)
+        let hi = rng.next_u64();
+        let lo = rng.next_u64();
+        MsgId(hi, lo)
     }
 
     /// Builds an identifier from a raw value (useful in tests).
     pub const fn from_raw(raw: u128) -> Self {
-        MsgId(raw)
+        MsgId((raw >> 64) as u64, raw as u64)
     }
 
     /// The raw 128-bit value.
     pub const fn as_raw(self) -> u128 {
-        self.0
+        ((self.0 as u128) << 64) | self.1 as u128
     }
 }
 
 impl std::fmt::Display for MsgId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:032x}", self.0)
+        write!(f, "{:032x}", self.as_raw())
     }
 }
 

@@ -174,9 +174,7 @@ impl PerformanceMonitor for Monitor {
 
 /// Declarative monitor configuration, buildable into per-node [`Monitor`]
 /// instances. Serialized as part of experiment scenarios.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
 pub enum MonitorSpec {
     /// No environmental knowledge.
     #[default]
@@ -271,7 +269,9 @@ mod tests {
         let mut null = Monitor::Null(NullMonitor);
         assert!(null.runtime_mut().is_none());
         let mut rt = Monitor::Runtime(RuntimeMonitor::new());
-        rt.runtime_mut().expect("runtime").record_rtt(NodeId(1), 10.0);
+        rt.runtime_mut()
+            .expect("runtime")
+            .record_rtt(NodeId(1), 10.0);
         assert_eq!(rt.metric(NodeId(0), NodeId(1)), 5.0);
     }
 
@@ -293,7 +293,10 @@ mod tests {
             MonitorSpec::OracleDistance.build(Some(&m)),
             Monitor::OracleDistance(_)
         ));
-        assert!(matches!(MonitorSpec::Runtime.build(None), Monitor::Runtime(_)));
+        assert!(matches!(
+            MonitorSpec::Runtime.build(None),
+            Monitor::Runtime(_)
+        ));
     }
 
     #[test]

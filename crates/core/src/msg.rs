@@ -49,7 +49,12 @@ pub enum EgmMessage {
         id: MsgId,
     },
     /// Membership shuffle traffic.
-    Shuffle(ShuffleMsg),
+    ///
+    /// Boxed: shuffles are rare (one per node per shuffle interval)
+    /// compared to payload/advertisement traffic, and inlining the
+    /// entry vector would widen every `EgmMessage` — and with it every
+    /// event-queue entry in the simulator — for the common variants.
+    Shuffle(Box<ShuffleMsg>),
     /// Round-trip probe from the runtime performance monitor.
     Ping {
         /// Send time in microseconds, echoed back in the pong.
@@ -115,8 +120,12 @@ mod tests {
 
     #[test]
     fn control_messages_are_small_and_not_payload() {
-        let ihave = EgmMessage::IHave { id: MsgId::from_raw(2) };
-        let iwant = EgmMessage::IWant { id: MsgId::from_raw(2) };
+        let ihave = EgmMessage::IHave {
+            id: MsgId::from_raw(2),
+        };
+        let iwant = EgmMessage::IWant {
+            id: MsgId::from_raw(2),
+        };
         assert_eq!(ihave.wire_bytes(), 40);
         assert_eq!(iwant.wire_bytes(), 40);
         assert!(!ihave.is_payload());
@@ -128,16 +137,36 @@ mod tests {
 
     #[test]
     fn shuffle_size_scales_with_entries() {
-        let s = EgmMessage::Shuffle(ShuffleMsg::Request {
+        let s = EgmMessage::Shuffle(Box::new(ShuffleMsg::Request {
             entries: vec![NodeId(1), NodeId(2), NodeId(3)],
-        });
+        }));
         assert_eq!(s.wire_bytes(), 24 + 4 + 24);
         assert!(!s.is_payload());
     }
 
     #[test]
+    fn message_stays_small_for_the_event_queue() {
+        // Every in-flight message sits in the simulator's event heap;
+        // regressions here directly slow the event loop. 40 bytes =
+        // 16 (MsgId) + 16 (Payload) + 4 (round) + discriminant, with the
+        // rare Shuffle variant boxed down to a pointer.
+        assert!(
+            std::mem::size_of::<EgmMessage>() <= 40,
+            "EgmMessage grew to {} bytes",
+            std::mem::size_of::<EgmMessage>()
+        );
+        assert!(
+            std::mem::align_of::<EgmMessage>() <= 8,
+            "EgmMessage alignment grew (u128 field crept back in?)"
+        );
+    }
+
+    #[test]
     fn size_with_respects_custom_header() {
-        let config = ProtocolConfig { header_bytes: 100, ..ProtocolConfig::default() };
+        let config = ProtocolConfig {
+            header_bytes: 100,
+            ..ProtocolConfig::default()
+        };
         assert_eq!(msg().size_with(&config), 356);
     }
 }

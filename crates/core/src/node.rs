@@ -16,8 +16,8 @@ use crate::scheduler::{PayloadScheduler, RequestAction, SchedulerStats};
 use crate::strategy::StrategyCtx;
 use crate::strategy::TransmissionStrategy;
 use egm_membership::PartialView;
+use egm_rng::hash::FastHashMap;
 use egm_simnet::{Context, NodeId, Protocol, SimDuration, SimTime, TimerTag};
-use std::collections::HashMap;
 
 /// A payload delivered to the application at this node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +75,7 @@ pub struct EgmNode {
     scheduler: PayloadScheduler,
     strategy: Box<dyn TransmissionStrategy>,
     monitor: Monitor,
-    request_tags: HashMap<TimerTag, MsgId>,
+    request_tags: FastHashMap<TimerTag, MsgId>,
     next_tag: TimerTag,
     multicasts: Vec<MulticastRecord>,
     deliveries: Vec<DeliveryRecord>,
@@ -105,7 +105,7 @@ impl EgmNode {
             view,
             strategy,
             monitor,
-            request_tags: HashMap::new(),
+            request_tags: FastHashMap::default(),
             next_tag: TAG_REQUEST_BASE,
             multicasts: Vec::new(),
             deliveries: Vec::new(),
@@ -157,8 +157,11 @@ impl EgmNode {
         });
         for s in step.sends {
             let wire = {
-                let mut sctx =
-                    StrategyCtx { me: self.id, rng: ctx.rng(), monitor: &self.monitor };
+                let mut sctx = StrategyCtx {
+                    me: self.id,
+                    rng: ctx.rng(),
+                    monitor: &self.monitor,
+                };
                 self.scheduler.l_send(
                     &mut sctx,
                     self.strategy.as_mut(),
@@ -212,7 +215,8 @@ impl Protocol for EgmNode {
                     Some((payload, round)) => {
                         self.strategy.on_payload(from);
                         if let Some(step) =
-                            self.gossip.on_l_receive(ctx.rng(), &self.view, id, payload, round)
+                            self.gossip
+                                .on_l_receive(ctx.rng(), &self.view, id, payload, round)
                         {
                             self.deliver_and_forward(ctx, step);
                         }
@@ -232,8 +236,8 @@ impl Protocol for EgmNode {
                 }
             }
             EgmMessage::Shuffle(shuffle) => {
-                if let Some((to, reply)) = self.view.handle_shuffle(ctx.rng(), from, shuffle) {
-                    ctx.send(to, EgmMessage::Shuffle(reply));
+                if let Some((to, reply)) = self.view.handle_shuffle(ctx.rng(), from, *shuffle) {
+                    ctx.send(to, EgmMessage::Shuffle(Box::new(reply)));
                 }
             }
             EgmMessage::Ping { sent_us } => {
@@ -252,7 +256,7 @@ impl Protocol for EgmNode {
         match tag {
             TAG_SHUFFLE => {
                 if let Some((to, msg)) = self.view.start_shuffle(ctx.rng()) {
-                    ctx.send(to, EgmMessage::Shuffle(msg));
+                    ctx.send(to, EgmMessage::Shuffle(Box::new(msg)));
                 }
                 if let Some(interval) = self.config.shuffle_interval {
                     ctx.set_timer(interval, TAG_SHUFFLE);
@@ -273,9 +277,13 @@ impl Protocol for EgmNode {
                     return; // stale timer
                 };
                 let action = {
-                    let mut sctx =
-                        StrategyCtx { me: self.id, rng: ctx.rng(), monitor: &self.monitor };
-                    self.scheduler.on_request_timer(&mut sctx, self.strategy.as_mut(), id)
+                    let mut sctx = StrategyCtx {
+                        me: self.id,
+                        rng: ctx.rng(),
+                        monitor: &self.monitor,
+                    };
+                    self.scheduler
+                        .on_request_timer(&mut sctx, self.strategy.as_mut(), id)
                 };
                 match action {
                     RequestAction::Resolved => {
@@ -291,8 +299,14 @@ impl Protocol for EgmNode {
     }
 
     fn on_command(&mut self, ctx: &mut Context<'_, EgmMessage>, value: u64) {
-        let payload = Payload { seq: value, bytes: self.config.payload_bytes };
-        self.multicasts.push(MulticastRecord { seq: value, time: ctx.now() });
+        let payload = Payload {
+            seq: value,
+            bytes: self.config.payload_bytes,
+        };
+        self.multicasts.push(MulticastRecord {
+            seq: value,
+            time: ctx.now(),
+        });
         let step = self.gossip.multicast(ctx.rng(), &self.view, payload);
         self.deliver_and_forward(ctx, step);
     }
@@ -313,7 +327,10 @@ mod tests {
         let config = ProtocolConfig {
             fanout: 6,
             rounds: 5,
-            view: ViewConfig { capacity: 10, shuffle_size: 3 },
+            view: ViewConfig {
+                capacity: 10,
+                shuffle_size: 3,
+            },
             retry_interval: SimDuration::from_ms(200.0),
             shuffle_interval: None,
             ..ProtocolConfig::default()
@@ -347,7 +364,11 @@ mod tests {
         let mut sim = build_sim(20, StrategySpec::Flat { pi: 1.0 }, 1);
         sim.schedule_command(SimTime::from_ms(10.0), NodeId(0), 0);
         sim.run_for(SimDuration::from_ms(2000.0));
-        assert_eq!(delivery_count(&sim, 0), 20, "atomic delivery under eager push");
+        assert_eq!(
+            delivery_count(&sim, 0),
+            20,
+            "atomic delivery under eager push"
+        );
         for (_, node) in sim.nodes() {
             let count = node.deliveries().iter().filter(|d| d.seq == 0).count();
             assert!(count <= 1, "no duplicate deliveries");
@@ -364,7 +385,10 @@ mod tests {
         // every non-source delivery needed exactly one MSG, and no
         // redundant payloads flow unless a request raced a transfer.
         let payloads = sim.traffic().total_payloads();
-        assert!(payloads <= 25, "lazy payloads should be near 19, got {payloads}");
+        assert!(
+            payloads <= 25,
+            "lazy payloads should be near 19, got {payloads}"
+        );
     }
 
     #[test]
@@ -441,7 +465,10 @@ mod tests {
         let config = ProtocolConfig {
             fanout: 2,
             rounds: 2,
-            view: ViewConfig { capacity: 4, shuffle_size: 2 },
+            view: ViewConfig {
+                capacity: 4,
+                shuffle_size: 2,
+            },
             shuffle_interval: None,
             ping_interval: Some(SimDuration::from_ms(100.0)),
             ..ProtocolConfig::default()
@@ -469,7 +496,10 @@ mod tests {
         let node = sim.node(NodeId(0));
         let peer = node.view().peers()[0];
         let metric = node.monitor().metric(NodeId(0), peer);
-        assert!((metric - 25.0).abs() < 1.0, "learned one-way delay {metric}");
+        assert!(
+            (metric - 25.0).abs() < 1.0,
+            "learned one-way delay {metric}"
+        );
     }
 
     #[test]
@@ -477,7 +507,10 @@ mod tests {
         let config = ProtocolConfig {
             fanout: 3,
             rounds: 3,
-            view: ViewConfig { capacity: 5, shuffle_size: 2 },
+            view: ViewConfig {
+                capacity: 5,
+                shuffle_size: 2,
+            },
             shuffle_interval: Some(SimDuration::from_ms(50.0)),
             ..ProtocolConfig::default()
         };

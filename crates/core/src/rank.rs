@@ -33,7 +33,9 @@ pub struct BestSet {
 impl BestSet {
     /// No best nodes at all (degenerates Ranked to pure lazy push).
     pub fn none(n: usize) -> Self {
-        BestSet { flags: vec![false; n] }
+        BestSet {
+            flags: vec![false; n],
+        }
     }
 
     /// Marks an explicit list of node ids as best.
@@ -63,12 +65,18 @@ impl BestSet {
     /// Panics if `fraction` is outside `(0, 1]` or the model has fewer
     /// than two clients.
     pub fn by_centrality(model: &RoutedModel, fraction: f64) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let n = model.client_count();
         assert!(n >= 2, "need at least two clients to rank");
         let mut scored: Vec<(f64, usize)> = (0..n)
             .map(|i| {
-                let total: f64 = (0..n).filter(|&j| j != i).map(|j| model.latency_ms(i, j)).sum();
+                let total: f64 = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| model.latency_ms(i, j))
+                    .sum();
                 (total / (n - 1) as f64, i)
             })
             .collect();
@@ -96,11 +104,17 @@ impl BestSet {
     pub fn from_scores(scores: &[f64], fraction: f64) -> Self {
         assert!(!scores.is_empty(), "no scores to rank");
         assert!(scores.iter().all(|s| s.is_finite()), "non-finite score");
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let n = scores.len();
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            scores[a].partial_cmp(&scores[b]).expect("finite scores").then(a.cmp(&b))
+            scores[a]
+                .partial_cmp(&scores[b])
+                .expect("finite scores")
+                .then(a.cmp(&b))
         });
         let k = ((n as f64 * fraction).round() as usize).clamp(1, n);
         let mut flags = vec![false; n];
@@ -234,10 +248,17 @@ mod tests {
         // Every best node's mean latency must not exceed any regular
         // node's mean latency.
         let mean = |i: usize| -> f64 {
-            (0..50).filter(|&j| j != i).map(|j| model.latency_ms(i, j)).sum::<f64>() / 49.0
+            (0..50)
+                .filter(|&j| j != i)
+                .map(|j| model.latency_ms(i, j))
+                .sum::<f64>()
+                / 49.0
         };
-        let worst_best =
-            best.best_ids().iter().map(|&b| mean(b.index())).fold(0.0f64, f64::max);
+        let worst_best = best
+            .best_ids()
+            .iter()
+            .map(|&b| mean(b.index()))
+            .fold(0.0f64, f64::max);
         let best_regular = best
             .regular_ids()
             .iter()
@@ -289,10 +310,18 @@ mod tests {
         let mut rng = Rng::seed_from_u64(3);
         // Dense sampling: near-perfect agreement.
         let dense = BestSet::by_sampled_centrality(&model, 0.2, 40, &mut rng);
-        assert!(dense.overlap(&oracle) >= 0.8, "dense overlap {}", dense.overlap(&oracle));
+        assert!(
+            dense.overlap(&oracle) >= 0.8,
+            "dense overlap {}",
+            dense.overlap(&oracle)
+        );
         // Sparse sampling: still much better than chance (0.2).
         let sparse = BestSet::by_sampled_centrality(&model, 0.2, 4, &mut rng);
-        assert!(sparse.overlap(&oracle) > 0.35, "sparse overlap {}", sparse.overlap(&oracle));
+        assert!(
+            sparse.overlap(&oracle) > 0.35,
+            "sparse overlap {}",
+            sparse.overlap(&oracle)
+        );
     }
 
     #[test]

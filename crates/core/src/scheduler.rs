@@ -16,8 +16,8 @@ use crate::id::MsgId;
 use crate::msg::{EgmMessage, Payload};
 use crate::strategy::{StrategyCtx, TransmissionStrategy};
 use crate::util::{BoundedMap, BoundedSet};
+use egm_rng::hash::FastHashMap;
 use egm_simnet::{NodeId, SimDuration};
-use std::collections::HashMap;
 
 /// Per-node scheduler counters, exposed for reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,15 +56,25 @@ impl MissingEntry {
         }
     }
 
-    /// Indices of sources not yet requested this rotation; resets the
-    /// rotation when exhausted (requests cycle through all known sources).
-    fn candidates(&mut self) -> Vec<usize> {
+    /// Fills `idx`/`sources` with the positions and ids of sources not
+    /// yet requested this rotation, resetting the rotation when
+    /// exhausted (requests cycle through all known sources). Writes into
+    /// caller-owned scratch buffers: this runs on every request-timer
+    /// expiry, so it must not allocate.
+    fn candidates_into(&mut self, idx: &mut Vec<usize>, sources: &mut Vec<NodeId>) {
         if self.requested.iter().all(|&r| r) {
             for r in &mut self.requested {
                 *r = false;
             }
         }
-        (0..self.sources.len()).filter(|&i| !self.requested[i]).collect()
+        idx.clear();
+        sources.clear();
+        for (i, &asked) in self.requested.iter().enumerate() {
+            if !asked {
+                idx.push(i);
+                sources.push(self.sources[i]);
+            }
+        }
     }
 }
 
@@ -89,13 +99,18 @@ pub struct PayloadScheduler {
     /// Payload cache `C` (line 16): payload and round per advertised id.
     cache: BoundedMap<MsgId, (Payload, u32)>,
     /// Advertised-but-missing messages with their source queues.
-    missing: HashMap<MsgId, MissingEntry>,
+    missing: FastHashMap<MsgId, MissingEntry>,
     /// Peers known to hold each message (they sent us the payload or an
     /// advertisement). Only consulted when `suppress_known` is on.
     holders: crate::util::BoundedMap<MsgId, Vec<NodeId>>,
     suppress_known: bool,
     retry_interval: SimDuration,
     stats: SchedulerStats,
+    /// Scratch for [`MissingEntry::candidates_into`], reused across
+    /// request-timer expiries to keep the retry path allocation-free.
+    scratch_idx: Vec<usize>,
+    /// Scratch candidate sources handed to the strategy's `pick_source`.
+    scratch_sources: Vec<NodeId>,
 }
 
 impl PayloadScheduler {
@@ -104,11 +119,13 @@ impl PayloadScheduler {
         PayloadScheduler {
             received: BoundedSet::new(config.known_capacity),
             cache: BoundedMap::new(config.cache_capacity),
-            missing: HashMap::new(),
+            missing: FastHashMap::default(),
             holders: BoundedMap::new(config.known_capacity),
             suppress_known: config.suppress_known,
             retry_interval: config.retry_interval,
             stats: SchedulerStats::default(),
+            scratch_idx: Vec::new(),
+            scratch_sources: Vec::new(),
         }
     }
 
@@ -127,7 +144,9 @@ impl PayloadScheduler {
 
     /// Whether `peer` is known to hold message `id`.
     pub fn is_holder(&self, id: &MsgId, peer: NodeId) -> bool {
-        self.holders.get(id).is_some_and(|peers| peers.contains(&peer))
+        self.holders
+            .get(id)
+            .is_some_and(|peers| peers.contains(&peer))
     }
 
     /// Scheduler counters.
@@ -202,8 +221,13 @@ impl PayloadScheduler {
                 None
             }
             None => {
-                self.missing
-                    .insert(id, MissingEntry { sources: vec![from], requested: vec![false] });
+                self.missing.insert(
+                    id,
+                    MissingEntry {
+                        sources: vec![from],
+                        requested: vec![false],
+                    },
+                );
                 Some(strategy.first_request_delay())
             }
         }
@@ -244,12 +268,13 @@ impl PayloadScheduler {
         let Some(entry) = self.missing.get_mut(&id) else {
             return RequestAction::Resolved;
         };
-        let candidates = entry.candidates();
-        debug_assert!(!candidates.is_empty(), "missing entries always have a source");
-        let picked_sources: Vec<NodeId> =
-            candidates.iter().map(|&i| entry.sources[i]).collect();
-        let choice = strategy.pick_source(ctx, &picked_sources);
-        let source_idx = candidates[choice.min(candidates.len() - 1)];
+        entry.candidates_into(&mut self.scratch_idx, &mut self.scratch_sources);
+        debug_assert!(
+            !self.scratch_idx.is_empty(),
+            "missing entries always have a source"
+        );
+        let choice = strategy.pick_source(ctx, &self.scratch_sources);
+        let source_idx = self.scratch_idx[choice.min(self.scratch_idx.len() - 1)];
         entry.requested[source_idx] = true;
         self.stats.requests_sent += 1;
         RequestAction::Request(entry.sources[source_idx], self.retry_interval)
@@ -278,7 +303,11 @@ mod tests {
     fn with_ctx<R>(f: impl FnOnce(&mut StrategyCtx<'_>) -> R) -> R {
         let mut rng = Rng::seed_from_u64(4);
         let monitor = NullMonitor;
-        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(0),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         f(&mut ctx)
     }
 
@@ -386,7 +415,10 @@ mod tests {
 
     #[test]
     fn suppression_skips_known_holders() {
-        let config = ProtocolConfig { suppress_known: true, ..ProtocolConfig::default() };
+        let config = ProtocolConfig {
+            suppress_known: true,
+            ..ProtocolConfig::default()
+        };
         let mut sched = PayloadScheduler::new(&config);
         let mut eager = Flat::new(1.0);
         let id = MsgId::from_raw(50);
@@ -394,7 +426,10 @@ mod tests {
         assert!(sched.is_holder(&id, NodeId(7)));
         assert!(!sched.is_holder(&id, NodeId(8)));
         let to_holder = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(7)));
-        assert!(to_holder.is_none(), "send to a known holder must be suppressed");
+        assert!(
+            to_holder.is_none(),
+            "send to a known holder must be suppressed"
+        );
         assert_eq!(sched.stats().suppressed_sends, 1);
         let to_other = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(8)));
         assert!(to_other.is_some());
@@ -415,8 +450,7 @@ mod tests {
     fn unknown_timer_is_resolved_quietly() {
         let mut sched = scheduler();
         let mut lazy = Flat::new(0.0);
-        let action =
-            with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, MsgId::from_raw(77)));
+        let action = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, MsgId::from_raw(77)));
         assert_eq!(action, RequestAction::Resolved);
     }
 }

@@ -53,12 +53,20 @@ impl Adaptive {
     ///
     /// Panics if either argument is outside `[0, 1]`.
     pub fn new(initial_pi: f64, target_duplicate_ratio: f64) -> Self {
-        assert!((0.0..=1.0).contains(&initial_pi), "pi must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&initial_pi),
+            "pi must be a probability"
+        );
         assert!(
             (0.0..=1.0).contains(&target_duplicate_ratio),
             "target ratio must be in [0, 1]"
         );
-        Adaptive { pi: initial_pi, target: target_duplicate_ratio, fresh: 0, duplicates: 0 }
+        Adaptive {
+            pi: initial_pi,
+            target: target_duplicate_ratio,
+            fresh: 0,
+            duplicates: 0,
+        }
     }
 
     /// The current eager probability.

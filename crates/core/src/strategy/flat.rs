@@ -35,7 +35,10 @@ impl Flat {
     ///
     /// Panics if `pi` is outside `[0, 1]`.
     pub fn new(pi: f64) -> Self {
-        assert!((0.0..=1.0).contains(&pi), "pi must be a probability, got {pi}");
+        assert!(
+            (0.0..=1.0).contains(&pi),
+            "pi must be a probability, got {pi}"
+        );
         Flat { pi }
     }
 
@@ -68,7 +71,11 @@ mod tests {
         let mut s = Flat::new(pi);
         let mut rng = Rng::seed_from_u64(7);
         let monitor = NullMonitor;
-        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(0),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         let hits = (0..trials)
             .filter(|_| s.eager(&mut ctx, NodeId(1), MsgId::from_raw(1), 0))
             .count();

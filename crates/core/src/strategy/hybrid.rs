@@ -45,7 +45,10 @@ impl Combined {
     ///
     /// Panics if `rho` is negative or non-finite.
     pub fn new(best: Arc<BestSet>, rho: f64, u: u32, t0: SimDuration) -> Self {
-        assert!(rho.is_finite() && rho >= 0.0, "radius must be non-negative, got {rho}");
+        assert!(
+            rho.is_finite() && rho >= 0.0,
+            "radius must be non-negative, got {rho}"
+        );
         Combined { best, rho, u, t0 }
     }
 }
@@ -55,7 +58,11 @@ impl TransmissionStrategy for Combined {
         if self.best.is_best(ctx.me) || self.best.is_best(to) {
             return true;
         }
-        let radius = if round < self.u { 2.0 * self.rho } else { self.rho };
+        let radius = if round < self.u {
+            2.0 * self.rho
+        } else {
+            self.rho
+        };
         ctx.monitor.metric(ctx.me, to) < radius
     }
 
@@ -68,7 +75,12 @@ impl TransmissionStrategy for Combined {
     }
 
     fn label(&self) -> String {
-        format!("combined rho={:.1} u={} best={}", self.rho, self.u, self.best.best_count())
+        format!(
+            "combined rho={:.1} u={} best={}",
+            self.rho,
+            self.u,
+            self.best.best_count()
+        )
     }
 }
 
@@ -96,7 +108,11 @@ mod tests {
         let mut s = Combined::new(best, 25.0, 2, SimDuration::from_ms(25.0));
         let mut rng = Rng::seed_from_u64(1);
         let monitor = Linear;
-        let mut ctx = StrategyCtx { me: NodeId(me), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(me),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         s.eager(&mut ctx, NodeId(to), MsgId::from_raw(1), round)
     }
 
@@ -130,7 +146,11 @@ mod tests {
         assert_eq!(s.first_request_delay(), SimDuration::from_ms(30.0));
         let mut rng = Rng::seed_from_u64(2);
         let monitor = Linear;
-        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(0),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         assert_eq!(s.pick_source(&mut ctx, &[NodeId(3), NodeId(1)]), 1);
     }
 }

@@ -54,7 +54,9 @@ pub struct StrategyCtx<'a> {
 
 impl std::fmt::Debug for StrategyCtx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StrategyCtx").field("me", &self.me).finish_non_exhaustive()
+        f.debug_struct("StrategyCtx")
+            .field("me", &self.me)
+            .finish_non_exhaustive()
     }
 }
 
@@ -174,7 +176,10 @@ impl StrategySpec {
             StrategySpec::Ranked { best_fraction } => {
                 format!("ranked best={:.0}%", best_fraction * 100.0)
             }
-            StrategySpec::Adaptive { target_duplicate_ratio, .. } => {
+            StrategySpec::Adaptive {
+                target_duplicate_ratio,
+                ..
+            } => {
                 format!("adaptive target={target_duplicate_ratio:.2}")
             }
             StrategySpec::Combined { rho, u, .. } => format!("combined rho={rho:.1} u={u}"),
@@ -183,7 +188,10 @@ impl StrategySpec {
 
     /// Whether this strategy requires a [`BestSet`].
     pub fn needs_best_set(&self) -> bool {
-        matches!(self, StrategySpec::Ranked { .. } | StrategySpec::Combined { .. })
+        matches!(
+            self,
+            StrategySpec::Ranked { .. } | StrategySpec::Combined { .. }
+        )
     }
 
     /// The best-node fraction, if the strategy uses one.
@@ -215,9 +223,10 @@ impl StrategySpec {
                 let best = best.expect("Ranked strategy requires a best set");
                 Box::new(Ranked::new(best))
             }
-            StrategySpec::Adaptive { initial_pi, target_duplicate_ratio } => {
-                Box::new(Adaptive::new(*initial_pi, *target_duplicate_ratio))
-            }
+            StrategySpec::Adaptive {
+                initial_pi,
+                target_duplicate_ratio,
+            } => Box::new(Adaptive::new(*initial_pi, *target_duplicate_ratio)),
             StrategySpec::Combined { rho, u, t0_ms, .. } => {
                 let best = best.expect("Combined strategy requires a best set");
                 Box::new(Combined::new(best, *rho, *u, SimDuration::from_ms(*t0_ms)))
@@ -228,7 +237,8 @@ impl StrategySpec {
     /// Computes the [`BestSet`] this spec needs over the given model, or
     /// `None` for environment-free strategies.
     pub fn best_set_for(&self, model: &RoutedModel) -> Option<Arc<BestSet>> {
-        self.best_fraction().map(|f| BestSet::by_centrality(model, f).shared())
+        self.best_fraction()
+            .map(|f| BestSet::by_centrality(model, f).shared())
     }
 }
 
@@ -237,29 +247,57 @@ mod tests {
     use super::*;
     use crate::monitor::NullMonitor;
 
-    pub(crate) fn ctx_with<'a>(rng: &'a mut Rng, monitor: &'a dyn PerformanceMonitor) -> StrategyCtx<'a> {
-        StrategyCtx { me: NodeId(0), rng, monitor }
+    pub(crate) fn ctx_with<'a>(
+        rng: &'a mut Rng,
+        monitor: &'a dyn PerformanceMonitor,
+    ) -> StrategyCtx<'a> {
+        StrategyCtx {
+            me: NodeId(0),
+            rng,
+            monitor,
+        }
     }
 
     #[test]
     fn spec_labels_are_descriptive() {
         assert_eq!(StrategySpec::Flat { pi: 0.25 }.label(), "flat pi=0.25");
         assert_eq!(StrategySpec::Ttl { u: 2 }.label(), "ttl u=2");
-        assert!(StrategySpec::Radius { rho: 25.0, t0_ms: 30.0 }.label().contains("radius"));
-        assert!(StrategySpec::Ranked { best_fraction: 0.2 }.label().contains("20%"));
-        assert!(StrategySpec::Combined { best_fraction: 0.2, rho: 25.0, u: 2, t0_ms: 30.0 }
+        assert!(StrategySpec::Radius {
+            rho: 25.0,
+            t0_ms: 30.0
+        }
+        .label()
+        .contains("radius"));
+        assert!(StrategySpec::Ranked { best_fraction: 0.2 }
             .label()
-            .contains("combined"));
+            .contains("20%"));
+        assert!(StrategySpec::Combined {
+            best_fraction: 0.2,
+            rho: 25.0,
+            u: 2,
+            t0_ms: 30.0
+        }
+        .label()
+        .contains("combined"));
     }
 
     #[test]
     fn needs_best_set_only_for_ranked_family() {
         assert!(!StrategySpec::Flat { pi: 0.5 }.needs_best_set());
         assert!(!StrategySpec::Ttl { u: 1 }.needs_best_set());
-        assert!(!StrategySpec::Radius { rho: 1.0, t0_ms: 1.0 }.needs_best_set());
+        assert!(!StrategySpec::Radius {
+            rho: 1.0,
+            t0_ms: 1.0
+        }
+        .needs_best_set());
         assert!(StrategySpec::Ranked { best_fraction: 0.2 }.needs_best_set());
-        assert!(StrategySpec::Combined { best_fraction: 0.2, rho: 1.0, u: 1, t0_ms: 1.0 }
-            .needs_best_set());
+        assert!(StrategySpec::Combined {
+            best_fraction: 0.2,
+            rho: 1.0,
+            u: 1,
+            t0_ms: 1.0
+        }
+        .needs_best_set());
     }
 
     #[test]
@@ -274,9 +312,19 @@ mod tests {
         for spec in [
             StrategySpec::Flat { pi: 0.5 },
             StrategySpec::Ttl { u: 2 },
-            StrategySpec::Radius { rho: 10.0, t0_ms: 15.0 },
-            StrategySpec::Ranked { best_fraction: 0.25 },
-            StrategySpec::Combined { best_fraction: 0.25, rho: 10.0, u: 2, t0_ms: 15.0 },
+            StrategySpec::Radius {
+                rho: 10.0,
+                t0_ms: 15.0,
+            },
+            StrategySpec::Ranked {
+                best_fraction: 0.25,
+            },
+            StrategySpec::Combined {
+                best_fraction: 0.25,
+                rho: 10.0,
+                u: 2,
+                t0_ms: 15.0,
+            },
         ] {
             let s = spec.build(Some(Arc::clone(&best)));
             assert!(!s.label().is_empty());

@@ -39,7 +39,10 @@ impl<S: TransmissionStrategy> Noisy<S> {
     ///
     /// Panics if `c` or `o` is outside `[0, 1]`.
     pub fn new(inner: S, c: f64, o: f64) -> Self {
-        assert!((0.0..=1.0).contains(&c), "calibration constant must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&c),
+            "calibration constant must be a probability"
+        );
         assert!((0.0..=1.0).contains(&o), "noise ratio must be in [0, 1]");
         Noisy { inner, c, o }
     }
@@ -57,7 +60,11 @@ impl<S: TransmissionStrategy> Noisy<S> {
 
 impl<S: TransmissionStrategy> TransmissionStrategy for Noisy<S> {
     fn eager(&mut self, ctx: &mut StrategyCtx<'_>, to: NodeId, id: MsgId, round: u32) -> bool {
-        let v = if self.inner.eager(ctx, to, id, round) { 1.0 } else { 0.0 };
+        let v = if self.inner.eager(ctx, to, id, round) {
+            1.0
+        } else {
+            0.0
+        };
         let v_prime = self.c + (v - self.c) * (1.0 - self.o);
         ctx.rng.bool(v_prime)
     }
@@ -92,7 +99,10 @@ impl Noisy<Box<dyn TransmissionStrategy>> {
         c: f64,
         o: f64,
     ) -> Box<dyn TransmissionStrategy> {
-        assert!((0.0..=1.0).contains(&c), "calibration constant must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&c),
+            "calibration constant must be a probability"
+        );
         assert!((0.0..=1.0).contains(&o), "noise ratio must be in [0, 1]");
         Box::new(Noisy { inner, c, o })
     }
@@ -136,7 +146,11 @@ mod tests {
     fn eager_rate<S: TransmissionStrategy>(mut s: S, round: u32, trials: u32) -> f64 {
         let mut rng = Rng::seed_from_u64(5);
         let monitor = NullMonitor;
-        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(0),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         let hits = (0..trials)
             .filter(|_| s.eager(&mut ctx, NodeId(1), MsgId::from_raw(1), round))
             .count();
@@ -185,7 +199,11 @@ mod tests {
     #[test]
     fn scheduling_is_delegated() {
         use egm_simnet::SimDuration;
-        let s = Noisy::new(crate::strategy::Radius::new(10.0, SimDuration::from_ms(20.0)), 0.1, 0.5);
+        let s = Noisy::new(
+            crate::strategy::Radius::new(10.0, SimDuration::from_ms(20.0)),
+            0.1,
+            0.5,
+        );
         assert_eq!(s.first_request_delay(), SimDuration::from_ms(20.0));
         assert_eq!(s.inner().rho(), 10.0);
         assert_eq!(s.noise(), 0.5);

@@ -40,7 +40,10 @@ impl Radius {
     ///
     /// Panics if `rho` is negative or non-finite.
     pub fn new(rho: f64, t0: SimDuration) -> Self {
-        assert!(rho.is_finite() && rho >= 0.0, "radius must be non-negative, got {rho}");
+        assert!(
+            rho.is_finite() && rho >= 0.0,
+            "radius must be non-negative, got {rho}"
+        );
         Radius { rho, t0 }
     }
 
@@ -90,7 +93,11 @@ mod tests {
         let mut s = Radius::new(25.0, SimDuration::ZERO);
         let mut rng = Rng::seed_from_u64(1);
         let monitor = Linear;
-        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(0),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         assert!(s.eager(&mut ctx, NodeId(0), MsgId::from_raw(1), 0)); // metric 0
         assert!(s.eager(&mut ctx, NodeId(2), MsgId::from_raw(1), 0)); // metric 20
         assert!(!s.eager(&mut ctx, NodeId(3), MsgId::from_raw(1), 0)); // metric 30
@@ -102,7 +109,11 @@ mod tests {
         let mut s = Radius::new(1e9, SimDuration::ZERO);
         let mut rng = Rng::seed_from_u64(2);
         let monitor = NullMonitor;
-        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(0),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         assert!(!s.eager(&mut ctx, NodeId(1), MsgId::from_raw(1), 0));
     }
 
@@ -111,7 +122,11 @@ mod tests {
         let mut s = Radius::new(25.0, SimDuration::from_ms(30.0));
         let mut rng = Rng::seed_from_u64(3);
         let monitor = Linear;
-        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(0),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         let sources = [NodeId(9), NodeId(4), NodeId(6)];
         assert_eq!(s.pick_source(&mut ctx, &sources), 1);
         assert_eq!(s.first_request_delay(), SimDuration::from_ms(30.0));

@@ -70,7 +70,11 @@ mod tests {
         let mut s = Ranked::new(best);
         let mut rng = Rng::seed_from_u64(1);
         let monitor = NullMonitor;
-        let mut ctx = StrategyCtx { me: NodeId(me), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(me),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         s.eager(&mut ctx, NodeId(to), MsgId::from_raw(1), 0)
     }
 
@@ -96,7 +100,11 @@ mod tests {
         let mut s = Ranked::new(best);
         let mut rng = Rng::seed_from_u64(2);
         let monitor = NullMonitor;
-        let mut ctx = StrategyCtx { me: NodeId(1), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(1),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         for to in 0..4 {
             assert!(!s.eager(&mut ctx, NodeId(to), MsgId::from_raw(1), 0));
         }

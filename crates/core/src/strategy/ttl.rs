@@ -62,7 +62,11 @@ mod tests {
         let mut s = Ttl::new(u);
         let mut rng = Rng::seed_from_u64(1);
         let monitor = NullMonitor;
-        let mut ctx = StrategyCtx { me: NodeId(0), rng: &mut rng, monitor: &monitor };
+        let mut ctx = StrategyCtx {
+            me: NodeId(0),
+            rng: &mut rng,
+            monitor: &monitor,
+        };
         s.eager(&mut ctx, NodeId(1), MsgId::from_raw(1), round)
     }
 

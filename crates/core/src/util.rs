@@ -5,7 +5,8 @@
 //! here they are FIFO-bounded: oldest entries are evicted first, with
 //! capacities defaulting far above any experiment's live message count.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use egm_rng::hash::{FastHashMap, FastHashSet};
+use std::collections::VecDeque;
 use std::hash::Hash;
 
 /// A set with FIFO eviction once `capacity` is exceeded.
@@ -24,7 +25,7 @@ use std::hash::Hash;
 /// ```
 #[derive(Debug, Clone)]
 pub struct BoundedSet<T> {
-    set: HashSet<T>,
+    set: FastHashSet<T>,
     order: VecDeque<T>,
     capacity: usize,
 }
@@ -37,22 +38,27 @@ impl<T: Eq + Hash + Clone> BoundedSet<T> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        BoundedSet { set: HashSet::new(), order: VecDeque::new(), capacity }
+        BoundedSet {
+            set: FastHashSet::default(),
+            order: VecDeque::new(),
+            capacity,
+        }
     }
 
     /// Inserts a value; returns `true` if it was new. Evicts the oldest
     /// element when full.
     pub fn insert(&mut self, value: T) -> bool {
-        if self.set.contains(&value) {
+        // Single hash probe on the hot path: `HashSet::insert` doubles as
+        // the duplicate check (this runs once per received payload).
+        if !self.set.insert(value.clone()) {
             return false;
         }
-        if self.set.len() == self.capacity {
+        self.order.push_back(value);
+        if self.set.len() > self.capacity {
             if let Some(old) = self.order.pop_front() {
                 self.set.remove(&old);
             }
         }
-        self.set.insert(value.clone());
-        self.order.push_back(value);
         true
     }
 
@@ -75,7 +81,7 @@ impl<T: Eq + Hash + Clone> BoundedSet<T> {
 /// A map with FIFO eviction once `capacity` is exceeded.
 #[derive(Debug, Clone)]
 pub struct BoundedMap<K, V> {
-    map: HashMap<K, V>,
+    map: FastHashMap<K, V>,
     order: VecDeque<K>,
     capacity: usize,
 }
@@ -88,21 +94,26 @@ impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        BoundedMap { map: HashMap::new(), order: VecDeque::new(), capacity }
+        BoundedMap {
+            map: FastHashMap::default(),
+            order: VecDeque::new(),
+            capacity,
+        }
     }
 
     /// Inserts an entry, evicting the oldest when full. Re-inserting an
     /// existing key replaces the value without changing its age.
     pub fn insert(&mut self, key: K, value: V) {
-        // Entry API is avoided on purpose: the eviction path below needs
-        // `key` by value only on the fresh-insert branch.
-        #[allow(clippy::map_entry)]
-        if self.map.contains_key(&key) {
-            self.map.insert(key, value);
-            return;
+        // Single hash probe on the hot path (payload cache writes):
+        // `HashMap::insert` doubles as the presence check via its return.
+        if self.map.insert(key.clone(), value).is_some() {
+            return; // replaced in place, age unchanged
         }
-        // Loop because the order queue may hold tombstones of removed keys.
-        while self.map.len() >= self.capacity {
+        self.order.push_back(key);
+        // Loop because the order queue may hold tombstones of removed
+        // keys. The just-inserted key sits at the back, so with
+        // capacity >= 1 it is never the one evicted.
+        while self.map.len() > self.capacity {
             match self.order.pop_front() {
                 Some(old) => {
                     self.map.remove(&old);
@@ -110,8 +121,6 @@ impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
                 None => break,
             }
         }
-        self.map.insert(key.clone(), value);
-        self.order.push_back(key);
     }
 
     /// Looks up a key.

@@ -39,7 +39,10 @@ fn base_config() -> ProtocolConfig {
     ProtocolConfig {
         fanout: 1,
         rounds: 4,
-        view: ViewConfig { capacity: 2, shuffle_size: 1 },
+        view: ViewConfig {
+            capacity: 2,
+            shuffle_size: 1,
+        },
         retry_interval: SimDuration::from_ms(100.0),
         shuffle_interval: None,
         ..ProtocolConfig::default()
@@ -51,7 +54,13 @@ fn base_config() -> ProtocolConfig {
 #[test]
 fn eager_chain_delivers_hop_by_hop() {
     let views = vec![vec![1], vec![2], vec![3], vec![2]];
-    let mut sim = build(4, StrategySpec::Flat { pi: 1.0 }, views, base_config(), 10.0);
+    let mut sim = build(
+        4,
+        StrategySpec::Flat { pi: 1.0 },
+        views,
+        base_config(),
+        10.0,
+    );
     sim.schedule_command(SimTime::from_ms(0.0), NodeId(0), 0);
     sim.run_for(SimDuration::from_ms(500.0));
     for (i, expect_ms) in [(0usize, 0.0), (1, 10.0), (2, 20.0), (3, 30.0)] {
@@ -67,12 +76,22 @@ fn eager_chain_delivers_hop_by_hop() {
 #[test]
 fn lazy_chain_pays_one_round_trip_per_hop() {
     let views = vec![vec![1], vec![2], vec![0], vec![0]];
-    let mut sim = build(4, StrategySpec::Flat { pi: 0.0 }, views, base_config(), 10.0);
+    let mut sim = build(
+        4,
+        StrategySpec::Flat { pi: 0.0 },
+        views,
+        base_config(),
+        10.0,
+    );
     sim.schedule_command(SimTime::from_ms(0.0), NodeId(0), 0);
     sim.run_for(SimDuration::from_ms(1000.0));
     let d1 = sim.node(NodeId(1)).deliveries();
     assert_eq!(d1.len(), 1);
-    assert_eq!(d1[0].time, SimTime::from_ms(30.0), "IHAVE+IWANT+MSG = 3 one-way delays");
+    assert_eq!(
+        d1[0].time,
+        SimTime::from_ms(30.0),
+        "IHAVE+IWANT+MSG = 3 one-way delays"
+    );
     let d2 = sim.node(NodeId(2)).deliveries();
     assert_eq!(d2.len(), 1);
     assert_eq!(d2[0].time, SimTime::from_ms(60.0));
@@ -85,7 +104,10 @@ fn duplicates_are_absorbed_by_the_scheduler() {
     // 0 and 1 both know only 2; both multicast the relay of the same
     // message is impossible here, so instead node 2 receives two distinct
     // messages — use a diamond: 0 → {1, 2} → 3.
-    let config = ProtocolConfig { fanout: 2, ..base_config() };
+    let config = ProtocolConfig {
+        fanout: 2,
+        ..base_config()
+    };
     let views = vec![vec![1, 2], vec![3, 0], vec![3, 0], vec![0, 1]];
     let mut sim = build(4, StrategySpec::Flat { pi: 1.0 }, views, config, 10.0);
     sim.schedule_command(SimTime::from_ms(0.0), NodeId(0), 0);
@@ -143,12 +165,19 @@ fn retries_recover_from_total_first_loss() {
 #[test]
 fn relay_stops_at_round_limit() {
     // Chain of 6 nodes but rounds = 4: nodes 5+ never hear the message.
-    let config = ProtocolConfig { rounds: 4, ..base_config() };
+    let config = ProtocolConfig {
+        rounds: 4,
+        ..base_config()
+    };
     let views = vec![vec![1], vec![2], vec![3], vec![4], vec![5], vec![0]];
     let mut sim = build(6, StrategySpec::Flat { pi: 1.0 }, views, config, 10.0);
     sim.schedule_command(SimTime::from_ms(0.0), NodeId(0), 0);
     sim.run_for(SimDuration::from_ms(1000.0));
-    assert_eq!(sim.node(NodeId(4)).deliveries().len(), 1, "round 4 still delivers");
+    assert_eq!(
+        sim.node(NodeId(4)).deliveries().len(),
+        1,
+        "round 4 still delivers"
+    );
     assert_eq!(
         sim.node(NodeId(5)).deliveries().len(),
         0,

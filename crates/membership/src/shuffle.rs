@@ -46,7 +46,9 @@ mod tests {
 
     #[test]
     fn entry_count_and_size() {
-        let req = ShuffleMsg::Request { entries: vec![NodeId(1), NodeId(2)] };
+        let req = ShuffleMsg::Request {
+            entries: vec![NodeId(1), NodeId(2)],
+        };
         assert_eq!(req.entry_count(), 2);
         assert_eq!(req.wire_bytes(), 20);
         let reply = ShuffleMsg::Reply { entries: vec![] };

@@ -20,7 +20,10 @@ pub struct ViewConfig {
 
 impl Default for ViewConfig {
     fn default() -> Self {
-        ViewConfig { capacity: 15, shuffle_size: 5 }
+        ViewConfig {
+            capacity: 15,
+            shuffle_size: 5,
+        }
     }
 }
 
@@ -55,7 +58,12 @@ pub struct PartialView {
 impl PartialView {
     /// Creates an empty view owned by `owner`.
     pub fn new(owner: NodeId, config: ViewConfig) -> Self {
-        PartialView { owner, config, peers: Vec::with_capacity(config.capacity), static_view: false }
+        PartialView {
+            owner,
+            config,
+            peers: Vec::with_capacity(config.capacity),
+            static_view: false,
+        }
     }
 
     /// The owning node.
@@ -141,6 +149,27 @@ impl PartialView {
             .collect()
     }
 
+    /// `PeerSample(f)` into caller-owned buffers: draws the same peers
+    /// (and consumes the same RNG stream) as [`PartialView::sample`],
+    /// but reuses `idx_scratch` and `out` instead of allocating. This is
+    /// the gossip layer's per-forward path, so it must stay
+    /// allocation-free.
+    pub fn sample_into(
+        &self,
+        rng: &mut Rng,
+        f: usize,
+        idx_scratch: &mut Vec<usize>,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        let k = f.min(self.peers.len());
+        if k == 0 {
+            return;
+        }
+        sample::distinct_indices_into(rng, self.peers.len(), k, idx_scratch);
+        out.extend(idx_scratch.iter().map(|&i| self.peers[i]));
+    }
+
     /// One uniformly chosen peer, if any.
     pub fn sample_one(&self, rng: &mut Rng) -> Option<NodeId> {
         sample::choose(rng, &self.peers).copied()
@@ -186,15 +215,26 @@ impl PartialView {
     }
 
     fn subset_excluding(&self, rng: &mut Rng, excluded: NodeId) -> Vec<NodeId> {
-        let candidates: Vec<NodeId> =
-            self.peers.iter().copied().filter(|&p| p != excluded).collect();
-        if candidates.is_empty() {
+        // Sample over a *virtual* filtered sequence instead of
+        // materializing it: index `i` of peers-minus-excluded maps back
+        // to `peers` by skipping the excluded position. Same RNG draws
+        // and same result as filtering first, one allocation less per
+        // shuffle.
+        let pos = self.peers.iter().position(|&p| p == excluded);
+        let n = self.peers.len() - usize::from(pos.is_some());
+        if n == 0 {
             return Vec::new();
         }
-        let k = self.config.shuffle_size.min(candidates.len());
-        sample::distinct_indices(rng, candidates.len(), k)
+        let k = self.config.shuffle_size.min(n);
+        sample::distinct_indices(rng, n, k)
             .into_iter()
-            .map(|i| candidates[i])
+            .map(|i| {
+                let i = match pos {
+                    Some(p) if i >= p => i + 1,
+                    _ => i,
+                };
+                self.peers[i]
+            })
             .collect()
     }
 
@@ -242,7 +282,10 @@ mod tests {
     use std::collections::HashSet;
 
     fn cfg(capacity: usize, shuffle: usize) -> ViewConfig {
-        ViewConfig { capacity, shuffle_size: shuffle }
+        ViewConfig {
+            capacity,
+            shuffle_size: shuffle,
+        }
     }
 
     #[test]
@@ -392,7 +435,10 @@ mod tests {
             .expect("reply");
         match reply {
             ShuffleMsg::Reply { entries } => {
-                assert!(!entries.contains(&NodeId(0)), "reply leaks requester id back");
+                assert!(
+                    !entries.contains(&NodeId(0)),
+                    "reply leaks requester id back"
+                );
             }
             _ => panic!("expected reply"),
         }

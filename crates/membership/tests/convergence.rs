@@ -26,7 +26,10 @@ fn shuffle_rounds(mut views: Vec<PartialView>, rounds: usize, rng: &mut Rng) -> 
 #[test]
 fn long_shuffling_preserves_invariants() {
     let mut rng = Rng::seed_from_u64(1);
-    let config = ViewConfig { capacity: 8, shuffle_size: 4 };
+    let config = ViewConfig {
+        capacity: 8,
+        shuffle_size: 4,
+    };
     let views = bootstrap_views(40, &config, &mut rng);
     let views = shuffle_rounds(views, 5000, &mut rng);
     for (i, v) in views.iter().enumerate() {
@@ -41,7 +44,10 @@ fn long_shuffling_preserves_invariants() {
 #[test]
 fn shuffling_changes_views_over_time() {
     let mut rng = Rng::seed_from_u64(2);
-    let config = ViewConfig { capacity: 8, shuffle_size: 4 };
+    let config = ViewConfig {
+        capacity: 8,
+        shuffle_size: 4,
+    };
     let initial = bootstrap_views(30, &config, &mut rng);
     let snapshot: Vec<Vec<NodeId>> = initial.iter().map(|v| v.peers().to_vec()).collect();
     let evolved = shuffle_rounds(initial, 2000, &mut rng);
@@ -54,7 +60,10 @@ fn shuffling_changes_views_over_time() {
             now != before
         })
         .count();
-    assert!(changed > 20, "only {changed}/30 views changed after 2000 shuffles");
+    assert!(
+        changed > 20,
+        "only {changed}/30 views changed after 2000 shuffles"
+    );
 }
 
 #[test]
@@ -62,7 +71,10 @@ fn shuffled_overlay_remains_weakly_connected() {
     // Union of view edges (undirected) should form one connected component
     // after heavy shuffling — the property that keeps gossip reliable.
     let mut rng = Rng::seed_from_u64(3);
-    let config = ViewConfig { capacity: 8, shuffle_size: 4 };
+    let config = ViewConfig {
+        capacity: 8,
+        shuffle_size: 4,
+    };
     let views = shuffle_rounds(bootstrap_views(50, &config, &mut rng), 5000, &mut rng);
     let n = views.len();
     let mut adj = vec![Vec::new(); n];
@@ -93,7 +105,10 @@ fn coverage_spreads_through_shuffles() {
     // A node initially knowing few peers learns about many distinct nodes
     // over time through shuffling.
     let mut rng = Rng::seed_from_u64(4);
-    let config = ViewConfig { capacity: 6, shuffle_size: 3 };
+    let config = ViewConfig {
+        capacity: 6,
+        shuffle_size: 3,
+    };
     let mut views = bootstrap_views(40, &config, &mut rng);
     let mut met: HashSet<NodeId> = views[0].peers().iter().copied().collect();
     for _ in 0..3000 {

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(log.delivery_count(m), 2);
 /// assert_eq!(log.latencies(), vec![50.0, 60.0]);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeliveryLog {
     node_count: usize,
     /// Per message: (source node, multicast time ms).
@@ -39,7 +39,11 @@ impl DeliveryLog {
     /// Panics if `node_count == 0`.
     pub fn new(node_count: usize) -> Self {
         assert!(node_count > 0, "need at least one node");
-        DeliveryLog { node_count, sends: Vec::new(), deliveries: Vec::new() }
+        DeliveryLog {
+            node_count,
+            sends: Vec::new(),
+            deliveries: Vec::new(),
+        }
     }
 
     /// Number of nodes the log covers.
@@ -194,7 +198,10 @@ impl DeliveryLog {
     /// Total number of deliveries recorded (excluding implicit source
     /// self-deliveries).
     pub fn total_deliveries(&self) -> u64 {
-        self.deliveries.iter().map(|d| d.iter().flatten().count() as u64).sum()
+        self.deliveries
+            .iter()
+            .map(|d| d.iter().flatten().count() as u64)
+            .sum()
     }
 }
 

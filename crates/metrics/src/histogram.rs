@@ -36,7 +36,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(lo < hi, "empty range");
         assert!(buckets > 0, "need at least one bucket");
-        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one sample.
@@ -46,8 +52,8 @@ impl Histogram {
         } else if value >= self.hi {
             self.overflow += 1;
         } else {
-            let idx = ((value - self.lo) / (self.hi - self.lo) * self.buckets.len() as f64)
-                as usize;
+            let idx =
+                ((value - self.lo) / (self.hi - self.lo) * self.buckets.len() as f64) as usize;
             let idx = idx.min(self.buckets.len() - 1);
             self.buckets[idx] += 1;
         }

@@ -29,7 +29,10 @@
 /// ```
 pub fn top_fraction_share(counts: &[u64], fraction: f64) -> f64 {
     assert!(!counts.is_empty(), "no links to rank");
-    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1]"
+    );
     let total: u64 = counts.iter().sum();
     if total == 0 {
         return 0.0;
@@ -49,7 +52,10 @@ pub fn top_fraction_share(counts: &[u64], fraction: f64) -> f64 {
 /// Panics under the same conditions as [`top_fraction_share`].
 pub fn top_fraction_count(link_count: usize, fraction: f64) -> usize {
     assert!(link_count > 0, "no links to rank");
-    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1]"
+    );
     ((link_count as f64 * fraction).round() as usize).clamp(1, link_count)
 }
 

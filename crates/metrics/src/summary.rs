@@ -51,13 +51,24 @@ impl Summary {
         } else {
             (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
         };
-        let ci95_half = if n < 2 { 0.0 } else { 1.96 * std_dev / (n as f64).sqrt() };
+        let ci95_half = if n < 2 {
+            0.0
+        } else {
+            1.96 * std_dev / (n as f64).sqrt()
+        };
         let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
         for &x in samples {
             min = min.min(x);
             max = max.max(x);
         }
-        Summary { n, mean, std_dev, ci95_half, min, max }
+        Summary {
+            n,
+            mean,
+            std_dev,
+            ci95_half,
+            min,
+            max,
+        }
     }
 
     /// Whether `value` lies within the 95 % confidence interval of the

@@ -29,6 +29,75 @@ mod xoshiro;
 
 pub use xoshiro::Rng;
 
+/// Fast, deterministic hashing for simulator-internal maps.
+///
+/// The event loop hashes message ids and link pairs on every send and
+/// receive; `std`'s default SipHash (with its per-process random seed) is
+/// both slower and non-reproducible across processes. This FxHash-style
+/// multiply-rotate hasher is deterministic and an order of magnitude
+/// cheaper on small fixed-size keys. It is **not** DoS-resistant — use it
+/// only for keys the simulation itself generates, never for untrusted
+/// input.
+pub mod hash {
+    use std::hash::{BuildHasherDefault, Hasher};
+
+    /// `HashMap` keyed by the deterministic [`FxHasher`].
+    pub type FastHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+    /// `HashSet` keyed by the deterministic [`FxHasher`].
+    pub type FastHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    /// FxHash-style multiply-rotate hasher (as used by rustc).
+    #[derive(Debug, Default, Clone)]
+    pub struct FxHasher {
+        hash: u64,
+    }
+
+    impl FxHasher {
+        #[inline]
+        fn add(&mut self, word: u64) {
+            self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+        }
+    }
+
+    impl Hasher for FxHasher {
+        #[inline]
+        fn write(&mut self, bytes: &[u8]) {
+            for chunk in bytes.chunks(8) {
+                let mut buf = [0u8; 8];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                self.add(u64::from_le_bytes(buf));
+            }
+        }
+
+        #[inline]
+        fn write_u8(&mut self, n: u8) {
+            self.add(u64::from(n));
+        }
+
+        #[inline]
+        fn write_u32(&mut self, n: u32) {
+            self.add(u64::from(n));
+        }
+
+        #[inline]
+        fn write_u64(&mut self, n: u64) {
+            self.add(n);
+        }
+
+        #[inline]
+        fn write_usize(&mut self, n: usize) {
+            self.add(n as u64);
+        }
+
+        #[inline]
+        fn finish(&self) -> u64 {
+            self.hash
+        }
+    }
+}
+
 /// Extension helpers for sampling from collections.
 ///
 /// These are free functions rather than methods on `Rng` where they would
@@ -46,17 +115,32 @@ pub mod sample {
     ///
     /// Panics if `k > n`.
     pub fn distinct_indices(rng: &mut Rng, n: usize, k: usize) -> Vec<usize> {
-        assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        distinct_indices_into(rng, n, k, &mut chosen);
+        chosen
+    }
+
+    /// [`distinct_indices`] into a caller-owned buffer (cleared first).
+    ///
+    /// Draws exactly the same index sequence as `distinct_indices` for
+    /// the same RNG state, but lets hot paths (gossip target sampling,
+    /// shuffle subsets) reuse one scratch vector instead of allocating
+    /// per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn distinct_indices_into(rng: &mut Rng, n: usize, k: usize, out: &mut Vec<usize>) {
+        assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+        out.clear();
         for j in (n - k)..n {
             let t = rng.range_usize(0, j + 1);
-            if chosen.contains(&t) {
-                chosen.push(j);
+            if out.contains(&t) {
+                out.push(j);
             } else {
-                chosen.push(t);
+                out.push(t);
             }
         }
-        chosen
     }
 
     /// Draws one element uniformly from a non-empty slice.
@@ -135,5 +219,35 @@ mod tests {
         let picks = distinct_indices(&mut rng, 12, 12);
         let set: HashSet<_> = picks.into_iter().collect();
         assert_eq!(set.len(), 12);
+    }
+}
+
+#[cfg(test)]
+mod hash_tests {
+    use super::hash::{FastHashMap, FastHashSet, FxHasher};
+    use std::hash::{Hash, Hasher};
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            v.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42), "same input, same hash");
+        let distinct: std::collections::HashSet<u64> = (0..10_000).map(h).collect();
+        assert_eq!(distinct.len(), 10_000, "no collisions on small ints");
+    }
+
+    #[test]
+    fn fast_collections_behave_like_std() {
+        let mut m: FastHashMap<(u32, u32), u64> = FastHashMap::default();
+        m.insert((1, 2), 10);
+        m.insert((1, 2), 20);
+        assert_eq!(m.get(&(1, 2)), Some(&20));
+        assert_eq!(m.len(), 1);
+        let mut s: FastHashSet<u128> = FastHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
     }
 }

@@ -62,7 +62,10 @@ mod tests {
         Scheduled {
             time: SimTime::from_ms(ms),
             seq,
-            kind: EventKind::Timer { node: NodeId(0), tag: 0 },
+            kind: EventKind::Timer {
+                node: NodeId(0),
+                tag: 0,
+            },
         }
     }
 

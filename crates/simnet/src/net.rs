@@ -136,7 +136,11 @@ impl Network {
     /// Builds the network from its configuration.
     pub fn new(config: SimConfig) -> Self {
         let n = config.node_count();
-        Network { config, silenced: vec![false; n], egress_free: vec![SimTime::ZERO; n] }
+        Network {
+            config,
+            silenced: vec![false; n],
+            egress_free: vec![SimTime::ZERO; n],
+        }
     }
 
     /// Number of nodes.
@@ -195,7 +199,11 @@ impl Network {
             self.egress_free[from.index()] = depart_done;
             delay = (depart_done - now) + propagation;
         }
-        Some(if delay < self.config.min_delay { self.config.min_delay } else { delay })
+        Some(if delay < self.config.min_delay {
+            self.config.min_delay
+        } else {
+            delay
+        })
     }
 
     /// Silences a node: all of its future traffic, in and out, is dropped.
@@ -244,9 +252,15 @@ mod tests {
     #[test]
     fn uniform_delay_is_constant() {
         let net = Network::new(SimConfig::uniform(3, 25.0));
-        assert_eq!(net.base_delay(NodeId(0), NodeId(2)), SimDuration::from_ms(25.0));
+        assert_eq!(
+            net.base_delay(NodeId(0), NodeId(2)),
+            SimDuration::from_ms(25.0)
+        );
         // self-sends use the floor delay
-        assert_eq!(net.base_delay(NodeId(1), NodeId(1)), SimDuration::from_micros(10));
+        assert_eq!(
+            net.base_delay(NodeId(1), NodeId(1)),
+            SimDuration::from_micros(10)
+        );
     }
 
     #[test]
@@ -254,7 +268,10 @@ mod tests {
         let model = RoutedModel::uniform_synthetic(4, 10.0, 20.0, 1);
         let expect = model.latency_ms(1, 3);
         let net = Network::new(SimConfig::from_model(model));
-        assert_eq!(net.base_delay(NodeId(1), NodeId(3)), SimDuration::from_ms(expect));
+        assert_eq!(
+            net.base_delay(NodeId(1), NodeId(3)),
+            SimDuration::from_ms(expect)
+        );
     }
 
     fn tx(net: &mut Network, rng: &mut Rng, from: usize, to: usize) -> Option<SimDuration> {
@@ -283,8 +300,9 @@ mod tests {
     fn partial_loss_is_calibrated() {
         let mut net = Network::new(SimConfig::uniform(2, 5.0).with_loss(0.2));
         let mut rng = Rng::seed_from_u64(2);
-        let delivered =
-            (0..10_000).filter(|_| tx(&mut net, &mut rng, 0, 1).is_some()).count();
+        let delivered = (0..10_000)
+            .filter(|_| tx(&mut net, &mut rng, 0, 1).is_some())
+            .count();
         let frac = delivered as f64 / 10_000.0;
         assert!((frac - 0.8).abs() < 0.02, "delivered fraction {frac}");
     }
@@ -321,18 +339,26 @@ mod tests {
     #[test]
     fn egress_bandwidth_serializes_bursts() {
         // 1000 bytes/sec, 100-byte messages => 100ms serialization each.
-        let mut net =
-            Network::new(SimConfig::uniform(2, 10.0).with_egress_bandwidth(1000.0));
+        let mut net = Network::new(SimConfig::uniform(2, 10.0).with_egress_bandwidth(1000.0));
         let mut rng = Rng::seed_from_u64(5);
         let d1 = tx(&mut net, &mut rng, 0, 1).expect("delivered").as_ms();
         let d2 = tx(&mut net, &mut rng, 0, 1).expect("delivered").as_ms();
         let d3 = tx(&mut net, &mut rng, 0, 1).expect("delivered").as_ms();
-        assert!((d1 - 110.0).abs() < 0.01, "first: serialization + propagation, got {d1}");
-        assert!((d2 - 210.0).abs() < 0.01, "second queues behind first, got {d2}");
+        assert!(
+            (d1 - 110.0).abs() < 0.01,
+            "first: serialization + propagation, got {d1}"
+        );
+        assert!(
+            (d2 - 210.0).abs() < 0.01,
+            "second queues behind first, got {d2}"
+        );
         assert!((d3 - 310.0).abs() < 0.01, "third queues further, got {d3}");
         // A different sender has its own free uplink.
         let other = tx(&mut net, &mut rng, 1, 0).expect("delivered").as_ms();
-        assert!((other - 110.0).abs() < 0.01, "per-node uplinks, got {other}");
+        assert!(
+            (other - 110.0).abs() < 0.01,
+            "per-node uplinks, got {other}"
+        );
     }
 
     #[test]

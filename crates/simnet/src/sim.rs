@@ -90,7 +90,9 @@ impl<M: Wire> Context<'_, M> {
         let bytes = msg.wire_bytes();
         self.core.traffic.record(from, to, bytes, msg.is_payload());
         if let Some(delay) =
-            self.core.network.transmit(&mut self.core.net_rng, self.now, from, to, bytes)
+            self.core
+                .network
+                .transmit(&mut self.core.net_rng, self.now, from, to, bytes)
         {
             let time = self.now + delay;
             self.core.push(time, EventKind::Deliver { to, from, msg });
@@ -120,7 +122,11 @@ struct SimCore<M> {
 
 impl<M> SimCore<M> {
     fn push(&mut self, time: SimTime, kind: EventKind<M>) {
-        self.queue.push(Scheduled { time, seq: self.seq, kind });
+        self.queue.push(Scheduled {
+            time,
+            seq: self.seq,
+            kind,
+        });
         self.seq += 1;
     }
 }
@@ -159,7 +165,10 @@ impl<P: Protocol> Sim<P> {
         let net_rng = root.fork();
         Sim {
             core: SimCore {
-                queue: BinaryHeap::new(),
+                // Pre-size the event heap: a gossip burst schedules
+                // ~fanout events per node, so even modest runs reach
+                // hundreds of in-flight events within the first round.
+                queue: BinaryHeap::with_capacity(1024),
                 seq: 0,
                 network: Network::new(config),
                 traffic: Traffic::default(),
@@ -227,7 +236,9 @@ impl<P: Protocol> Sim<P> {
         let bytes = msg.wire_bytes();
         self.core.traffic.record(from, to, bytes, msg.is_payload());
         if let Some(delay) =
-            self.core.network.transmit(&mut self.core.net_rng, self.now, from, to, bytes)
+            self.core
+                .network
+                .transmit(&mut self.core.net_rng, self.now, from, to, bytes)
         {
             let time = self.now + delay;
             self.core.push(time, EventKind::Deliver { to, from, msg });
@@ -271,7 +282,11 @@ impl<P: Protocol> Sim<P> {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            let mut ctx = Context { id: NodeId(i), now: self.now, core: &mut self.core };
+            let mut ctx = Context {
+                id: NodeId(i),
+                now: self.now,
+                core: &mut self.core,
+            };
             self.nodes[i].on_start(&mut ctx);
         }
     }
@@ -288,15 +303,27 @@ impl<P: Protocol> Sim<P> {
         self.events_processed += 1;
         match ev.kind {
             EventKind::Deliver { to, from, msg } => {
-                let mut ctx = Context { id: to, now: self.now, core: &mut self.core };
+                let mut ctx = Context {
+                    id: to,
+                    now: self.now,
+                    core: &mut self.core,
+                };
                 self.nodes[to.index()].on_receive(&mut ctx, from, msg);
             }
             EventKind::Timer { node, tag } => {
-                let mut ctx = Context { id: node, now: self.now, core: &mut self.core };
+                let mut ctx = Context {
+                    id: node,
+                    now: self.now,
+                    core: &mut self.core,
+                };
                 self.nodes[node.index()].on_timer(&mut ctx, tag);
             }
             EventKind::Command { node, value } => {
-                let mut ctx = Context { id: node, now: self.now, core: &mut self.core };
+                let mut ctx = Context {
+                    id: node,
+                    now: self.now,
+                    core: &mut self.core,
+                };
                 self.nodes[node.index()].on_command(&mut ctx, value);
             }
             EventKind::Silence(node) => self.core.network.silence(node),
@@ -395,7 +422,11 @@ mod tests {
     }
 
     fn two_nodes(ms: f64) -> Sim<Echo> {
-        Sim::new(SimConfig::uniform(2, ms), 7, vec![Echo::default(), Echo::default()])
+        Sim::new(
+            SimConfig::uniform(2, ms),
+            7,
+            vec![Echo::default(), Echo::default()],
+        )
     }
 
     #[test]
@@ -440,7 +471,10 @@ mod tests {
             vec![TimerNode { fired: Vec::new() }],
         );
         sim.run_to_idle();
-        assert_eq!(sim.node(NodeId(0)).fired, vec![(1, 1.0), (3, 3.0), (5, 5.0)]);
+        assert_eq!(
+            sim.node(NodeId(0)).fired,
+            vec![(1, 1.0), (3, 3.0), (5, 5.0)]
+        );
     }
 
     #[test]
@@ -499,7 +533,9 @@ mod tests {
             (
                 sim.traffic().total_messages(),
                 sim.traffic().total_bytes(),
-                sim.nodes().map(|(_, n)| n.pongs.clone()).collect::<Vec<_>>(),
+                sim.nodes()
+                    .map(|(_, n)| n.pongs.clone())
+                    .collect::<Vec<_>>(),
             )
         };
         assert_eq!(run(11), run(11));

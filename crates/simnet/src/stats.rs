@@ -7,8 +7,8 @@
 //! which matches how the paper counts transmissions.
 
 use crate::NodeId;
+use egm_rng::hash::FastHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Per-directed-link tally of traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,7 +37,7 @@ pub struct LinkTally {
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Traffic {
-    links: HashMap<(NodeId, NodeId), LinkTally>,
+    links: FastHashMap<(NodeId, NodeId), LinkTally>,
     total: LinkTally,
 }
 

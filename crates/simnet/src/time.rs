@@ -162,7 +162,10 @@ mod tests {
         assert_eq!(t, SimTime::from_ms(15.0));
         assert_eq!(t - SimTime::from_ms(4.0), SimDuration::from_ms(11.0));
         // saturating subtraction
-        assert_eq!(SimTime::from_ms(1.0) - SimTime::from_ms(9.0), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_ms(1.0) - SimTime::from_ms(9.0),
+            SimDuration::ZERO
+        );
         let mut u = SimTime::ZERO;
         u += SimDuration::from_ms(3.0);
         assert_eq!(u.as_ms(), 3.0);
@@ -182,7 +185,10 @@ mod tests {
 
     #[test]
     fn mul_f64_rounds() {
-        assert_eq!(SimDuration::from_ms(10.0).mul_f64(0.25), SimDuration::from_ms(2.5));
+        assert_eq!(
+            SimDuration::from_ms(10.0).mul_f64(0.25),
+            SimDuration::from_ms(2.5)
+        );
         assert_eq!(SimDuration::from_ms(10.0).mul_f64(0.0), SimDuration::ZERO);
     }
 

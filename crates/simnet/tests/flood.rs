@@ -54,7 +54,12 @@ impl Protocol for Node {
 }
 
 fn nodes(n: usize) -> Vec<Node> {
-    (0..n).map(|_| Node { seen: false, received_at: None }).collect()
+    (0..n)
+        .map(|_| Node {
+            seen: false,
+            received_at: None,
+        })
+        .collect()
 }
 
 #[test]
@@ -90,8 +95,11 @@ fn flood_with_loss_still_mostly_covers() {
 fn event_count_is_deterministic() {
     let run = || {
         let n = 100;
-        let mut sim =
-            Sim::new(SimConfig::uniform(n, 5.0).with_loss(0.1).with_jitter(0.2), 3, nodes(n));
+        let mut sim = Sim::new(
+            SimConfig::uniform(n, 5.0).with_loss(0.1).with_jitter(0.2),
+            3,
+            nodes(n),
+        );
         sim.schedule_command(SimTime::from_ms(0.0), NodeId(7), 0);
         sim.run_for(SimDuration::from_ms(200.0));
         (sim.events_processed(), sim.traffic().total_bytes())

@@ -1,6 +1,8 @@
 fn main() {
     for seed in [0u64, 42, 7] {
-        let m = egm_topology::TransitStubConfig::default().with_seed(seed).build();
+        let m = egm_topology::TransitStubConfig::default()
+            .with_seed(seed)
+            .build();
         println!("seed {seed}: {}", m.stats());
     }
 }

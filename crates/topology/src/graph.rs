@@ -98,7 +98,10 @@ impl Graph {
     /// Panics if either endpoint is out of range, if `a == b`, or if
     /// `latency_ms` is not finite and positive.
     pub fn add_edge(&mut self, a: RouterId, b: RouterId, latency_ms: f64) {
-        assert!(a < self.adj.len() && b < self.adj.len(), "vertex out of range");
+        assert!(
+            a < self.adj.len() && b < self.adj.len(),
+            "vertex out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         assert!(
             latency_ms.is_finite() && latency_ms > 0.0,
@@ -114,7 +117,9 @@ impl Graph {
 
     /// Returns `true` if an edge between `a` and `b` exists.
     pub fn has_edge(&self, a: RouterId, b: RouterId) -> bool {
-        self.adj.get(a).is_some_and(|ns| ns.iter().any(|&(n, _)| n == b))
+        self.adj
+            .get(a)
+            .is_some_and(|ns| ns.iter().any(|&(n, _)| n == b))
     }
 
     /// Degree of vertex `v`.
@@ -136,7 +141,10 @@ impl Graph {
         let mut heap = BinaryHeap::new();
         latency_ms[source] = 0.0;
         hops[source] = 0;
-        heap.push(HeapEntry { dist: 0.0, node: source });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source,
+        });
         while let Some(HeapEntry { dist, node }) = heap.pop() {
             if dist > latency_ms[node] {
                 continue;
@@ -148,7 +156,10 @@ impl Graph {
                 if better {
                     latency_ms[next] = nd;
                     hops[next] = hops[node] + 1;
-                    heap.push(HeapEntry { dist: nd, node: next });
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: next,
+                    });
                 }
             }
         }

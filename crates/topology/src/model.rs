@@ -66,10 +66,20 @@ impl RoutedModel {
                 let l = latency_ms[a * n + b];
                 assert!(l.is_finite() && l >= 0.0, "bad latency {l} at ({a},{b})");
                 assert_eq!(l, latency_ms[b * n + a], "asymmetric latency at ({a},{b})");
-                assert_eq!(hops[a * n + b], hops[b * n + a], "asymmetric hops at ({a},{b})");
+                assert_eq!(
+                    hops[a * n + b],
+                    hops[b * n + a],
+                    "asymmetric hops at ({a},{b})"
+                );
             }
         }
-        RoutedModel { n, latency_ms, hops, coords, router_count }
+        RoutedModel {
+            n,
+            latency_ms,
+            hops,
+            coords,
+            router_count,
+        }
     }
 
     /// Synthetic model with i.i.d. uniform pairwise latencies in
@@ -102,7 +112,13 @@ impl RoutedModel {
                 Point::new(500.0 + 400.0 * theta.cos(), 500.0 + 400.0 * theta.sin())
             })
             .collect();
-        RoutedModel { n, latency_ms, hops, coords, router_count: 0 }
+        RoutedModel {
+            n,
+            latency_ms,
+            hops,
+            coords,
+            router_count: 0,
+        }
     }
 
     /// Synthetic model where latency is proportional to distance between
@@ -132,7 +148,13 @@ impl RoutedModel {
                 hops[b * n + a] = 1;
             }
         }
-        RoutedModel { n, latency_ms, hops, coords, router_count: 0 }
+        RoutedModel {
+            n,
+            latency_ms,
+            hops,
+            coords,
+            router_count: 0,
+        }
     }
 
     /// Number of client nodes in the model.

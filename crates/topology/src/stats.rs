@@ -60,8 +60,11 @@ impl ModelStats {
         } else {
             (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
         };
-        let frac_latency_39_60 =
-            latency_ms.iter().filter(|&&l| (39.0..=60.0).contains(&l)).count() as f64 / n;
+        let frac_latency_39_60 = latency_ms
+            .iter()
+            .filter(|&&l| (39.0..=60.0).contains(&l))
+            .count() as f64
+            / n;
         let mean_hops = hops.iter().map(|&h| h as f64).sum::<f64>() / n;
         let frac_hops_5_6 = hops.iter().filter(|&&h| h == 5 || h == 6).count() as f64 / n;
         ModelStats {

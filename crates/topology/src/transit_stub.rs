@@ -146,7 +146,10 @@ impl TransitStubConfig {
     /// *distinct* stub routers, §5.1).
     pub fn build(&self) -> RoutedModel {
         assert!(self.transit_domains > 0, "need at least one transit domain");
-        assert!(self.routers_per_transit > 0, "need routers per transit domain");
+        assert!(
+            self.routers_per_transit > 0,
+            "need routers per transit domain"
+        );
         assert!(self.clients > 0, "need at least one client");
         assert!(
             self.clients <= self.stub_router_count(),
@@ -154,7 +157,10 @@ impl TransitStubConfig {
             self.clients,
             self.stub_router_count()
         );
-        assert!(self.ms_per_unit > 0.0 && self.min_link_ms > 0.0, "latency scale must be positive");
+        assert!(
+            self.ms_per_unit > 0.0 && self.min_link_ms > 0.0,
+            "latency scale must be positive"
+        );
 
         let mut rng = Rng::seed_from_u64(self.seed);
         let mut graph = Graph::new(0);
@@ -269,7 +275,11 @@ impl TransitStubConfig {
                 // attachment points (router-level hops), so the two client
                 // access links are not counted — matching how §5.1 reports
                 // "hop distance between client nodes" for ModelNet.
-                hops[i * n + j] = if i == j { 0 } else { sp.hops[dst].saturating_sub(2) };
+                hops[i * n + j] = if i == j {
+                    0
+                } else {
+                    sp.hops[dst].saturating_sub(2)
+                };
             }
         }
         // Dijkstra is deterministic and the graph undirected, but float
@@ -313,7 +323,10 @@ mod tests {
                 assert_eq!(l, m.latency_ms(b, a));
                 if a != b {
                     assert!(l >= 2.0 * 1.0, "two access links minimum, got {l}");
-                    assert!(m.hops(a, b) >= 1, "distinct stubs are at least one router hop");
+                    assert!(
+                        m.hops(a, b) >= 1,
+                        "distinct stubs are at least one router hop"
+                    );
                 }
             }
         }
@@ -349,7 +362,10 @@ mod tests {
     fn router_count_matches_formula() {
         let c = TransitStubConfig::default();
         assert_eq!(c.router_count(), 100 + 2800);
-        let m = TransitStubConfig::small().with_clients(4).with_seed(0).build();
+        let m = TransitStubConfig::small()
+            .with_clients(4)
+            .with_seed(0)
+            .build();
         assert_eq!(m.router_count(), TransitStubConfig::small().router_count());
     }
 
@@ -377,7 +393,15 @@ mod tests {
             "mean latency {} out of calibration band",
             s.mean_latency_ms
         );
-        assert!(s.frac_latency_39_60 > 0.25, "band fraction {}", s.frac_latency_39_60);
-        assert!(s.frac_hops_5_6 > 0.3, "hop band fraction {}", s.frac_hops_5_6);
+        assert!(
+            s.frac_latency_39_60 > 0.25,
+            "band fraction {}",
+            s.frac_latency_39_60
+        );
+        assert!(
+            s.frac_hops_5_6 > 0.3,
+            "hop band fraction {}",
+            s.frac_hops_5_6
+        );
     }
 }

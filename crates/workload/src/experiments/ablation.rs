@@ -34,20 +34,34 @@ pub fn run(scale: &Scale) -> Vec<AblationRow> {
     let strategies = [
         StrategySpec::Flat { pi: 1.0 },
         StrategySpec::Ranked { best_fraction: 0.2 },
-        StrategySpec::Combined { best_fraction: 0.2, rho: 20.0, u: 2, t0_ms: 20.0 },
+        StrategySpec::Combined {
+            best_fraction: 0.2,
+            rho: 20.0,
+            u: 2,
+            t0_ms: 20.0,
+        },
     ];
-    let mut rows = Vec::new();
+    let mut meta: Vec<(String, bool)> = Vec::new();
+    let mut scenarios = Vec::new();
     for strategy in strategies {
         for suppression in [false, true] {
             let mut scenario = super::base_scenario(scale)
                 .with_strategy(strategy.clone())
                 .with_monitor(MonitorSpec::OracleLatency);
             scenario.protocol.suppress_known = suppression;
-            let report = scenario.run_with_model(model.clone());
-            rows.push(AblationRow { strategy: strategy.label(), suppression, report });
+            meta.push((strategy.label(), suppression));
+            scenarios.push(scenario);
         }
     }
-    rows
+    let reports = crate::runner::run_sweep_reports(scenarios, Some(model));
+    meta.into_iter()
+        .zip(reports)
+        .map(|((strategy, suppression), report)| AblationRow {
+            strategy,
+            suppression,
+            report,
+        })
+        .collect()
 }
 
 /// Renders the ablation table.
@@ -64,10 +78,18 @@ pub fn render(rows: &[AblationRow]) -> String {
     for r in rows {
         t.row([
             r.strategy.clone(),
-            if r.suppression { "on".into() } else { "off".to_string() },
+            if r.suppression {
+                "on".into()
+            } else {
+                "off".to_string()
+            },
             table::num(r.report.payloads_per_delivery, 2),
-            r.report.payloads_per_delivery_low.map_or("-".into(), |v| table::num(v, 2)),
-            r.report.payloads_per_delivery_best.map_or("-".into(), |v| table::num(v, 2)),
+            r.report
+                .payloads_per_delivery_low
+                .map_or("-".into(), |v| table::num(v, 2)),
+            r.report
+                .payloads_per_delivery_best
+                .map_or("-".into(), |v| table::num(v, 2)),
             table::num(r.report.mean_latency_ms(), 0),
             table::pct(r.report.mean_delivery_fraction),
         ]);
@@ -81,17 +103,28 @@ mod tests {
 
     #[test]
     fn suppression_cuts_spoke_cost_without_hurting_delivery() {
-        let scale = Scale { nodes: 30, messages: 40, seed: 29 };
+        let scale = Scale {
+            nodes: 30,
+            messages: 40,
+            seed: 29,
+        };
         let rows = run(&scale);
         assert_eq!(rows.len(), 6);
         // Ranked rows: suppression must reduce the low-node contribution
         // and keep delivery intact.
-        let ranked_off = rows.iter().find(|r| r.strategy.contains("ranked") && !r.suppression);
-        let ranked_on = rows.iter().find(|r| r.strategy.contains("ranked") && r.suppression);
+        let ranked_off = rows
+            .iter()
+            .find(|r| r.strategy.contains("ranked") && !r.suppression);
+        let ranked_on = rows
+            .iter()
+            .find(|r| r.strategy.contains("ranked") && r.suppression);
         let (off, on) = (ranked_off.expect("row"), ranked_on.expect("row"));
         let low_off = off.report.payloads_per_delivery_low.expect("group");
         let low_on = on.report.payloads_per_delivery_low.expect("group");
-        assert!(low_on < low_off, "suppression must cut spoke cost: {low_on} vs {low_off}");
+        assert!(
+            low_on < low_off,
+            "suppression must cut spoke cost: {low_on} vs {low_off}"
+        );
         assert!(on.report.mean_delivery_fraction > 0.99, "{}", on.report);
         let text = render(&rows);
         assert!(text.contains("suppression"));

@@ -13,8 +13,11 @@ use egm_core::{MonitorSpec, StrategySpec};
 use egm_metrics::{table, Table};
 
 /// Paper-quoted top-5 % traffic shares (Fig. 4 caption).
-pub const PAPER_SHARES: [(&str, f64); 3] =
-    [("eager (flat pi=1)", 0.07), ("radius", 0.37), ("ranked", 0.30)];
+pub const PAPER_SHARES: [(&str, f64); 3] = [
+    ("eager (flat pi=1)", 0.07),
+    ("radius", 0.37),
+    ("ranked", 0.30),
+];
 
 /// Distance-oracle radius (map units) used by the Radius run; chosen so a
 /// peer is "near" when its pseudo-geographic distance is well below the
@@ -36,13 +39,21 @@ pub struct StructureRow {
     pub outcome: RunOutcome,
 }
 
-/// Runs the three Fig. 4 configurations over one shared model.
+/// Runs the three Fig. 4 configurations over one shared model, fanned
+/// across cores by [`crate::runner::run_sweep`].
 pub fn run(scale: &Scale) -> Vec<StructureRow> {
     let model = super::shared_model(scale);
     let configs: [(StrategySpec, MonitorSpec, f64); 3] = [
-        (StrategySpec::Flat { pi: 1.0 }, MonitorSpec::Null, PAPER_SHARES[0].1),
         (
-            StrategySpec::Radius { rho: RADIUS_UNITS, t0_ms: 30.0 },
+            StrategySpec::Flat { pi: 1.0 },
+            MonitorSpec::Null,
+            PAPER_SHARES[0].1,
+        ),
+        (
+            StrategySpec::Radius {
+                rho: RADIUS_UNITS,
+                t0_ms: 30.0,
+            },
             MonitorSpec::OracleDistance,
             PAPER_SHARES[1].1,
         ),
@@ -52,20 +63,24 @@ pub fn run(scale: &Scale) -> Vec<StructureRow> {
             PAPER_SHARES[2].1,
         ),
     ];
+    let scenarios: Vec<_> = configs
+        .iter()
+        .map(|(strategy, monitor, _)| {
+            super::base_scenario(scale)
+                .with_strategy(strategy.clone())
+                .with_monitor(*monitor)
+        })
+        .collect();
+    let outcomes = crate::runner::run_sweep(scenarios, Some(model));
     configs
         .into_iter()
-        .map(|(strategy, monitor, paper_share)| {
-            let scenario = super::base_scenario(scale)
-                .with_strategy(strategy)
-                .with_monitor(monitor);
-            let outcome = crate::runner::run_detailed(&scenario, Some(model.clone()));
-            StructureRow {
-                label: outcome.report.label.clone(),
-                paper_share,
-                measured_share: outcome.report.top5_link_share,
-                node_gini: outcome.report.node_gini,
-                outcome,
-            }
+        .zip(outcomes)
+        .map(|((_, _, paper_share), outcome)| StructureRow {
+            label: outcome.report.label.clone(),
+            paper_share,
+            measured_share: outcome.report.top5_link_share,
+            node_gini: outcome.report.node_gini,
+            outcome,
         })
         .collect()
 }
@@ -99,9 +114,19 @@ pub fn structure_map(outcome: &RunOutcome, width: usize, height: usize) -> Strin
     assert!(width >= 8 && height >= 8, "map too small");
     let model = &outcome.model;
     let n = model.client_count();
-    let max_load = outcome.payloads_per_node.iter().copied().max().unwrap_or(0).max(1);
-    let (mut min_x, mut max_x, mut min_y, mut max_y) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let max_load = outcome
+        .payloads_per_node
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for i in 0..n {
         let p = model.coord(i);
         min_x = min_x.min(p.x);
@@ -142,7 +167,11 @@ mod tests {
 
     #[test]
     fn structure_emerges_for_radius_and_ranked() {
-        let scale = Scale { nodes: 30, messages: 40, seed: 11 };
+        let scale = Scale {
+            nodes: 30,
+            messages: 40,
+            seed: 11,
+        };
         let rows = run(&scale);
         assert_eq!(rows.len(), 3);
         let eager = rows[0].measured_share;
@@ -159,7 +188,11 @@ mod tests {
 
     #[test]
     fn structure_map_renders_grid() {
-        let scale = Scale { nodes: 15, messages: 10, seed: 3 };
+        let scale = Scale {
+            nodes: 15,
+            messages: 10,
+            seed: 3,
+        };
         let rows = run(&scale);
         let map = structure_map(&rows[0].outcome, 40, 12);
         assert_eq!(map.lines().count(), 12);
@@ -170,7 +203,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "map too small")]
     fn tiny_map_panics() {
-        let scale = Scale { nodes: 15, messages: 5, seed: 3 };
+        let scale = Scale {
+            nodes: 15,
+            messages: 5,
+            seed: 3,
+        };
         let rows = run(&scale);
         let _ = structure_map(&rows[0].outcome, 2, 2);
     }

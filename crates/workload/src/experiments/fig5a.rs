@@ -32,19 +32,43 @@ pub struct TradeoffPoint {
     pub report: RunReport,
 }
 
-/// Sweeps all Fig. 5(a) series over one shared model.
+/// Sweeps all Fig. 5(a) series over one shared model, one parallel
+/// [`crate::runner::run_sweep`] batch for every point.
 pub fn run(scale: &Scale) -> Vec<TradeoffPoint> {
     let model = super::shared_model(scale);
-    let mut points = Vec::new();
 
-    let push = |series: &'static str,
-                    label: String,
-                    strategy: StrategySpec,
-                    points: &mut Vec<TradeoffPoint>| {
-        let scenario = super::base_scenario(scale)
-            .with_strategy(strategy)
-            .with_monitor(MonitorSpec::OracleLatency);
-        let report = scenario.run_with_model(model.clone());
+    let mut jobs: Vec<(&'static str, String, StrategySpec)> = Vec::new();
+    for pi in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        jobs.push(("flat", format!("pi={pi:.2}"), StrategySpec::Flat { pi }));
+    }
+    for u in [2u32, 3, 4] {
+        jobs.push(("ttl", format!("u={u}"), StrategySpec::Ttl { u }));
+    }
+    for rho in RADIUS_MS {
+        jobs.push((
+            "radius",
+            format!("rho={rho:.0}ms"),
+            StrategySpec::Radius { rho, t0_ms: rho },
+        ));
+    }
+    jobs.push((
+        "ranked (all)",
+        "best=20%".into(),
+        StrategySpec::Ranked { best_fraction: 0.2 },
+    ));
+
+    let scenarios: Vec<_> = jobs
+        .iter()
+        .map(|(_, _, strategy)| {
+            super::base_scenario(scale)
+                .with_strategy(strategy.clone())
+                .with_monitor(MonitorSpec::OracleLatency)
+        })
+        .collect();
+    let reports = crate::runner::run_sweep_reports(scenarios, Some(model));
+
+    let mut points = Vec::new();
+    for ((series, label, _), report) in jobs.into_iter().zip(reports) {
         points.push(TradeoffPoint {
             series,
             label,
@@ -64,34 +88,19 @@ pub fn run(scale: &Scale) -> Vec<TradeoffPoint> {
                 });
             }
         }
-    };
-
-    for pi in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
-        push("flat", format!("pi={pi:.2}"), StrategySpec::Flat { pi }, &mut points);
     }
-    for u in [2u32, 3, 4] {
-        push("ttl", format!("u={u}"), StrategySpec::Ttl { u }, &mut points);
-    }
-    for rho in RADIUS_MS {
-        push(
-            "radius",
-            format!("rho={rho:.0}ms"),
-            StrategySpec::Radius { rho, t0_ms: rho },
-            &mut points,
-        );
-    }
-    push(
-        "ranked (all)",
-        "best=20%".into(),
-        StrategySpec::Ranked { best_fraction: 0.2 },
-        &mut points,
-    );
     points
 }
 
 /// Renders the figure table.
 pub fn render(points: &[TradeoffPoint]) -> String {
-    let mut t = Table::new(["series", "config", "payload/msg", "latency (ms)", "delivered (%)"]);
+    let mut t = Table::new([
+        "series",
+        "config",
+        "payload/msg",
+        "latency (ms)",
+        "delivered (%)",
+    ]);
     for p in points {
         t.row([
             p.series.to_string(),
@@ -115,15 +124,27 @@ mod tests {
 
     #[test]
     fn tradeoff_shape_matches_paper() {
-        let scale = Scale { nodes: 30, messages: 60, seed: 5 };
+        let scale = Scale {
+            nodes: 30,
+            messages: 60,
+            seed: 5,
+        };
         let points = run(&scale);
         let flat = series(&points, "flat");
         // Flat: pi=0 is slowest and cheapest; pi=1 fastest and most
         // expensive (the paper's 480ms/1 payload → 227ms/11 payloads).
         let lazy = flat.first().expect("pi=0 point");
         let eager = flat.last().expect("pi=1 point");
-        assert!(lazy.payloads_per_msg < 1.5, "lazy {}", lazy.payloads_per_msg);
-        assert!(eager.payloads_per_msg > 4.0, "eager {}", eager.payloads_per_msg);
+        assert!(
+            lazy.payloads_per_msg < 1.5,
+            "lazy {}",
+            lazy.payloads_per_msg
+        );
+        assert!(
+            eager.payloads_per_msg > 4.0,
+            "eager {}",
+            eager.payloads_per_msg
+        );
         assert!(lazy.latency_ms > eager.latency_ms * 1.5);
         // TTL dominates flat: for u=3, traffic well below eager with
         // latency close to it.

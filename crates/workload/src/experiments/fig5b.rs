@@ -33,7 +33,11 @@ pub struct ReliabilityPoint {
 pub fn run(scale: &Scale) -> Vec<ReliabilityPoint> {
     let model = super::shared_model(scale);
     let configs: [(&'static str, StrategySpec, FaultSelection); 3] = [
-        ("flat/random", StrategySpec::Flat { pi: 1.0 }, FaultSelection::Random),
+        (
+            "flat/random",
+            StrategySpec::Flat { pi: 1.0 },
+            FaultSelection::Random,
+        ),
         (
             "ranked/random",
             StrategySpec::Ranked { best_fraction: 0.2 },
@@ -45,29 +49,39 @@ pub fn run(scale: &Scale) -> Vec<ReliabilityPoint> {
             FaultSelection::BestRanked,
         ),
     ];
-    let mut points = Vec::new();
+    let mut meta: Vec<(&'static str, f64)> = Vec::new();
+    let mut scenarios = Vec::new();
     for (series, strategy, selection) in configs {
         for frac in FAIL_FRACTIONS {
             let faults = (frac > 0.0).then(|| FaultPlan::new(frac, selection));
-            let scenario = super::base_scenario(scale)
-                .with_strategy(strategy.clone())
-                .with_faults(faults);
-            let report = scenario.run_with_model(model.clone());
-            points.push(ReliabilityPoint {
-                series,
-                dead_fraction: frac,
-                mean_deliveries: report.mean_delivery_fraction,
-                report,
-            });
+            meta.push((series, frac));
+            scenarios.push(
+                super::base_scenario(scale)
+                    .with_strategy(strategy.clone())
+                    .with_faults(faults),
+            );
         }
     }
-    points
+    let reports = crate::runner::run_sweep_reports(scenarios, Some(model));
+    meta.into_iter()
+        .zip(reports)
+        .map(|((series, frac), report)| ReliabilityPoint {
+            series,
+            dead_fraction: frac,
+            mean_deliveries: report.mean_delivery_fraction,
+            report,
+        })
+        .collect()
 }
 
 /// Renders the figure table.
 pub fn render(points: &[ReliabilityPoint]) -> String {
-    let mut t =
-        Table::new(["series", "dead nodes (%)", "mean deliveries (%)", "atomic (%)"]);
+    let mut t = Table::new([
+        "series",
+        "dead nodes (%)",
+        "mean deliveries (%)",
+        "atomic (%)",
+    ]);
     for p in points {
         t.row([
             p.series.to_string(),
@@ -85,7 +99,11 @@ mod tests {
 
     #[test]
     fn reliability_is_flat_until_heavy_failures() {
-        let scale = Scale { nodes: 30, messages: 30, seed: 13 };
+        let scale = Scale {
+            nodes: 30,
+            messages: 30,
+            seed: 13,
+        };
         let points = run(&scale);
         assert_eq!(points.len(), 15);
         for p in &points {

@@ -31,48 +31,56 @@ pub struct HybridPoint {
     pub report: RunReport,
 }
 
-/// Sweeps TTL and the combined strategy over one shared model.
+/// Sweeps TTL and the combined strategy over one shared model, one
+/// parallel [`crate::runner::run_sweep`] batch for all six runs.
 pub fn run(scale: &Scale) -> Vec<HybridPoint> {
     let model = super::shared_model(scale);
-    let mut points = Vec::new();
+
+    let mut jobs: Vec<(&'static str, String, StrategySpec)> = Vec::new();
     for u in [2u32, 3, 4] {
-        let scenario = super::base_scenario(scale)
-            .with_strategy(StrategySpec::Ttl { u })
-            .with_monitor(MonitorSpec::OracleLatency);
-        let report = scenario.run_with_model(model.clone());
-        points.push(HybridPoint {
-            series: "ttl",
-            label: format!("u={u}"),
-            payloads_per_msg: report.payloads_per_delivery,
-            latency_ms: report.mean_latency_ms(),
-            report,
-        });
+        jobs.push(("ttl", format!("u={u}"), StrategySpec::Ttl { u }));
     }
     for rho in COMBINED_RHO_MS {
-        let scenario = super::base_scenario(scale)
-            .with_strategy(StrategySpec::Combined {
+        jobs.push((
+            "combined (all)",
+            format!("rho={rho:.0}ms"),
+            StrategySpec::Combined {
                 best_fraction: 0.2,
                 rho,
                 u: 2,
                 t0_ms: rho,
-            })
-            .with_monitor(MonitorSpec::OracleLatency);
-        let report = scenario.run_with_model(model.clone());
+            },
+        ));
+    }
+    let scenarios: Vec<_> = jobs
+        .iter()
+        .map(|(_, _, strategy)| {
+            super::base_scenario(scale)
+                .with_strategy(strategy.clone())
+                .with_monitor(MonitorSpec::OracleLatency)
+        })
+        .collect();
+    let reports = crate::runner::run_sweep_reports(scenarios, Some(model));
+
+    let mut points = Vec::new();
+    for ((series, label, _), report) in jobs.into_iter().zip(reports) {
         points.push(HybridPoint {
-            series: "combined (all)",
-            label: format!("rho={rho:.0}ms"),
+            series,
+            label: label.clone(),
             payloads_per_msg: report.payloads_per_delivery,
             latency_ms: report.mean_latency_ms(),
             report: report.clone(),
         });
-        if let Some(low) = report.payloads_per_delivery_low {
-            points.push(HybridPoint {
-                series: "combined (low)",
-                label: format!("rho={rho:.0}ms"),
-                payloads_per_msg: low,
-                latency_ms: report.mean_latency_ms(),
-                report,
-            });
+        if series == "combined (all)" {
+            if let Some(low) = report.payloads_per_delivery_low {
+                points.push(HybridPoint {
+                    series: "combined (low)",
+                    label,
+                    payloads_per_msg: low,
+                    latency_ms: report.mean_latency_ms(),
+                    report,
+                });
+            }
         }
     }
     points
@@ -80,7 +88,13 @@ pub fn run(scale: &Scale) -> Vec<HybridPoint> {
 
 /// Renders the figure table.
 pub fn render(points: &[HybridPoint]) -> String {
-    let mut t = Table::new(["series", "config", "payload/msg", "latency (ms)", "best payload/msg"]);
+    let mut t = Table::new([
+        "series",
+        "config",
+        "payload/msg",
+        "latency (ms)",
+        "best payload/msg",
+    ]);
     for p in points {
         let best = p
             .report
@@ -103,16 +117,29 @@ mod tests {
 
     #[test]
     fn combined_gives_low_nodes_cheap_latency() {
-        let scale = Scale { nodes: 30, messages: 40, seed: 17 };
+        let scale = Scale {
+            nodes: 30,
+            messages: 40,
+            seed: 17,
+        };
         let points = run(&scale);
-        let low: Vec<_> = points.iter().filter(|p| p.series == "combined (low)").collect();
-        let all: Vec<_> = points.iter().filter(|p| p.series == "combined (all)").collect();
+        let low: Vec<_> = points
+            .iter()
+            .filter(|p| p.series == "combined (low)")
+            .collect();
+        let all: Vec<_> = points
+            .iter()
+            .filter(|p| p.series == "combined (all)")
+            .collect();
         assert_eq!(low.len(), 3);
         for (l, a) in low.iter().zip(&all) {
             // Regular nodes pay much less than the run average, and the
             // best nodes carry several times the regular load (§6.4).
             assert!(l.payloads_per_msg < a.payloads_per_msg);
-            let best = a.report.payloads_per_delivery_best.expect("best group present");
+            let best = a
+                .report
+                .payloads_per_delivery_best
+                .expect("best group present");
             assert!(
                 best > 2.0 * l.payloads_per_msg,
                 "hubs {best} vs low {}",

@@ -42,33 +42,57 @@ pub fn run(scale: &Scale) -> Vec<NoisePoint> {
     let configs: [(&'static str, StrategySpec, MonitorSpec); 2] = [
         (
             "radius",
-            StrategySpec::Radius { rho: 25.0, t0_ms: 25.0 },
+            StrategySpec::Radius {
+                rho: 25.0,
+                t0_ms: 25.0,
+            },
             MonitorSpec::OracleLatency,
         ),
-        ("ranked", StrategySpec::Ranked { best_fraction: 0.2 }, MonitorSpec::OracleLatency),
+        (
+            "ranked",
+            StrategySpec::Ranked { best_fraction: 0.2 },
+            MonitorSpec::OracleLatency,
+        ),
     ];
-    let mut points = Vec::new();
-    for (series, strategy, monitor) in configs {
-        let base = super::base_scenario(scale)
-            .with_strategy(strategy.clone())
-            .with_monitor(monitor);
-        let c = crate::calibrate::eager_rate(&base, Some(model.clone()));
+    // Phase 1: calibrate `c` for both series in one parallel batch.
+    let bases: Vec<_> = configs
+        .iter()
+        .map(|(_, strategy, monitor)| {
+            super::base_scenario(scale)
+                .with_strategy(strategy.clone())
+                .with_monitor(*monitor)
+        })
+        .collect();
+    let probes: Vec<_> = bases.iter().map(crate::calibrate::probe_scenario).collect();
+    let rates: Vec<f64> = crate::runner::run_sweep(probes, Some(model.clone()))
+        .iter()
+        .map(crate::calibrate::rate_from_outcome)
+        .collect();
+
+    // Phase 2: the full noise grid, one parallel batch.
+    let mut meta: Vec<(&'static str, f64, f64)> = Vec::new();
+    let mut scenarios = Vec::new();
+    for ((&(series, _, _), base), &c) in configs.iter().zip(&bases).zip(&rates) {
         for o in NOISE_RATIOS {
             let noise = (o > 0.0).then_some(crate::scenario::NoiseConfig { o, c });
-            let report = base.clone().with_noise(noise).run_with_model(model.clone());
-            points.push(NoisePoint {
-                series,
-                noise: o,
-                c,
-                payloads_per_msg: report.payloads_per_delivery,
-                payloads_per_msg_low: report.payloads_per_delivery_low,
-                latency_ms: report.mean_latency_ms(),
-                top5_share: report.top5_link_share,
-                report,
-            });
+            meta.push((series, o, c));
+            scenarios.push(base.clone().with_noise(noise));
         }
     }
-    points
+    let reports = crate::runner::run_sweep_reports(scenarios, Some(model));
+    meta.into_iter()
+        .zip(reports)
+        .map(|((series, o, c), report)| NoisePoint {
+            series,
+            noise: o,
+            c,
+            payloads_per_msg: report.payloads_per_delivery,
+            payloads_per_msg_low: report.payloads_per_delivery_low,
+            latency_ms: report.mean_latency_ms(),
+            top5_share: report.top5_link_share,
+            report,
+        })
+        .collect()
 }
 
 /// Renders all three panels as one table.
@@ -86,7 +110,8 @@ pub fn render(points: &[NoisePoint]) -> String {
             p.series.to_string(),
             format!("{:.0}", p.noise * 100.0),
             table::num(p.payloads_per_msg, 2),
-            p.payloads_per_msg_low.map_or("-".into(), |v| table::num(v, 2)),
+            p.payloads_per_msg_low
+                .map_or("-".into(), |v| table::num(v, 2)),
             table::num(p.latency_ms, 0),
             table::pct(p.top5_share),
         ]);
@@ -100,7 +125,11 @@ mod tests {
 
     #[test]
     fn noise_preserves_traffic_and_dissolves_structure() {
-        let scale = Scale { nodes: 30, messages: 40, seed: 23 };
+        let scale = Scale {
+            nodes: 30,
+            messages: 40,
+            seed: 23,
+        };
         let points = run(&scale);
         assert_eq!(points.len(), 10);
         for series in ["radius", "ranked"] {
@@ -120,7 +149,10 @@ mod tests {
                 clean.top5_share,
                 noisy.top5_share
             );
-            assert!(noisy.top5_share < 0.20, "{series}: residual structure too strong");
+            assert!(
+                noisy.top5_share < 0.20,
+                "{series}: residual structure too strong"
+            );
         }
         let text = render(&points);
         assert!(text.contains("noise"));

@@ -47,12 +47,20 @@ pub struct Scale {
 impl Scale {
     /// Reduced scale for fast regeneration (~seconds per figure).
     pub fn quick() -> Self {
-        Scale { nodes: 50, messages: 120, seed: 42 }
+        Scale {
+            nodes: 50,
+            messages: 120,
+            seed: 42,
+        }
     }
 
     /// The paper's full scale: 100 nodes, 400 messages.
     pub fn paper() -> Self {
-        Scale { nodes: 100, messages: 400, seed: 42 }
+        Scale {
+            nodes: 100,
+            messages: 400,
+            seed: 42,
+        }
     }
 
     /// Reads `EGM_SCALE` from the environment: `paper` selects
@@ -102,16 +110,27 @@ mod tests {
 
     #[test]
     fn base_scenario_matches_scale() {
-        let scale = Scale { nodes: 30, messages: 10, seed: 1 };
+        let scale = Scale {
+            nodes: 30,
+            messages: 10,
+            seed: 1,
+        };
         let s = base_scenario(&scale);
         assert_eq!(s.node_count(), 30);
         assert_eq!(s.messages, 10);
-        assert!(s.protocol.shuffle_interval.is_some(), "overlay churns as in NeEM");
+        assert!(
+            s.protocol.shuffle_interval.is_some(),
+            "overlay churns as in NeEM"
+        );
     }
 
     #[test]
     fn shared_model_matches_base_scenario() {
-        let scale = Scale { nodes: 12, messages: 5, seed: 3 };
+        let scale = Scale {
+            nodes: 12,
+            messages: 5,
+            seed: 3,
+        };
         let model = shared_model(&scale);
         assert_eq!(model.client_count(), 12);
         // And is exactly the model a plain `run()` would build.

@@ -38,7 +38,9 @@ pub fn run(scale: &Scale) -> NetStats {
     let stats = model.stats();
     let scenario: Scenario =
         super::base_scenario(scale).with_strategy(StrategySpec::Flat { pi: 1.0 });
-    let outcome = crate::runner::run_detailed(&scenario, Some(model));
+    let outcome = crate::runner::run_sweep(vec![scenario], Some(model))
+        .pop()
+        .expect("one scenario in, one outcome out");
     NetStats {
         stats,
         // total_deliveries already includes the sources' own deliveries,
@@ -53,7 +55,11 @@ impl NetStats {
     /// Renders the paper-vs-measured table.
     pub fn render(&self) -> String {
         let mut t = Table::new(["quantity", "paper", "measured"]);
-        t.row(["mean hop distance", &format!("{PAPER_MEAN_HOPS}"), &table::num(self.stats.mean_hops, 2)]);
+        t.row([
+            "mean hop distance",
+            &format!("{PAPER_MEAN_HOPS}"),
+            &table::num(self.stats.mean_hops, 2),
+        ]);
         t.row([
             "pairs within 5-6 hops (%)",
             &format!("{:.1}", PAPER_FRAC_HOPS_5_6 * 100.0),
@@ -95,11 +101,19 @@ mod tests {
 
     #[test]
     fn netstats_report_shape() {
-        let scale = Scale { nodes: 20, messages: 10, seed: 7 };
+        let scale = Scale {
+            nodes: 20,
+            messages: 10,
+            seed: 7,
+        };
         let ns = run(&scale);
         // 10 messages × 20 nodes = 200 deliveries under eager push (with
         // high probability; allow a couple of misses).
-        assert!(ns.eager_deliveries >= 190, "deliveries {}", ns.eager_deliveries);
+        assert!(
+            ns.eager_deliveries >= 190,
+            "deliveries {}",
+            ns.eager_deliveries
+        );
         assert!(ns.eager_packets > ns.eager_deliveries, "fanout redundancy");
         assert!(ns.mean_delivery_round >= 1.0);
         let text = ns.render();

@@ -40,21 +40,29 @@ pub fn run(scale: &Scale) -> Vec<RankRow> {
     }
     // Chance baseline: a uniformly random 20% of nodes.
     let n = model.client_count();
-    let random_ids: Vec<egm_simnet::NodeId> =
-        egm_rng::sample::distinct_indices(&mut rng, n, n / 5)
-            .into_iter()
-            .map(egm_simnet::NodeId)
-            .collect();
+    let random_ids: Vec<egm_simnet::NodeId> = egm_rng::sample::distinct_indices(&mut rng, n, n / 5)
+        .into_iter()
+        .map(egm_simnet::NodeId)
+        .collect();
     sets.push(("random".into(), BestSet::from_ids(n, &random_ids)));
 
-    sets.into_iter()
-        .map(|(estimator, set)| {
-            let overlap = set.overlap(&oracle);
-            let report = super::base_scenario(scale)
+    let mut meta: Vec<(String, f64)> = Vec::new();
+    let mut scenarios = Vec::new();
+    for (estimator, set) in sets {
+        meta.push((estimator, set.overlap(&oracle)));
+        scenarios.push(
+            super::base_scenario(scale)
                 .with_strategy(StrategySpec::Ranked { best_fraction: 0.2 })
-                .with_best_override(Some(set.shared()))
-                .run_with_model(model.clone());
-            RankRow { estimator, overlap, report }
+                .with_best_override(Some(set.shared())),
+        );
+    }
+    let reports = crate::runner::run_sweep_reports(scenarios, Some(model));
+    meta.into_iter()
+        .zip(reports)
+        .map(|((estimator, overlap), report)| RankRow {
+            estimator,
+            overlap,
+            report,
         })
         .collect()
 }
@@ -86,7 +94,11 @@ mod tests {
 
     #[test]
     fn estimated_rankings_degrade_gracefully() {
-        let scale = Scale { nodes: 30, messages: 30, seed: 31 };
+        let scale = Scale {
+            nodes: 30,
+            messages: 30,
+            seed: 31,
+        };
         let rows = run(&scale);
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].overlap, 1.0, "oracle overlaps itself");

@@ -49,8 +49,14 @@ impl FaultPlan {
     /// Panics if `fraction` is outside `[0, 1)` (killing everyone leaves
     /// nothing to measure).
     pub fn new(fraction: f64, selection: FaultSelection) -> Self {
-        assert!((0.0..1.0).contains(&fraction), "fault fraction must be in [0, 1)");
-        FaultPlan { fraction, selection }
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "fault fraction must be in [0, 1)"
+        );
+        FaultPlan {
+            fraction,
+            selection,
+        }
     }
 
     /// Number of victims for an `n`-node system.
@@ -128,8 +134,14 @@ impl ChurnPlan {
     ///
     /// Panics if either duration is not strictly positive and finite.
     pub fn new(period_ms: f64, down_ms: f64) -> Self {
-        assert!(period_ms.is_finite() && period_ms > 0.0, "period must be positive");
-        assert!(down_ms.is_finite() && down_ms > 0.0, "down time must be positive");
+        assert!(
+            period_ms.is_finite() && period_ms > 0.0,
+            "period must be positive"
+        );
+        assert!(
+            down_ms.is_finite() && down_ms > 0.0,
+            "down time must be positive"
+        );
         ChurnPlan { period_ms, down_ms }
     }
 

@@ -8,6 +8,14 @@
 //! scenarios to regenerate every figure of the paper's evaluation
 //! (Fig. 4, 5(a–c), 6(a–c)) plus the §5.1 network-model statistics.
 //!
+//! Sweeps execute through [`runner::run_sweep`], which fans independent
+//! scenario runs across all cores and returns results in input order,
+//! byte-identical to sequential execution (every run forks its full RNG
+//! tree from its own seed). `RAYON_NUM_THREADS` caps the parallelism;
+//! `EGM_SCALE=paper` switches experiments from the reduced quick scale to
+//! the paper's full 100-node × 400-message configuration (see
+//! [`experiments::Scale`]).
+//!
 //! # Examples
 //!
 //! ```

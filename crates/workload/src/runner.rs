@@ -30,6 +30,8 @@ pub struct RunOutcome {
     pub best_ids: Vec<NodeId>,
     /// Aggregated scheduler counters over all nodes.
     pub scheduler: SchedulerStats,
+    /// Simulator events processed by the run (perf accounting).
+    pub events: u64,
     /// The network model the run used.
     pub model: Arc<RoutedModel>,
 }
@@ -38,6 +40,46 @@ pub struct RunOutcome {
 /// construction so sweeps can share one network.
 pub fn run(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> RunReport {
     run_detailed(scenario, model).report
+}
+
+/// Runs a batch of independent scenarios across all available cores,
+/// returning one [`RunOutcome`] per scenario **in input order**.
+///
+/// Every scenario forks its entire RNG tree (views, victims, traffic,
+/// node and network streams) from its own seed and owns all of its
+/// mutable state, so parallel execution is byte-identical to running the
+/// scenarios sequentially — the `sweep_determinism` integration test
+/// asserts this, report for report and link table for link table. Thread
+/// count follows rayon (`RAYON_NUM_THREADS` to cap it).
+///
+/// `model` is the shared network topology, used by every run (the paper
+/// holds the model fixed while sweeping strategy parameters); pass `None`
+/// to let each scenario build its own from its seed.
+///
+/// This is the execution engine behind every figure experiment in
+/// [`crate::experiments`] — a figure point sweep (e.g. the Fig. 5 π
+/// sweep) fans one scenario per point.
+///
+/// # Panics
+///
+/// Panics if any scenario is inconsistent (see [`run_detailed`]).
+pub fn run_sweep(scenarios: Vec<Scenario>, model: Option<Arc<RoutedModel>>) -> Vec<RunOutcome> {
+    use rayon::prelude::*;
+    scenarios
+        .into_par_iter()
+        .map(|scenario| run_detailed(&scenario, model.clone()))
+        .collect()
+}
+
+/// [`run_sweep`], keeping only the aggregated reports.
+pub fn run_sweep_reports(
+    scenarios: Vec<Scenario>,
+    model: Option<Arc<RoutedModel>>,
+) -> Vec<RunReport> {
+    run_sweep(scenarios, model)
+        .into_iter()
+        .map(|outcome| outcome.report)
+        .collect()
 }
 
 /// Runs a scenario and returns the full [`RunOutcome`].
@@ -51,8 +93,7 @@ pub fn run_detailed(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> Run
     let n = scenario.node_count();
     assert!(n > 1, "need at least two nodes");
     assert!(scenario.messages > 0, "need at least one message");
-    let model =
-        model.unwrap_or_else(|| Arc::new(scenario.topology.build(scenario.seed ^ 0x7090)));
+    let model = model.unwrap_or_else(|| Arc::new(scenario.topology.build(scenario.seed ^ 0x7090)));
     assert_eq!(model.client_count(), n, "model size must match scenario");
 
     // Harness randomness (views, victims, traffic plan) is forked from the
@@ -84,7 +125,13 @@ pub fn run_detailed(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> Run
                 strategy = Noisy::boxed(strategy, noise.c, noise.o);
             }
             let monitor = scenario.monitor.build(Some(&model));
-            EgmNode::new(NodeId(i), scenario.protocol.clone(), view, strategy, monitor)
+            EgmNode::new(
+                NodeId(i),
+                scenario.protocol.clone(),
+                view,
+                strategy,
+                monitor,
+            )
         })
         .collect();
 
@@ -108,15 +155,22 @@ pub fn run_detailed(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> Run
     }
 
     // Traffic: live nodes multicast round-robin (§5.3).
-    let senders: Vec<NodeId> =
-        (0..n).map(NodeId).filter(|id| !victims.contains(id)).collect();
-    let schedule =
-        traffic::plan(&senders, scenario.messages, warmup_end, scenario.mean_interval_ms, &mut rng);
+    let senders: Vec<NodeId> = (0..n)
+        .map(NodeId)
+        .filter(|id| !victims.contains(id))
+        .collect();
+    let schedule = traffic::plan(
+        &senders,
+        scenario.messages,
+        warmup_end,
+        scenario.mean_interval_ms,
+        &mut rng,
+    );
     for p in &schedule {
         sim.schedule_command(p.at, p.source, p.seq);
     }
-    let end = schedule.last().expect("non-empty schedule").at
-        + SimDuration::from_ms(scenario.drain_ms);
+    let end =
+        schedule.last().expect("non-empty schedule").at + SimDuration::from_ms(scenario.drain_ms);
 
     // Transient churn (extension): periodic silence + revive cycles among
     // non-victim nodes while traffic flows.
@@ -179,8 +233,11 @@ fn collect(
     }
 
     let traffic = sim.traffic();
-    let payload_links: Vec<((NodeId, NodeId), u64)> =
-        traffic.links().into_iter().map(|(pair, tally)| (pair, tally.payloads)).collect();
+    let payload_links: Vec<((NodeId, NodeId), u64)> = traffic
+        .links()
+        .into_iter()
+        .map(|(pair, tally)| (pair, tally.payloads))
+        .collect();
     let payloads_per_node = traffic.payloads_sent_per_node(n);
 
     let eligible: Vec<bool> = (0..n).map(|i| !victims.contains(&NodeId(i))).collect();
@@ -201,16 +258,17 @@ fn collect(
     // group, per message and group member ("payload/message", §6.4).
     if !best_ids.is_empty() {
         let live_group = |ids: &[NodeId]| -> Option<f64> {
-            let live: Vec<&NodeId> =
-                ids.iter().filter(|id| eligible[id.index()]).collect();
+            let live: Vec<&NodeId> = ids.iter().filter(|id| eligible[id.index()]).collect();
             if live.is_empty() {
                 return None;
             }
             let sent: u64 = live.iter().map(|id| payloads_per_node[id.index()]).sum();
             Some(sent as f64 / (scenario.messages as f64 * live.len() as f64))
         };
-        let regular: Vec<NodeId> =
-            (0..n).map(NodeId).filter(|id| !best_ids.contains(id)).collect();
+        let regular: Vec<NodeId> = (0..n)
+            .map(NodeId)
+            .filter(|id| !best_ids.contains(id))
+            .collect();
         report.payloads_per_delivery_low = live_group(&regular);
         report.payloads_per_delivery_best = live_group(&best_ids);
     }
@@ -242,6 +300,7 @@ fn collect(
         victims,
         best_ids,
         scheduler,
+        events: sim.events_processed(),
         model,
     }
 }
@@ -254,7 +313,9 @@ mod tests {
 
     #[test]
     fn eager_smoke_run_delivers_everything() {
-        let report = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 1.0 }).run();
+        let report = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Flat { pi: 1.0 })
+            .run();
         assert!(report.mean_delivery_fraction > 0.99, "{report}");
         assert!(report.payloads_per_delivery > 3.0, "{report}");
         assert_eq!(report.messages, 30);
@@ -263,15 +324,21 @@ mod tests {
 
     #[test]
     fn lazy_smoke_run_is_near_optimal_bandwidth() {
-        let report = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 0.0 }).run();
+        let report = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Flat { pi: 0.0 })
+            .run();
         assert!(report.mean_delivery_fraction > 0.99, "{report}");
         assert!(report.payloads_per_delivery < 1.3, "{report}");
     }
 
     #[test]
     fn lazy_is_slower_than_eager() {
-        let eager = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 1.0 }).run();
-        let lazy = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 0.0 }).run();
+        let eager = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Flat { pi: 1.0 })
+            .run();
+        let lazy = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Flat { pi: 0.0 })
+            .run();
         assert!(
             lazy.mean_latency_ms() > 1.5 * eager.mean_latency_ms(),
             "lazy {} vs eager {}",
@@ -299,13 +366,18 @@ mod tests {
         for m in 0..outcome.log.message_count() {
             assert!(outcome.log.delivery_count(m) > 0);
         }
-        assert!(outcome.report.mean_delivery_fraction > 0.9, "{}", outcome.report);
+        assert!(
+            outcome.report.mean_delivery_fraction > 0.9,
+            "{}",
+            outcome.report
+        );
     }
 
     #[test]
     fn ranked_outcome_exposes_best_ids() {
-        let scenario =
-            Scenario::smoke_test().with_strategy(StrategySpec::Ranked { best_fraction: 0.25 });
+        let scenario = Scenario::smoke_test().with_strategy(StrategySpec::Ranked {
+            best_fraction: 0.25,
+        });
         let outcome = super::run_detailed(&scenario, None);
         assert_eq!(outcome.best_ids.len(), 6);
         assert!(outcome.report.payloads_per_delivery_low.is_some());

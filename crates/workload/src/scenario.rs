@@ -45,12 +45,16 @@ impl TopologySource {
     pub fn build(&self, seed: u64) -> RoutedModel {
         match self {
             TopologySource::TransitStub(c) => c.clone().with_seed(seed).build(),
-            TopologySource::Uniform { nodes, lo_ms, hi_ms } => {
-                RoutedModel::uniform_synthetic(*nodes, *lo_ms, *hi_ms, seed)
-            }
-            TopologySource::Planar { nodes, plane, ms_per_unit } => {
-                RoutedModel::planar_synthetic(*nodes, *plane, *ms_per_unit, seed)
-            }
+            TopologySource::Uniform {
+                nodes,
+                lo_ms,
+                hi_ms,
+            } => RoutedModel::uniform_synthetic(*nodes, *lo_ms, *hi_ms, seed),
+            TopologySource::Planar {
+                nodes,
+                plane,
+                ms_per_unit,
+            } => RoutedModel::planar_synthetic(*nodes, *plane, *ms_per_unit, seed),
         }
     }
 }
@@ -139,7 +143,11 @@ impl Scenario {
     /// on a uniform 39–60 ms synthetic network, 30 messages.
     pub fn smoke_test() -> Self {
         Scenario {
-            topology: TopologySource::Uniform { nodes: 24, lo_ms: 39.0, hi_ms: 60.0 },
+            topology: TopologySource::Uniform {
+                nodes: 24,
+                lo_ms: 39.0,
+                hi_ms: 60.0,
+            },
             protocol: ProtocolConfig {
                 fanout: 6,
                 rounds: 5,
@@ -191,10 +199,7 @@ impl Scenario {
     }
 
     /// Overrides the best-node set (builder style).
-    pub fn with_best_override(
-        mut self,
-        best: Option<std::sync::Arc<egm_core::BestSet>>,
-    ) -> Self {
+    pub fn with_best_override(mut self, best: Option<std::sync::Arc<egm_core::BestSet>>) -> Self {
         self.best_override = best;
         self
     }
@@ -245,10 +250,18 @@ mod tests {
 
     #[test]
     fn topology_sources_build_expected_sizes() {
-        let u = TopologySource::Uniform { nodes: 8, lo_ms: 1.0, hi_ms: 2.0 };
+        let u = TopologySource::Uniform {
+            nodes: 8,
+            lo_ms: 1.0,
+            hi_ms: 2.0,
+        };
         assert_eq!(u.node_count(), 8);
         assert_eq!(u.build(1).client_count(), 8);
-        let p = TopologySource::Planar { nodes: 5, plane: 100.0, ms_per_unit: 0.5 };
+        let p = TopologySource::Planar {
+            nodes: 5,
+            plane: 100.0,
+            ms_per_unit: 0.5,
+        };
         assert_eq!(p.build(2).client_count(), 5);
     }
 

@@ -1,0 +1,91 @@
+//! Regression tests for the parallel sweep runner: results must be
+//! byte-identical to sequential execution, because every scenario forks
+//! its whole RNG tree from its own seed and owns all mutable state.
+
+use egm_core::StrategySpec;
+use egm_workload::runner::{run_detailed, run_sweep};
+use egm_workload::Scenario;
+
+/// A small figure-style grid: a π sweep plus a ranked point, each at two
+/// seeds (the ISSUE's "figure sweep ... for >= 2 seeds").
+fn grid() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for seed in [11u64, 12] {
+        for pi in [0.0, 0.5, 1.0] {
+            scenarios.push(
+                Scenario::smoke_test()
+                    .with_strategy(StrategySpec::Flat { pi })
+                    .with_seed(seed),
+            );
+        }
+        scenarios.push(
+            Scenario::smoke_test()
+                .with_strategy(StrategySpec::Ranked {
+                    best_fraction: 0.25,
+                })
+                .with_seed(seed),
+        );
+    }
+    scenarios
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let scenarios = grid();
+    let sequential: Vec<_> = scenarios.iter().map(|s| run_detailed(s, None)).collect();
+    let parallel = run_sweep(scenarios, None);
+
+    assert_eq!(sequential.len(), parallel.len());
+    for (seq, par) in sequential.iter().zip(&parallel) {
+        // Delivery fractions, latency summaries, traffic totals...
+        assert_eq!(seq.report, par.report, "reports must match exactly");
+        // ...the full delivery log...
+        assert_eq!(seq.log, par.log, "delivery logs must match exactly");
+        // ...per-link payload tables and per-node loads...
+        assert_eq!(
+            seq.payload_links, par.payload_links,
+            "link tables must match"
+        );
+        assert_eq!(seq.payloads_per_node, par.payloads_per_node);
+        // ...and the run's structural metadata.
+        assert_eq!(seq.victims, par.victims);
+        assert_eq!(seq.best_ids, par.best_ids);
+        assert_eq!(seq.scheduler, par.scheduler);
+        assert_eq!(seq.events, par.events, "event counts must match");
+    }
+}
+
+#[test]
+fn sweep_results_arrive_in_input_order() {
+    // Seeds map 1:1 onto reports, in submission order, regardless of
+    // which worker finishes first.
+    let seeds = [3u64, 1, 4, 1, 5, 9, 2, 6];
+    let scenarios: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            Scenario::smoke_test()
+                .with_strategy(StrategySpec::Ttl { u: 2 })
+                .with_seed(seed)
+        })
+        .collect();
+    let reports = egm_workload::runner::run_sweep_reports(scenarios, None);
+    assert_eq!(reports.len(), seeds.len());
+    for (&seed, report) in seeds.iter().zip(&reports) {
+        let direct = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Ttl { u: 2 })
+            .with_seed(seed)
+            .run();
+        assert_eq!(&direct, report, "report for seed {seed} out of place");
+    }
+}
+
+#[test]
+fn sweep_handles_empty_and_single_batches() {
+    assert!(run_sweep(Vec::new(), None).is_empty());
+    let one = run_sweep(
+        vec![Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 1.0 })],
+        None,
+    );
+    assert_eq!(one.len(), 1);
+    assert!(one[0].report.mean_delivery_fraction > 0.99);
+}

@@ -19,15 +19,11 @@ fn main() {
         scale.nodes, scale.messages
     );
 
-    let mut t = Table::new([
-        "strategy",
-        "payload/msg",
-        "latency (ms)",
-        "delivered (%)",
-    ]);
+    let mut t = Table::new(["strategy", "payload/msg", "latency (ms)", "delivered (%)"]);
     let mut run = |label: &str, spec: StrategySpec| {
-        let report =
-            base_scenario(&scale).with_strategy(spec).run_with_model(model.clone());
+        let report = base_scenario(&scale)
+            .with_strategy(spec)
+            .run_with_model(model.clone());
         t.row([
             label.to_string(),
             table::num(report.payloads_per_delivery, 2),
@@ -39,7 +35,10 @@ fn main() {
     for target in [0.8, 0.5, 0.2] {
         run(
             &format!("adaptive target={target}"),
-            StrategySpec::Adaptive { initial_pi: 1.0, target_duplicate_ratio: target },
+            StrategySpec::Adaptive {
+                initial_pi: 1.0,
+                target_duplicate_ratio: target,
+            },
         );
     }
     run("flat pi=0 (lazy bound)", StrategySpec::Flat { pi: 0.0 });

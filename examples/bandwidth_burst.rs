@@ -42,7 +42,11 @@ fn main() {
         let eager = with_bw(1.0);
         let lazy = with_bw(0.0);
         t.row([
-            if bw_kbps.is_finite() { format!("{bw_kbps:.0}") } else { "unlimited".into() },
+            if bw_kbps.is_finite() {
+                format!("{bw_kbps:.0}")
+            } else {
+                "unlimited".into()
+            },
             table::num(eager.mean_latency_ms(), 0),
             table::num(lazy.mean_latency_ms(), 0),
             table::pct(eager.mean_delivery_fraction),

@@ -10,7 +10,10 @@ use egm_workload::experiments::{fig4, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("reproducing Fig. 4 at {} nodes × {} messages...\n", scale.nodes, scale.messages);
+    println!(
+        "reproducing Fig. 4 at {} nodes × {} messages...\n",
+        scale.nodes, scale.messages
+    );
 
     let rows = fig4::run(&scale);
     println!("{}", fig4::render(&rows));
@@ -20,7 +23,10 @@ fn main() {
     );
 
     for row in &rows {
-        println!("--- {} — node load map ('#' = hottest nodes) ---", row.label);
+        println!(
+            "--- {} — node load map ('#' = hottest nodes) ---",
+            row.label
+        );
         println!("{}", fig4::structure_map(&row.outcome, 64, 18));
     }
 }

@@ -20,7 +20,10 @@ fn main() {
         scale.nodes, scale.messages
     );
 
-    let strategy = StrategySpec::Radius { rho: 25.0, t0_ms: 25.0 };
+    let strategy = StrategySpec::Radius {
+        rho: 25.0,
+        t0_ms: 25.0,
+    };
 
     let oracle = base_scenario(&scale)
         .with_strategy(strategy.clone())

@@ -11,7 +11,10 @@ use egm_workload::experiments::{fig6, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("reproducing Fig. 6 at {} nodes × {} messages...\n", scale.nodes, scale.messages);
+    println!(
+        "reproducing Fig. 6 at {} nodes × {} messages...\n",
+        scale.nodes, scale.messages
+    );
 
     let points = fig6::run(&scale);
     println!("{}", fig6::render(&points));

@@ -13,15 +13,27 @@ fn main() {
     // We shrink it slightly so the quickstart finishes in seconds.
     let scenario = Scenario::paper_default().with_messages(100);
 
-    println!("running {} nodes × {} messages...\n", scenario.node_count(), scenario.messages);
+    println!(
+        "running {} nodes × {} messages...\n",
+        scenario.node_count(),
+        scenario.messages
+    );
 
     // Pure eager push: lowest latency, fanout-many redundant payloads.
-    let eager = scenario.clone().with_strategy(StrategySpec::Flat { pi: 1.0 }).run();
+    let eager = scenario
+        .clone()
+        .with_strategy(StrategySpec::Flat { pi: 1.0 })
+        .run();
     // Pure lazy push: ~1 payload per delivery, two extra hops of latency.
-    let lazy = scenario.clone().with_strategy(StrategySpec::Flat { pi: 0.0 }).run();
+    let lazy = scenario
+        .clone()
+        .with_strategy(StrategySpec::Flat { pi: 0.0 })
+        .run();
     // The paper's contribution: let structure emerge by scheduling payload
     // through 20% hub nodes.
-    let ranked = scenario.with_strategy(StrategySpec::Ranked { best_fraction: 0.2 }).run();
+    let ranked = scenario
+        .with_strategy(StrategySpec::Ranked { best_fraction: 0.2 })
+        .run();
 
     for report in [&eager, &lazy, &ranked] {
         println!("{report}");

@@ -2,6 +2,12 @@
 //! strategy's parameter and print the tradeoff curves, including the
 //! hybrid "combined" strategy of §6.4.
 //!
+//! Each figure's points are independent simulations, so the sweep fans
+//! them across cores through `egm_workload::runner::run_sweep` — results
+//! are byte-identical to sequential execution (every run forks its RNG
+//! tree from its own seed). `RAYON_NUM_THREADS=1` forces sequential;
+//! `EGM_SCALE=paper` runs the full 100-node × 400-message grid.
+//!
 //! ```sh
 //! cargo run --release --example tradeoff_sweep
 //! ```
@@ -18,8 +24,14 @@ fn main() {
     let points = fig5a::run(&scale);
     println!("{}", fig5a::render(&points));
 
-    let eager = fig5a::series(&points, "flat").last().expect("pi=1").latency_ms;
-    let lazy = fig5a::series(&points, "flat").first().expect("pi=0").latency_ms;
+    let eager = fig5a::series(&points, "flat")
+        .last()
+        .expect("pi=1")
+        .latency_ms;
+    let lazy = fig5a::series(&points, "flat")
+        .first()
+        .expect("pi=0")
+        .latency_ms;
     println!(
         "flat span: {lazy:.0}ms (pure lazy, ~1 payload/msg) down to {eager:.0}ms \
          (pure eager, fanout payloads) — the paper's 480ms -> 227ms tradeoff.\n"

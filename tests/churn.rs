@@ -45,7 +45,9 @@ fn lazy_push_with_retries_survives_churn() {
 fn churn_composes_with_permanent_faults() {
     use egm_workload::{FaultPlan, FaultSelection};
     let report = Scenario::smoke_test()
-        .with_strategy(StrategySpec::Ranked { best_fraction: 0.25 })
+        .with_strategy(StrategySpec::Ranked {
+            best_fraction: 0.25,
+        })
         .with_faults(Some(FaultPlan::new(0.2, FaultSelection::Random)))
         .with_churn(Some(ChurnPlan::new(500.0, 250.0)))
         .run();

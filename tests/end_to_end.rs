@@ -9,7 +9,9 @@ use egm_workload::Scenario;
 /// for each delivery").
 #[test]
 fn eager_push_is_atomic_and_fanout_expensive() {
-    let report = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 1.0 }).run();
+    let report = Scenario::smoke_test()
+        .with_strategy(StrategySpec::Flat { pi: 1.0 })
+        .run();
     assert!(report.mean_delivery_fraction > 0.999, "{report}");
     assert!(report.atomic_delivery_fraction > 0.95, "{report}");
     let fanout = 6.0; // smoke_test fanout
@@ -25,10 +27,17 @@ fn eager_push_is_atomic_and_fanout_expensive() {
 /// paper's testbed).
 #[test]
 fn lazy_push_is_near_optimal_but_slow() {
-    let lazy = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 0.0 }).run();
-    let eager = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 1.0 }).run();
+    let lazy = Scenario::smoke_test()
+        .with_strategy(StrategySpec::Flat { pi: 0.0 })
+        .run();
+    let eager = Scenario::smoke_test()
+        .with_strategy(StrategySpec::Flat { pi: 1.0 })
+        .run();
     assert!(lazy.payloads_per_delivery < 1.25, "{lazy}");
-    assert!(lazy.mean_delivery_fraction > 0.99, "lazy must still be reliable: {lazy}");
+    assert!(
+        lazy.mean_delivery_fraction > 0.99,
+        "lazy must still be reliable: {lazy}"
+    );
     // The extra IHAVE/IWANT round trip roughly triples per-hop latency.
     assert!(
         lazy.mean_latency_ms() > 1.8 * eager.mean_latency_ms(),
@@ -44,7 +53,9 @@ fn lazy_push_is_near_optimal_but_slow() {
 fn flat_interpolates_the_tradeoff() {
     let mut last_payloads = 0.0;
     for pi in [0.0, 0.3, 0.7, 1.0] {
-        let report = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi }).run();
+        let report = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Flat { pi })
+            .run();
         assert!(
             report.payloads_per_delivery >= last_payloads - 0.05,
             "traffic must grow with pi: {} after {last_payloads}",
@@ -59,7 +70,9 @@ fn flat_interpolates_the_tradeoff() {
 /// payloads vs Flat's interpolation).
 #[test]
 fn ttl_dominates_flat_at_matched_traffic() {
-    let ttl = Scenario::smoke_test().with_strategy(StrategySpec::Ttl { u: 2 }).run();
+    let ttl = Scenario::smoke_test()
+        .with_strategy(StrategySpec::Ttl { u: 2 })
+        .run();
     // Find a flat configuration with at least as much traffic.
     let flat = Scenario::smoke_test()
         .with_strategy(StrategySpec::Flat {
@@ -83,8 +96,11 @@ fn ttl_dominates_flat_at_matched_traffic() {
 /// Ranked concentrates payload on hubs while regular nodes stay cheap.
 #[test]
 fn ranked_splits_cost_between_hubs_and_spokes() {
-    let report =
-        Scenario::smoke_test().with_strategy(StrategySpec::Ranked { best_fraction: 0.25 }).run();
+    let report = Scenario::smoke_test()
+        .with_strategy(StrategySpec::Ranked {
+            best_fraction: 0.25,
+        })
+        .run();
     let low = report.payloads_per_delivery_low.expect("low series");
     let best = report.payloads_per_delivery_best.expect("best series");
     assert!(best > 2.0 * low, "hubs {best} vs spokes {low}");
@@ -96,8 +112,11 @@ fn ranked_splits_cost_between_hubs_and_spokes() {
 #[test]
 fn two_hundred_nodes_still_work() {
     let mut scenario = Scenario::smoke_test().with_strategy(StrategySpec::Ttl { u: 2 });
-    scenario.topology =
-        egm_workload::TopologySource::Uniform { nodes: 200, lo_ms: 39.0, hi_ms: 60.0 };
+    scenario.topology = egm_workload::TopologySource::Uniform {
+        nodes: 200,
+        lo_ms: 39.0,
+        hi_ms: 60.0,
+    };
     scenario.protocol.fanout = 11;
     scenario.protocol.rounds = 6;
     scenario.messages = 20;
@@ -110,7 +129,9 @@ fn two_hundred_nodes_still_work() {
 /// headers mean a payload packet is 280 bytes.
 #[test]
 fn byte_accounting_reflects_neem_framing() {
-    let report = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 1.0 }).run();
+    let report = Scenario::smoke_test()
+        .with_strategy(StrategySpec::Flat { pi: 1.0 })
+        .run();
     // All traffic in a pure-eager run is payload + shuffle control;
     // payload bytes alone are 280 × payload count.
     assert!(report.total_bytes >= report.total_payloads * 280);

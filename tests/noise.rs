@@ -5,7 +5,9 @@ use egm_workload::{calibrate, NoiseConfig, Scenario};
 
 fn ranked_scenario() -> Scenario {
     Scenario::smoke_test()
-        .with_strategy(StrategySpec::Ranked { best_fraction: 0.25 })
+        .with_strategy(StrategySpec::Ranked {
+            best_fraction: 0.25,
+        })
         .with_monitor(MonitorSpec::OracleLatency)
 }
 
@@ -74,5 +76,8 @@ fn structure_decays_toward_uniform() {
         clean.top5_link_share,
         noisy.top5_link_share
     );
-    assert!(noisy.node_gini < clean.node_gini, "node load skew must shrink");
+    assert!(
+        noisy.node_gini < clean.node_gini,
+        "node load skew must shrink"
+    );
 }

@@ -12,7 +12,9 @@ fn scenario() -> Scenario {
 /// atomic delivery" baseline).
 #[test]
 fn no_failures_is_perfect() {
-    let report = scenario().with_strategy(StrategySpec::Flat { pi: 1.0 }).run();
+    let report = scenario()
+        .with_strategy(StrategySpec::Flat { pi: 1.0 })
+        .run();
     assert_eq!(report.mean_delivery_fraction, 1.0, "{report}");
 }
 
@@ -54,7 +56,11 @@ fn killing_the_hubs_is_survivable() {
 #[test]
 fn extreme_failures_finally_break_dissemination() {
     let mut s = scenario().with_strategy(StrategySpec::Flat { pi: 1.0 });
-    s.topology = egm_workload::TopologySource::Uniform { nodes: 50, lo_ms: 39.0, hi_ms: 60.0 };
+    s.topology = egm_workload::TopologySource::Uniform {
+        nodes: 50,
+        lo_ms: 39.0,
+        hi_ms: 60.0,
+    };
     let report = s
         .with_faults(Some(FaultPlan::new(0.85, FaultSelection::Random)))
         .run();

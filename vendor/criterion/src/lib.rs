@@ -1,0 +1,145 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of criterion's API used by `egm_bench`: `Criterion`,
+//! benchmark groups, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical engine it
+//! times `sample_size` batches with `std::time::Instant` and prints
+//! min/mean per iteration. `EGM_BENCH_SAMPLES` overrides the sample count
+//! (useful to keep CI smoke runs short).
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Entry point handed to benchmark functions, mirroring
+/// `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of timed functions.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each `bench_function` records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one function and prints its per-iteration statistics.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = std::env::var("EGM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(self.sample_size)
+            .max(1);
+        let mut bencher = Bencher {
+            times_ns: Vec::with_capacity(samples),
+            samples,
+        };
+        f(&mut bencher);
+        let times = &bencher.times_ns;
+        if times.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return self;
+        }
+        let min = *times.iter().min().expect("non-empty") as f64 / 1e6;
+        let mean = times.iter().sum::<u128>() as f64 / times.len() as f64 / 1e6;
+        println!(
+            "{}/{id}: mean {mean:.3} ms/iter, min {min:.3} ms/iter ({} samples)",
+            self.name,
+            times.len()
+        );
+        self
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures; mirrors `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    times_ns: Vec<u128>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `samples` timed iterations.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.times_ns.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Criterion;
+
+    #[test]
+    fn group_times_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("counts_iterations", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

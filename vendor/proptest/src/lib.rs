@@ -1,0 +1,311 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset of proptest used by the workspace's property
+//! tests: the `proptest!` macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), `prop_assert!`
+//! / `prop_assert_eq!`, range and tuple strategies, `collection::vec`,
+//! and `prop::bool::ANY`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! its case number and message, and cases are drawn from a deterministic
+//! per-test RNG (seeded from the test name), so failures reproduce
+//! exactly across runs. `PROPTEST_CASES` overrides the case count.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    //! Glob-import target mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Resolves the effective case count (`PROPTEST_CASES` wins).
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 48 keeps the debug-profile test
+        // suite fast while still exploring the input space.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// A failed property, carried back to the harness by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic case generator (SplitMix64 over a seed derived from the
+/// test name).
+#[derive(Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates the RNG for a named test; the same name always yields the
+    /// same case sequence.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy` (without
+/// shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end - self.start;
+                self.start + (rng.next_u64() as $t).rem_euclid(span)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u32, u64, usize, u128);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies, mirroring `proptest::bool`.
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut super::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{Strategy, TestRng};
+
+    /// Vectors of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Property-test harness macro, mirroring `proptest::proptest!`.
+///
+/// Supports an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` followed by any
+/// number of `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for case in 0..config.effective_cases() {
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!("property failed on case {case}: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{:?} != {:?} ({} vs {})",
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..17, x in -2.0f64..4.5, n in 1usize..9) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.0..4.5).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pair in (0u32..5, prop::bool::ANY),
+            items in prop::collection::vec(0u64..100, 2..6),
+        ) {
+            prop_assert!(pair.0 < 5);
+            prop_assert!(items.len() >= 2 && items.len() < 6);
+            prop_assert!(items.iter().all(|&v| v < 100));
+        }
+    }
+
+    #[test]
+    fn same_test_name_reproduces_sequence() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let left: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let right: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            fn always_fails(v in 0u32..10) {
+                prop_assert!(v > 100, "v was {v}");
+            }
+        }
+        always_fails();
+    }
+}

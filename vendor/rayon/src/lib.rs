@@ -1,0 +1,170 @@
+//! Minimal offline stand-in for `rayon`'s parallel-iterator API.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset of rayon used by the workspace —
+//! `vec.into_par_iter().map(f).collect()` — on top of `std::thread::scope`.
+//! Work is distributed over an atomic index (dynamic load balancing, like
+//! rayon's work stealing at the granularity this workspace needs), and
+//! results are written back by input index, so `collect()` preserves input
+//! order exactly: a parallel map is observationally identical to the
+//! sequential `iter().map().collect()`.
+//!
+//! Thread count defaults to [`std::thread::available_parallelism`] and can
+//! be capped with the `RAYON_NUM_THREADS` environment variable (same knob
+//! as real rayon). With one available core the map runs inline on the
+//! caller thread — no spawn overhead, still identical results.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::IntoParallelIterator;
+}
+
+/// Number of worker threads a parallel map will use.
+///
+/// Honours `RAYON_NUM_THREADS` when set to a positive integer, otherwise
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator` for the supported types.
+pub trait IntoParallelIterator {
+    /// Element type produced by the iterator.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+#[derive(Debug)]
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> VecParIter<T> {
+    /// Maps each element through `f`, preserving input order.
+    pub fn map<R, F>(self, f: F) -> MapParIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MapParIter {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`VecParIter::map`], awaiting a `collect`.
+#[derive(Debug)]
+pub struct MapParIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MapParIter<T, F> {
+    /// Executes the map across threads and collects results in input
+    /// order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map over a vector.
+fn par_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each input slot is taken exactly once (atomic cursor) and each
+    // output slot is written exactly once; per-slot mutexes are
+    // uncontended and exist only to satisfy safe-Rust sharing.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work slot taken twice");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker panicked before producing a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x * x).collect();
+        let got: Vec<u64> = input.into_par_iter().map(|x| x * x).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let got: Vec<u32> = empty.into_par_iter().map(|x| x + 1).collect();
+        assert!(got.is_empty());
+        let one: Vec<u32> = vec![41].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

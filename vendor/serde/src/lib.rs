@@ -1,0 +1,25 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no access to crates.io,
+//! so the workspace vendors an API-skeleton that satisfies the
+//! `use serde::{Deserialize, Serialize}` + `#[derive(...)]` surface the
+//! codebase actually uses. No code in the workspace serializes through
+//! serde today (reports are rendered as text tables and hand-written
+//! JSON); the traits are therefore empty markers and the derives emit
+//! empty impls. Replacing this stub with real serde is a one-line change
+//! in the workspace manifest and requires no source edits.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Carries no methods: nothing in this workspace drives a serializer
+/// through the trait. Deriving it asserts "this type is plain data and
+/// would be serializable", which keeps the codebase ready for the real
+/// crate.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,56 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! The derives emit empty `impl serde::Serialize` / `impl serde::Deserialize`
+//! blocks for the annotated type. Only plain (non-generic) structs and
+//! enums are supported, which covers every derived type in this
+//! workspace; a generic type produces a compile error pointing here.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive was attached to, rejecting
+/// generic types (the stub cannot forward their bounds without a full
+/// parser).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("serde stub derive: expected a type name after `{kw}`");
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            assert!(
+                p.as_char() != '<',
+                "serde stub derive: generic type `{name}` is not supported \
+                 (see vendor/serde_derive)"
+            );
+        }
+        return name.to_string();
+    }
+    panic!("serde stub derive: no struct/enum/union found in input");
+}
+
+/// Stand-in for `#[derive(serde::Serialize)]`: emits an empty marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Stand-in for `#[derive(serde::Deserialize)]`: emits an empty marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
