@@ -72,9 +72,9 @@ fn main() {
     let events_per_sec = events as f64 / best * 1000.0;
     println!("best: {best:.1} ms wall ({events_per_sec:.0} events/sec)");
 
-    let json = format!(
-        "{{\n  \"bench\": \"events_per_sec\",\n  \"scenario\": \"ranked best=20% oracle-latency transit-stub\",\n  \"nodes\": {nodes},\n  \"messages\": {messages},\n  \"runs\": {runs},\n  \"events\": {events},\n  \"best_wall_ms\": {best:.3},\n  \"mean_wall_ms\": {mean:.3},\n  \"events_per_sec\": {events_per_sec:.0}\n}}\n"
+    let body = format!(
+        "{{\n  \"bench\": \"events_per_sec\",\n  \"scenario\": \"ranked best=20% oracle-latency transit-stub\",\n  \"nodes\": {nodes},\n  \"messages\": {messages},\n  \"runs\": {runs},\n  \"events\": {events},\n  \"best_wall_ms\": {best:.3},\n  \"mean_wall_ms\": {mean:.3},\n  \"events_per_sec\": {events_per_sec:.0}\n}}"
     );
-    std::fs::write(&out_path, json).expect("write bench json");
-    println!("wrote {out_path}");
+    egm_bench::record::upsert_bin(&out_path, "events_per_sec", &body);
+    println!("wrote bin events_per_sec to {out_path}");
 }

@@ -1,0 +1,117 @@
+//! Scale-axis event-loop throughput bench: 1k / 4k / 10k-node presets.
+//!
+//! Runs a `egm_workload::experiments::scale` preset through the parallel
+//! sweep runner, measures wall clock, simulator events per second and
+//! process peak RSS, and upserts the `scale_events_per_sec_<preset>` bin
+//! into `BENCH_events_per_sec.json` (schema in `egm_bench`'s crate docs).
+//!
+//! ```sh
+//! EGM_SCALE_PRESET=1k cargo run --release -p egm_bench --bin scale_events_per_sec
+//! ```
+//!
+//! Environment:
+//! * `EGM_SCALE_PRESET` — `1k` (default), `4k` or `10k`.
+//! * `EGM_BENCH_RUNS` — timed runs after one warm-up (default 2).
+//! * `EGM_SCALE_MESSAGES` — multicasts per run (default 30).
+//! * `EGM_BENCH_OUT` — output path (default `BENCH_events_per_sec.json`).
+//! * `EGM_SCALE_RSS_BUDGET_MB` — when set, the bench *asserts* peak RSS
+//!   stays under this budget (exit 1 otherwise); the CI 1k smoke job
+//!   relies on this to catch accidental O(n²) allocations.
+
+use egm_bench::record;
+use egm_workload::experiments::scale::{run_presets, ScalePreset};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let preset = ScalePreset::from_env();
+    let runs = env_usize("EGM_BENCH_RUNS", 2).max(1);
+    let messages = env_usize("EGM_SCALE_MESSAGES", 30).max(1);
+    let out_path =
+        std::env::var("EGM_BENCH_OUT").unwrap_or_else(|_| "BENCH_events_per_sec.json".to_string());
+    let rss_budget_mb = std::env::var("EGM_SCALE_RSS_BUDGET_MB")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+
+    let nodes = preset.nodes();
+    let seed = 42u64;
+
+    // Warm-up run (allocator/caches), which also yields the deterministic
+    // event count and the cancellation counters.
+    let warm = run_presets(&[(preset, seed)], messages)
+        .pop()
+        .expect("one outcome");
+    let events = warm.events;
+    let timers_cancelled = warm.timers_cancelled;
+    let stale_timer_drops = warm.stale_timer_drops;
+    assert_eq!(
+        warm.model.memory_shape().dense_cells,
+        0,
+        "scale presets must use the two-level routed model"
+    );
+    println!(
+        "warm-up: {nodes} nodes ({} preset), {messages} messages, {events} events, \
+         delivery {:.2}%, {timers_cancelled} timers cancelled",
+        preset.label(),
+        warm.report.mean_delivery_fraction * 100.0
+    );
+
+    // Timed runs share the warm-up's topology (as events_per_sec does),
+    // so the measurement is the event loop, not graph generation and
+    // routing; still executed through the sweep runner.
+    let scenario = preset.scenario(messages, seed);
+    let mut wall_ms: Vec<f64> = Vec::with_capacity(runs);
+    for i in 0..runs {
+        let start = Instant::now();
+        let outcome =
+            egm_workload::runner::run_sweep(vec![scenario.clone()], Some(warm.model.clone()))
+                .pop()
+                .expect("one outcome");
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(outcome.events, events, "deterministic event count");
+        println!(
+            "run {}/{runs}: {ms:.1} ms wall, {:.0} events/sec",
+            i + 1,
+            events as f64 / ms * 1000.0
+        );
+        wall_ms.push(ms);
+    }
+
+    let best = wall_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = wall_ms.iter().sum::<f64>() / wall_ms.len() as f64;
+    let events_per_sec = events as f64 / best * 1000.0;
+    let peak_rss = record::peak_rss_mb();
+    println!(
+        "best: {best:.1} ms wall ({events_per_sec:.0} events/sec), peak RSS {}",
+        peak_rss
+            .map(|mb| format!("{mb:.1} MB"))
+            .unwrap_or_else(|| "unavailable".to_string())
+    );
+
+    if let Some(budget) = rss_budget_mb {
+        let peak = peak_rss.expect("RSS budget asserted but /proc unavailable");
+        assert!(
+            peak <= budget,
+            "peak RSS {peak:.1} MB exceeds the {budget:.1} MB budget for the {} preset",
+            preset.label()
+        );
+        println!("peak RSS within budget ({peak:.1} <= {budget:.1} MB)");
+    }
+
+    let rss_field = peak_rss
+        .map(|mb| format!("{mb:.1}"))
+        .unwrap_or_else(|| "null".to_string());
+    let body = format!(
+        "{{\n  \"bench\": \"scale_events_per_sec\",\n  \"preset\": \"{}\",\n  \"scenario\": \"ranked best=20% oracle-latency scaled transit-stub\",\n  \"nodes\": {nodes},\n  \"messages\": {messages},\n  \"runs\": {runs},\n  \"events\": {events},\n  \"best_wall_ms\": {best:.3},\n  \"mean_wall_ms\": {mean:.3},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"timers_cancelled\": {timers_cancelled},\n  \"stale_timer_drops\": {stale_timer_drops},\n  \"peak_rss_mb\": {rss_field}\n}}",
+        preset.label()
+    );
+    let bin = format!("scale_events_per_sec_{}", preset.label());
+    record::upsert_bin(&out_path, &bin, &body);
+    println!("wrote bin {bin} to {out_path}");
+}

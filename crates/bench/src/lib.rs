@@ -24,35 +24,68 @@
 //!
 //! # Perf trajectory: `BENCH_events_per_sec.json`
 //!
-//! The `events_per_sec` binary (`cargo run --release -p egm_bench --bin
-//! events_per_sec`) measures raw event-loop throughput on the
-//! representative 100-node Ranked scenario and writes
-//! `BENCH_events_per_sec.json` at the repository root so successive PRs
-//! can track the trend. The JSON schema is one flat object:
+//! `BENCH_events_per_sec.json` at the repository root records the
+//! event-loop perf trajectory across PRs. The file is a JSON object of
+//! **named bins**, one per throughput bench binary, each bin a flat
+//! object:
 //!
 //! ```json
 //! {
-//!   "bench": "events_per_sec",
-//!   "scenario": "ranked best=20% oracle-latency transit-stub",
-//!   "nodes": 100,
-//!   "messages": 150,
-//!   "runs": 5,
-//!   "events": 208898,
-//!   "best_wall_ms": 55.1,
-//!   "mean_wall_ms": 60.2,
-//!   "events_per_sec": 3794504
+//!   "events_per_sec": {
+//!     "bench": "events_per_sec",
+//!     "scenario": "ranked best=20% oracle-latency transit-stub",
+//!     "nodes": 100,
+//!     "messages": 150,
+//!     "runs": 5,
+//!     "events": 208898,
+//!     "best_wall_ms": 55.1,
+//!     "mean_wall_ms": 60.2,
+//!     "events_per_sec": 3794504
+//!   },
+//!   "scale_events_per_sec_1k": {
+//!     "bench": "scale_events_per_sec",
+//!     "preset": "1k",
+//!     "nodes": 1000,
+//!     "messages": 30,
+//!     "runs": 2,
+//!     "events": 1234567,
+//!     "best_wall_ms": 400.0,
+//!     "mean_wall_ms": 410.0,
+//!     "events_per_sec": 3000000,
+//!     "timers_cancelled": 56789,
+//!     "stale_timer_drops": 56789,
+//!     "peak_rss_mb": 120.5
+//!   }
 //! }
 //! ```
+//!
+//! * `events_per_sec` — the original 100-node Ranked scenario
+//!   (`cargo run --release -p egm_bench --bin events_per_sec`).
+//! * `scale_events_per_sec_<preset>` — the 1k/4k/10k scale-axis presets
+//!   (`cargo run --release -p egm_bench --bin scale_events_per_sec`,
+//!   preset chosen with `EGM_SCALE_PRESET`). It additionally records the
+//!   index-free timer-cancellation counters and the process peak RSS, so
+//!   the memory budget per scenario size is tracked alongside throughput
+//!   (see `egm_workload::experiments::scale` for the budget table).
+//!   `EGM_SCALE_RSS_BUDGET_MB` turns the RSS record into a hard assertion
+//!   — the CI scale smoke job uses this.
 //!
 //! `events` is the deterministic simulator event count of the scenario
 //! (identical across runs and machines for a given code version — a
 //! changed value means the protocol behaviour changed, not just its
-//! speed); `events_per_sec` is computed from the best wall time.
-//! `EGM_BENCH_RUNS`, `EGM_BENCH_MESSAGES` and `EGM_BENCH_OUT` override
-//! the run count, workload size and output path.
+//! speed); `events_per_sec` is computed from the best wall time. Stale
+//! cancelled-timer drops are excluded from `events` — they never
+//! dispatch. `EGM_BENCH_RUNS`, `EGM_BENCH_MESSAGES` and `EGM_BENCH_OUT`
+//! override the run count, workload size and output path.
+//!
+//! Each binary rewrites only its own bin through [`record::upsert_bin`],
+//! preserving the others (a pre-2026-07 flat single-bench file is
+//! migrated in place).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod record;
 
 use egm_workload::experiments::Scale;
 

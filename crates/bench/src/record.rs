@@ -1,0 +1,216 @@
+//! `BENCH_events_per_sec.json` bin handling.
+//!
+//! The trajectory file is a JSON object of named bins (see the crate
+//! docs for the schema). The workspace deliberately carries no JSON
+//! parser dependency, so this module implements the minimal subset the
+//! bins format needs: top-level string keys mapping to balanced-brace
+//! object values (string contents are skipped while balancing). Each
+//! bench binary replaces only its own bin and preserves the rest.
+
+/// Splits a bins file into `(name, raw object text)` pairs, in file
+/// order.
+///
+/// A legacy flat single-bench file (pre-bins schema: scalar fields at the
+/// top level, including a `"bench": "<name>"` field) is returned as one
+/// bin named after its `bench` field, so the first upsert migrates it.
+/// Unparseable text yields an empty list (the file is then rebuilt).
+pub fn parse_bins(text: &str) -> Vec<(String, String)> {
+    let bytes = text.as_bytes();
+    let mut bins = Vec::new();
+    let mut i = match text.find('{') {
+        Some(p) => p + 1,
+        None => return bins,
+    };
+    while i < bytes.len() {
+        // Next top-level key.
+        let Some(key_start) = text[i..].find('"').map(|p| i + p + 1) else {
+            break;
+        };
+        let Some(key_end) = text[key_start..].find('"').map(|p| key_start + p) else {
+            break;
+        };
+        let key = &text[key_start..key_end];
+        let Some(colon) = text[key_end..].find(':').map(|p| key_end + p) else {
+            break;
+        };
+        let value_start = match text[colon + 1..].find(|c: char| !c.is_whitespace()) {
+            Some(p) => colon + 1 + p,
+            None => break,
+        };
+        if bytes[value_start] != b'{' {
+            // Scalar value at the top level: legacy flat schema.
+            return parse_legacy(text);
+        }
+        // Balance braces, skipping string contents.
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut end = None;
+        for (off, &b) in bytes[value_start..].iter().enumerate() {
+            if in_string {
+                match b {
+                    _ if escaped => escaped = false,
+                    b'\\' => escaped = true,
+                    b'"' => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match b {
+                b'"' => in_string = true,
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(value_start + off + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        bins.push((key.to_string(), text[value_start..end].to_string()));
+        i = end;
+    }
+    bins
+}
+
+/// Wraps a legacy flat single-bench object as one bin named after its
+/// `"bench"` field.
+fn parse_legacy(text: &str) -> Vec<(String, String)> {
+    let Some(tag) = text.find("\"bench\"") else {
+        return Vec::new();
+    };
+    let rest = &text[tag + "\"bench\"".len()..];
+    let Some(open) = rest.find('"') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open + 1..].find('"') else {
+        return Vec::new();
+    };
+    let name = rest[open + 1..open + 1 + close].to_string();
+    let trimmed = text.trim();
+    vec![(name, trimmed.to_string())]
+}
+
+/// Renders bins (sorted by name for deterministic files) as the
+/// trajectory JSON document.
+pub fn render_bins(bins: &[(String, String)]) -> String {
+    let mut sorted: Vec<&(String, String)> = bins.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (name, body)) in sorted.iter().enumerate() {
+        // Flat bodies (the schema's normal case) are normalized to a
+        // canonical indentation so repeated parse/render round trips are
+        // stable. Bodies with nested objects are preserved verbatim —
+        // line-based normalization would corrupt them.
+        let flat = body.matches('{').count() <= 1;
+        let rendered = if flat {
+            let mut norm = String::from("{\n");
+            for line in body.lines().map(str::trim).filter(|l| !l.is_empty()) {
+                let line = line.trim_start_matches('{').trim_end_matches('}').trim();
+                if line.is_empty() {
+                    continue;
+                }
+                norm.push_str("    ");
+                norm.push_str(line);
+                norm.push('\n');
+            }
+            norm.push_str("  }");
+            norm
+        } else {
+            body.to_string()
+        };
+        out.push_str(&format!("  \"{name}\": {rendered}"));
+        out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Inserts or replaces the named bin in the trajectory file at `path`,
+/// preserving every other bin (and migrating a legacy flat file).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn upsert_bin(path: &str, name: &str, body: &str) {
+    let mut bins = std::fs::read_to_string(path)
+        .map(|text| parse_bins(&text))
+        .unwrap_or_default();
+    bins.retain(|(k, _)| k != name);
+    bins.push((name.to_string(), body.trim().to_string()));
+    std::fs::write(path, render_bins(&bins)).expect("write bench json");
+}
+
+/// Peak resident set size of this process in MB (`VmHWM`), or `None`
+/// where procfs is unavailable. Used by the scale bench bin to record —
+/// and, under `EGM_SCALE_RSS_BUDGET_MB`, assert — the memory budget per
+/// scenario size.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb / 1024.0);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{parse_bins, render_bins, upsert_bin};
+
+    #[test]
+    fn round_trips_two_bins() {
+        let a = ("alpha".to_string(), "{\n  \"x\": 1\n}".to_string());
+        let b = ("beta".to_string(), "{\n  \"y\": \"s{}\"\n}".to_string());
+        let text = render_bins(&[b.clone(), a.clone()]);
+        let parsed = parse_bins(&text);
+        // Sorted on render.
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "alpha");
+        assert_eq!(parsed[1].0, "beta");
+        assert!(parsed[0].1.contains("\"x\": 1"));
+        assert!(parsed[1].1.contains("s{}"), "braces in strings survive");
+    }
+
+    #[test]
+    fn legacy_flat_file_becomes_one_bin() {
+        let legacy = "{\n  \"bench\": \"events_per_sec\",\n  \"nodes\": 100,\n  \"events_per_sec\": 3794504\n}\n";
+        let parsed = parse_bins(legacy);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "events_per_sec");
+        assert!(parsed[0].1.contains("\"nodes\": 100"));
+    }
+
+    #[test]
+    fn garbage_yields_no_bins() {
+        assert!(parse_bins("").is_empty());
+        assert!(parse_bins("not json").is_empty());
+    }
+
+    #[test]
+    fn upsert_replaces_only_its_bin() {
+        let dir = std::env::temp_dir().join("egm_bench_record_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("bins.json");
+        let path = path.to_str().expect("utf-8 path");
+        let _ = std::fs::remove_file(path);
+
+        upsert_bin(path, "events_per_sec", "{\n  \"events\": 1\n}");
+        upsert_bin(path, "scale_events_per_sec_1k", "{\n  \"events\": 2\n}");
+        upsert_bin(path, "events_per_sec", "{\n  \"events\": 3\n}");
+
+        let text = std::fs::read_to_string(path).expect("read back");
+        let bins = parse_bins(&text);
+        assert_eq!(bins.len(), 2);
+        let events: Vec<&str> = bins.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(events, vec!["events_per_sec", "scale_events_per_sec_1k"]);
+        assert!(bins[0].1.contains("\"events\": 3"), "replaced in place");
+        assert!(bins[1].1.contains("\"events\": 2"), "other bin preserved");
+        let _ = std::fs::remove_file(path);
+    }
+}

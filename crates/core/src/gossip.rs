@@ -71,11 +71,15 @@ pub struct GossipLayer {
     known: BoundedSet<MsgId>,
     fanout: usize,
     rounds: u32,
-    /// Scratch for peer-sample indices, reused across forwards so the
-    /// per-event cost is one exact-capacity `sends` allocation.
+    /// Scratch for peer-sample indices, reused across forwards.
     scratch_idx: Vec<usize>,
     /// Scratch peer sample handed back by the view.
     scratch_peers: Vec<NodeId>,
+    /// Recycled `sends` buffer: the embedding node hands the drained
+    /// vector back through [`GossipLayer::recycle`], making steady-state
+    /// forwarding allocation-free (one buffer suffices because exactly
+    /// one [`GossipStep`] is alive per node at a time).
+    spare_sends: Vec<LSend>,
 }
 
 impl GossipLayer {
@@ -87,6 +91,17 @@ impl GossipLayer {
             rounds: config.rounds,
             scratch_idx: Vec::new(),
             scratch_peers: Vec::new(),
+            spare_sends: Vec::new(),
+        }
+    }
+
+    /// Returns a drained [`GossipStep::sends`] buffer to the layer's pool
+    /// so the next forward reuses its allocation. Buffers from other
+    /// layers are accepted too (capacity is capacity).
+    pub fn recycle(&mut self, mut sends: Vec<LSend>) {
+        sends.clear();
+        if sends.capacity() > self.spare_sends.capacity() {
+            self.spare_sends = sends;
         }
     }
 
@@ -137,15 +152,17 @@ impl GossipLayer {
             return None;
         }
         let sends = if round < self.rounds {
-            // line 9: PeerSample(f), drawn into reusable scratch buffers
-            // so each forward costs one exact-capacity allocation.
+            // line 9: PeerSample(f), drawn into reusable scratch buffers;
+            // the sends vector itself is recycled through
+            // [`GossipLayer::recycle`], so steady-state forwards allocate
+            // nothing.
             view.sample_into(
                 rng,
                 self.fanout,
                 &mut self.scratch_idx,
                 &mut self.scratch_peers,
             );
-            let mut sends = Vec::with_capacity(self.scratch_peers.len());
+            let mut sends = std::mem::take(&mut self.spare_sends);
             sends.extend(self.scratch_peers.iter().map(|&to| LSend {
                 id,
                 payload,

@@ -17,7 +17,7 @@ use crate::strategy::StrategyCtx;
 use crate::strategy::TransmissionStrategy;
 use egm_membership::PartialView;
 use egm_rng::hash::FastHashMap;
-use egm_simnet::{Context, NodeId, Protocol, SimDuration, SimTime, TimerTag};
+use egm_simnet::{Context, NodeId, Protocol, SimDuration, SimTime, TimerTag, TimerToken};
 
 /// A payload delivered to the application at this node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +76,9 @@ pub struct EgmNode {
     strategy: Box<dyn TransmissionStrategy>,
     monitor: Monitor,
     request_tags: FastHashMap<TimerTag, MsgId>,
+    /// Pending retry timer per missing message, so a resolving payload can
+    /// cancel it index-free instead of letting the dead event pop.
+    request_timers: FastHashMap<MsgId, (TimerTag, TimerToken)>,
     next_tag: TimerTag,
     multicasts: Vec<MulticastRecord>,
     deliveries: Vec<DeliveryRecord>,
@@ -106,6 +109,7 @@ impl EgmNode {
             strategy,
             monitor,
             request_tags: FastHashMap::default(),
+            request_timers: FastHashMap::default(),
             next_tag: TAG_REQUEST_BASE,
             multicasts: Vec::new(),
             deliveries: Vec::new(),
@@ -148,14 +152,16 @@ impl EgmNode {
     }
 
     /// Delivers a gossip step to the application and pushes its forwards
-    /// through the payload scheduler.
+    /// through the payload scheduler. The drained `sends` buffer is handed
+    /// back to the gossip layer's pool, keeping forwarding allocation-free.
     fn deliver_and_forward(&mut self, ctx: &mut Context<'_, EgmMessage>, step: GossipStep) {
         self.deliveries.push(DeliveryRecord {
             seq: step.payload.seq,
             time: ctx.now(),
             round: step.round,
         });
-        for s in step.sends {
+        let mut sends = step.sends;
+        for s in sends.drain(..) {
             let wire = {
                 let mut sctx = StrategyCtx {
                     me: self.id,
@@ -175,9 +181,11 @@ impl EgmNode {
                 ctx.send(s.to, wire);
             }
         }
+        self.gossip.recycle(sends);
     }
 
-    /// Arms the request timer for a missing message.
+    /// Arms the request timer for a missing message as a cancellable
+    /// timer, so the arrival of the payload can retire it before it pops.
     fn arm_request_timer(
         &mut self,
         ctx: &mut Context<'_, EgmMessage>,
@@ -187,7 +195,17 @@ impl EgmNode {
         let tag = self.next_tag;
         self.next_tag += 1;
         self.request_tags.insert(tag, id);
-        ctx.set_timer(delay, tag);
+        let token = ctx.set_cancellable_timer(delay, tag);
+        self.request_timers.insert(id, (tag, token));
+    }
+
+    /// Cancels the pending retry timer for `id`, if any — called when the
+    /// payload resolves so the timer never reaches the scheduler.
+    fn cancel_request_timer(&mut self, ctx: &mut Context<'_, EgmMessage>, id: &MsgId) {
+        if let Some((tag, token)) = self.request_timers.remove(id) {
+            ctx.cancel_timer(token);
+            self.request_tags.remove(&tag);
+        }
     }
 }
 
@@ -213,6 +231,10 @@ impl Protocol for EgmNode {
                 self.scheduler.note_holder(id, from);
                 match self.scheduler.on_msg(id, payload, round) {
                     Some((payload, round)) => {
+                        // The payload resolves any pending retry timer for
+                        // this id: cancel it instead of letting the dead
+                        // event pop through the heap.
+                        self.cancel_request_timer(ctx, &id);
                         self.strategy.on_payload(from);
                         if let Some(step) =
                             self.gossip
@@ -288,10 +310,12 @@ impl Protocol for EgmNode {
                 match action {
                     RequestAction::Resolved => {
                         self.request_tags.remove(&tag);
+                        self.request_timers.remove(&id);
                     }
                     RequestAction::Request(to, retry) => {
                         ctx.send(to, EgmMessage::IWant { id });
-                        ctx.set_timer(retry, tag);
+                        let token = ctx.set_cancellable_timer(retry, tag);
+                        self.request_timers.insert(id, (tag, token));
                     }
                 }
             }
@@ -458,6 +482,45 @@ mod tests {
         });
         assert_eq!(totals.0, 0, "pi=0 never sends eagerly");
         assert!(totals.1 > 0, "pi=0 advertises");
+    }
+
+    #[test]
+    fn cancelled_request_timers_never_reach_the_scheduler() {
+        // Pure lazy push is the request-timer-heavy regime: every delivery
+        // is preceded by IHAVE → timer → IWANT, and every arriving payload
+        // must retire its pending retry timer. With index-free
+        // cancellation no resolved message may ever pop a stale request
+        // timer into `PayloadScheduler::on_request_timer`.
+        let mut sim = build_sim(20, StrategySpec::Flat { pi: 0.0 }, 8);
+        for k in 0..5 {
+            sim.schedule_command(
+                SimTime::from_ms(10.0 + 40.0 * k as f64),
+                NodeId(k),
+                k as u64,
+            );
+        }
+        sim.run_for(SimDuration::from_ms(8000.0));
+        let resolved_pops: u64 = sim
+            .nodes()
+            .map(|(_, n)| n.scheduler_stats().resolved_timer_pops)
+            .sum();
+        assert_eq!(
+            resolved_pops, 0,
+            "a resolved message popped a request timer that should have been cancelled"
+        );
+        assert!(
+            sim.timers_cancelled() > 0,
+            "lazy runs must exercise cancellation"
+        );
+        assert_eq!(
+            sim.stale_timer_drops(),
+            sim.timers_cancelled(),
+            "every cancelled timer is dropped at pop, never dispatched"
+        );
+        // And the protocol still works.
+        for k in 0..5 {
+            assert_eq!(delivery_count(&sim, k), 20, "message {k} delivered");
+        }
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub struct SchedulerStats {
     /// Transmissions skipped because the target was already known to hold
     /// the message (NeEM-style suppression, off by default).
     pub suppressed_sends: u64,
+    /// Request-timer expiries that found the message already resolved
+    /// (payload arrived or entry vanished). With index-free timer
+    /// cancellation in the embedding node these pops should never happen:
+    /// the node cancels the retry timer the moment the payload resolves,
+    /// so the stale heap event is dropped before dispatch. A non-zero
+    /// count means dead timer events are reaching the scheduler again.
+    pub resolved_timer_pops: u64,
 }
 
 /// State for one advertised-but-missing message.
@@ -263,9 +270,11 @@ impl PayloadScheduler {
     ) -> RequestAction {
         if self.received.contains(&id) {
             self.missing.remove(&id);
+            self.stats.resolved_timer_pops += 1;
             return RequestAction::Resolved;
         }
         let Some(entry) = self.missing.get_mut(&id) else {
+            self.stats.resolved_timer_pops += 1;
             return RequestAction::Resolved;
         };
         entry.candidates_into(&mut self.scratch_idx, &mut self.scratch_sources);

@@ -33,14 +33,40 @@ pub fn top_fraction_share(counts: &[u64], fraction: f64) -> f64 {
         fraction > 0.0 && fraction <= 1.0,
         "fraction must be in (0, 1]"
     );
+    let k = ((counts.len() as f64 * fraction).round() as usize).clamp(1, counts.len());
+    if k == counts.len() {
+        // Whole-set share needs no selection (and no copy).
+        let total: u64 = counts.iter().sum();
+        return if total == 0 { 0.0 } else { 1.0 };
+    }
+    let mut owned = counts.to_vec();
+    top_fraction_share_mut(&mut owned, fraction)
+}
+
+/// [`top_fraction_share`] over a caller-owned buffer: O(n) via
+/// `select_nth_unstable` instead of a full sort, and no clone. The slice
+/// is reordered (partitioned around the k-th heaviest element). Hot
+/// callers that already own a scratch `counts` vector — the per-run report
+/// assembly does — should use this.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`top_fraction_share`].
+pub fn top_fraction_share_mut(counts: &mut [u64], fraction: f64) -> f64 {
+    assert!(!counts.is_empty(), "no links to rank");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1]"
+    );
     let total: u64 = counts.iter().sum();
     if total == 0 {
         return 0.0;
     }
     let k = ((counts.len() as f64 * fraction).round() as usize).clamp(1, counts.len());
-    let mut sorted = counts.to_vec();
-    sorted.sort_unstable_by(|a, b| b.cmp(a));
-    let top: u64 = sorted[..k].iter().sum();
+    if k < counts.len() {
+        counts.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+    }
+    let top: u64 = counts[..k].iter().sum();
     top as f64 / total as f64
 }
 
@@ -121,6 +147,27 @@ mod tests {
     #[test]
     fn full_fraction_is_everything() {
         assert_eq!(top_fraction_share(&[5, 5, 5], 1.0), 1.0);
+    }
+
+    #[test]
+    fn mut_variant_matches_allocating_variant() {
+        let counts = [50u64, 6, 6, 6, 6, 6, 5, 5, 5, 5];
+        for fraction in [0.05, 0.1, 0.3, 0.5, 1.0] {
+            let reference = super::top_fraction_share(&counts, fraction);
+            let mut owned = counts.to_vec();
+            let got = super::top_fraction_share_mut(&mut owned, fraction);
+            assert_eq!(got, reference, "fraction {fraction}");
+            // The buffer is permuted, never altered.
+            owned.sort_unstable();
+            let mut expect = counts.to_vec();
+            expect.sort_unstable();
+            assert_eq!(owned, expect);
+        }
+    }
+
+    #[test]
+    fn mut_variant_zero_traffic_is_zero() {
+        assert_eq!(super::top_fraction_share_mut(&mut [0, 0, 0], 0.5), 0.0);
     }
 
     #[test]

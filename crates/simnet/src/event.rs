@@ -1,5 +1,6 @@
 //! Internal event-queue types.
 
+use crate::sim::TimerToken;
 use crate::time::SimTime;
 use crate::NodeId;
 use std::cmp::Ordering;
@@ -11,6 +12,14 @@ pub(crate) enum EventKind<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
     /// Fire a protocol timer.
     Timer { node: NodeId, tag: u64 },
+    /// Fire a cancellable protocol timer; the token is checked against the
+    /// live generation at pop time and stale events are dropped before
+    /// dispatch.
+    CancellableTimer {
+        node: NodeId,
+        tag: u64,
+        token: TimerToken,
+    },
     /// Deliver a harness command to a protocol node.
     Command { node: NodeId, value: u64 },
     /// Silence a node (fault injection).

@@ -48,7 +48,7 @@ pub mod time;
 pub mod wire;
 
 pub use net::{Network, SimConfig};
-pub use sim::{Context, Protocol, Sim, TimerTag};
+pub use sim::{Context, Protocol, Sim, TimerTag, TimerToken};
 pub use stats::{LinkTally, Traffic};
 pub use time::{SimDuration, SimTime};
 pub use wire::Wire;

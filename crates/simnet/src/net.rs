@@ -37,6 +37,9 @@ pub struct SimConfig {
     /// reproducing the burst-induced latency of gossip fanouts that §5.3
     /// observes on the ModelNet testbed.
     egress_bandwidth: Option<f64>,
+    /// Maximum distinct links the traffic accounting tracks individually
+    /// (see [`crate::Traffic::with_spill_threshold`]).
+    link_spill_threshold: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -62,6 +65,7 @@ impl SimConfig {
             jitter: 0.0,
             min_delay: SimDuration::from_micros(10),
             egress_bandwidth: None,
+            link_spill_threshold: usize::MAX,
         }
     }
 
@@ -74,6 +78,7 @@ impl SimConfig {
             jitter: 0.0,
             min_delay: SimDuration::from_micros(10),
             egress_bandwidth: None,
+            link_spill_threshold: usize::MAX,
         }
     }
 
@@ -111,6 +116,21 @@ impl SimConfig {
         assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
         self.jitter = jitter;
         self
+    }
+
+    /// Bounds how many distinct links the simulator's traffic accounting
+    /// tracks individually; traffic on further links is folded into an
+    /// aggregate spill tally. Totals and per-node payload counters stay
+    /// exact. The default is unbounded; 1k–10k-node scenarios should set
+    /// a bound so link accounting cannot grow toward n².
+    pub fn with_link_spill_threshold(mut self, links: usize) -> Self {
+        self.link_spill_threshold = links;
+        self
+    }
+
+    /// The configured link-accounting spill threshold.
+    pub fn link_spill_threshold(&self) -> usize {
+        self.link_spill_threshold
     }
 
     /// Number of protocol nodes.

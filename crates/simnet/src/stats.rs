@@ -5,6 +5,14 @@
 //! virtual network. Loss and silencing are applied *after* accounting:
 //! a transmitted-but-dropped packet still consumed bandwidth at the sender,
 //! which matches how the paper counts transmissions.
+//!
+//! Accounting is purely sparse: only links that actually carried traffic
+//! occupy memory, and per-node payload counters live in a flat vector. A
+//! configurable *spill threshold* bounds the per-link map at scale — once
+//! the map holds that many distinct links, traffic on further new links is
+//! folded into a single aggregate [`Traffic::spilled`] tally (totals and
+//! per-node counters stay exact), so a 10k-node run cannot let link
+//! accounting grow toward the n² worst case.
 
 use crate::NodeId;
 use egm_rng::hash::FastHashMap;
@@ -21,6 +29,16 @@ pub struct LinkTally {
     pub payloads: u64,
 }
 
+impl LinkTally {
+    fn add(&mut self, bytes: u32, payload: bool) {
+        self.messages += 1;
+        self.bytes += u64::from(bytes);
+        if payload {
+            self.payloads += 1;
+        }
+    }
+}
+
 /// Aggregated traffic over the whole virtual network.
 ///
 /// # Examples
@@ -35,23 +53,58 @@ pub struct LinkTally {
 /// assert_eq!(t.total_bytes(), 320);
 /// assert_eq!(t.node_payloads_sent(NodeId(0)), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Traffic {
     links: FastHashMap<(NodeId, NodeId), LinkTally>,
     total: LinkTally,
+    /// Payloads sent per node, grown on demand (exact even when the link
+    /// map spills).
+    node_payloads: Vec<u64>,
+    /// Maximum number of distinct links tracked individually.
+    spill_threshold: usize,
+    /// Aggregate tally of traffic on links beyond the threshold.
+    spilled: LinkTally,
+}
+
+impl Default for Traffic {
+    fn default() -> Self {
+        Traffic::with_spill_threshold(usize::MAX)
+    }
 }
 
 impl Traffic {
+    /// Creates an accounting table that tracks at most `spill_threshold`
+    /// distinct links individually; traffic on further links is folded
+    /// into the aggregate [`Traffic::spilled`] tally.
+    pub fn with_spill_threshold(spill_threshold: usize) -> Self {
+        Traffic {
+            links: FastHashMap::default(),
+            total: LinkTally::default(),
+            node_payloads: Vec::new(),
+            spill_threshold,
+            spilled: LinkTally::default(),
+        }
+    }
+
     /// Records one message from `from` to `to`.
     pub fn record(&mut self, from: NodeId, to: NodeId, bytes: u32, payload: bool) {
-        let tally = self.links.entry((from, to)).or_default();
-        tally.messages += 1;
-        tally.bytes += u64::from(bytes);
-        self.total.messages += 1;
-        self.total.bytes += u64::from(bytes);
+        self.total.add(bytes, payload);
         if payload {
-            tally.payloads += 1;
-            self.total.payloads += 1;
+            let idx = from.index();
+            if idx >= self.node_payloads.len() {
+                self.node_payloads.resize(idx + 1, 0);
+            }
+            self.node_payloads[idx] += 1;
+        }
+        if self.links.len() < self.spill_threshold {
+            self.links
+                .entry((from, to))
+                .or_default()
+                .add(bytes, payload);
+        } else if let Some(tally) = self.links.get_mut(&(from, to)) {
+            tally.add(bytes, payload);
+        } else {
+            self.spilled.add(bytes, payload);
         }
     }
 
@@ -70,42 +123,45 @@ impl Traffic {
         self.total.payloads
     }
 
-    /// Number of directed links that carried at least one message.
+    /// Number of individually tracked directed links that carried at
+    /// least one message. When [`Traffic::spilled`] is non-empty this
+    /// undercounts the true distinct-link count (by design: the map is
+    /// bounded).
     pub fn link_count(&self) -> usize {
         self.links.len()
     }
 
-    /// Tally for one directed link, if it carried traffic.
+    /// Aggregate tally of traffic recorded after the link map reached its
+    /// spill threshold (all zeros when nothing spilled).
+    pub fn spilled(&self) -> LinkTally {
+        self.spilled
+    }
+
+    /// Tally for one directed link, if it carried traffic and was tracked
+    /// individually.
     pub fn link(&self, from: NodeId, to: NodeId) -> Option<LinkTally> {
         self.links.get(&(from, to)).copied()
     }
 
-    /// All directed links and their tallies, in deterministic
-    /// (source, destination) order.
+    /// All individually tracked directed links and their tallies, in
+    /// deterministic (source, destination) order.
     pub fn links(&self) -> Vec<((NodeId, NodeId), LinkTally)> {
         let mut v: Vec<_> = self.links.iter().map(|(&k, &t)| (k, t)).collect();
         v.sort_by_key(|&((a, b), _)| (a, b));
         v
     }
 
-    /// Payload transmissions sent by one node (summed over its outgoing
-    /// links).
+    /// Payload transmissions sent by one node. Exact regardless of link
+    /// spill.
     pub fn node_payloads_sent(&self, node: NodeId) -> u64 {
-        self.links
-            .iter()
-            .filter(|&(&(from, _), _)| from == node)
-            .map(|(_, t)| t.payloads)
-            .sum()
+        self.node_payloads.get(node.index()).copied().unwrap_or(0)
     }
 
     /// Per-node payload transmission counts for nodes `0..n`.
     pub fn payloads_sent_per_node(&self, n: usize) -> Vec<u64> {
         let mut out = vec![0u64; n];
-        for (&(from, _), t) in &self.links {
-            if from.index() < n {
-                out[from.index()] += t.payloads;
-            }
-        }
+        let upto = n.min(self.node_payloads.len());
+        out[..upto].copy_from_slice(&self.node_payloads[..upto]);
         out
     }
 }
@@ -129,6 +185,7 @@ mod tests {
         assert_eq!(t.total_messages(), 3);
         assert_eq!(t.total_payloads(), 2);
         assert!(t.link(NodeId(2), NodeId(0)).is_none());
+        assert_eq!(t.spilled().messages, 0, "no spill by default");
     }
 
     #[test]
@@ -157,5 +214,37 @@ mod tests {
         assert_eq!(t.payloads_sent_per_node(3), vec![2, 0, 0]);
         assert_eq!(t.node_payloads_sent(NodeId(0)), 2);
         assert_eq!(t.node_payloads_sent(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn spill_threshold_bounds_the_link_map() {
+        let mut t = Traffic::with_spill_threshold(2);
+        t.record(NodeId(0), NodeId(1), 10, true);
+        t.record(NodeId(0), NodeId(2), 10, false);
+        // Third distinct link spills...
+        t.record(NodeId(0), NodeId(3), 10, true);
+        // ...but already-tracked links keep accumulating exactly.
+        t.record(NodeId(0), NodeId(1), 10, false);
+        assert_eq!(t.link_count(), 2);
+        assert!(t.link(NodeId(0), NodeId(3)).is_none(), "spilled link");
+        assert_eq!(t.spilled().messages, 1);
+        assert_eq!(t.spilled().payloads, 1);
+        assert_eq!(t.spilled().bytes, 10);
+        // Totals and per-node counters stay exact.
+        assert_eq!(t.total_messages(), 4);
+        assert_eq!(t.total_payloads(), 2);
+        assert_eq!(t.node_payloads_sent(NodeId(0)), 2);
+        let l01 = t.link(NodeId(0), NodeId(1)).expect("tracked");
+        assert_eq!(l01.messages, 2);
+    }
+
+    #[test]
+    fn zero_threshold_spills_everything() {
+        let mut t = Traffic::with_spill_threshold(0);
+        t.record(NodeId(0), NodeId(1), 7, true);
+        assert_eq!(t.link_count(), 0);
+        assert_eq!(t.spilled().messages, 1);
+        assert_eq!(t.total_bytes(), 7);
+        assert_eq!(t.node_payloads_sent(NodeId(0)), 1);
     }
 }

@@ -6,18 +6,38 @@ use crate::stats::ModelStats;
 use egm_rng::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Hard cap on the number of client pairs [`RoutedModel::stats`] measures
+/// exactly; larger models are summarized over a deterministic strided
+/// subsample so statistics stay O(1 M) in memory even at 10k clients.
+const MAX_STATS_PAIRS: usize = 1 << 20;
+
 /// Client-to-client routed network model.
 ///
-/// This is the "model file" of the paper's ModelNet setup (§4.3): a dense
-/// matrix of one-way latencies and hop counts between the *client* nodes
-/// that run the protocol, plus each client's pseudo-geographic coordinate.
-/// The simulator uses the latency matrix to delay packets; oracle monitors
-/// read latency or coordinates directly, exactly as the paper extracts them
-/// "directly from the model file".
+/// This is the "model file" of the paper's ModelNet setup (§4.3): the
+/// one-way latency and hop-count oracle between the *client* nodes that
+/// run the protocol, plus each client's pseudo-geographic coordinate.
+/// The simulator uses the latency oracle to delay packets; oracle monitors
+/// read latency or coordinates directly, exactly as the paper extracts
+/// them "directly from the model file".
 ///
-/// Construct one with [`TransitStubConfig::build`](crate::TransitStubConfig)
-/// for the realistic topology, or with the synthetic constructors below for
-/// controlled tests.
+/// Two storage layouts back the same interface:
+///
+/// * **Dense** — an explicit `n × n` matrix, used by the synthetic
+///   constructors and [`RoutedModel::from_matrices`]. Fine for test-sized
+///   models, O(n²) memory.
+/// * **Two-level routed** — produced by
+///   [`TransitStubConfig::build`](crate::TransitStubConfig): shortest
+///   paths are stored at *router* granularity only (a transit-core matrix
+///   plus per-stub-domain tables), and each client carries an attachment
+///   record. A client-pair latency is composed on demand as
+///   `access + router distance + access`, so memory is O(n + routers²-at-
+///   core-granularity) and 1k–10k-node models stay in the low megabytes.
+///   Every lookup is O(1) (three table reads), so no caching layer is
+///   needed in front of [`RoutedModel::latency_ms`].
+///
+/// [`RoutedModel::memory_shape`] exposes which layout is in use and how
+/// many cells each table holds, so scale tests can assert that no `n × n`
+/// client matrix was ever allocated.
 ///
 /// # Examples
 ///
@@ -33,14 +53,180 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoutedModel {
     n: usize,
-    /// Flattened `n × n` one-way latency matrix in milliseconds.
-    latency_ms: Vec<f64>,
-    /// Flattened `n × n` hop-count matrix.
-    hops: Vec<u32>,
     /// Pseudo-geographic coordinate per client.
     coords: Vec<Point>,
     /// Number of routers in the underlying graph (0 for synthetic models).
     router_count: usize,
+    repr: ModelRepr,
+}
+
+/// Storage layout behind the latency/hop oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ModelRepr {
+    /// Flattened `n × n` client matrices.
+    Dense {
+        latency_ms: Vec<f64>,
+        hops: Vec<u32>,
+    },
+    /// Router-granularity tables + client attachment records.
+    Routed(TwoLevelModel),
+}
+
+/// The sparse routed layout: a dense matrix over the (small) transit core,
+/// per-stub-domain shortest-path tables, and one attachment record per
+/// client. Exact for transit–stub graphs because every inter-domain path
+/// must traverse the attached transit routers (stub domains connect to the
+/// core through exactly one transit router).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct TwoLevelModel {
+    /// Client access-link latency (ms), applied twice per client pair.
+    pub(crate) access_ms: f64,
+    /// Number of transit (core) routers.
+    pub(crate) core_n: usize,
+    /// Flattened `core_n × core_n` symmetric latency matrix (ms).
+    pub(crate) core_latency_ms: Vec<f64>,
+    /// Flattened `core_n × core_n` symmetric hop matrix.
+    pub(crate) core_hops: Vec<u32>,
+    /// One table per stub domain (consulted only for same-domain pairs).
+    pub(crate) domains: Vec<DomainTable>,
+    /// Per-client routing column. One 32-byte record per client keeps the
+    /// hot cross-domain lookup at three memory touches — `cols[a]`,
+    /// `cols[b]`, one core-matrix cell — which is what puts
+    /// [`RoutedModel::latency_ms`] within noise of the dense matrix read
+    /// it replaced on the simulator's per-transmit path.
+    pub(crate) cols: Vec<ClientCol>,
+}
+
+/// Per-client routing column of the two-level layout.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) struct ClientCol {
+    /// Stub domain index.
+    pub(crate) domain: u32,
+    /// Member index of the client's stub router within its domain.
+    pub(crate) member: u32,
+    /// Core index of the client's transit router.
+    pub(crate) core: u32,
+    /// Router hops from the client's stub router up to its transit router.
+    pub(crate) up_hops: u32,
+    /// Latency from the client's stub router up to its transit router.
+    pub(crate) up_ms: f64,
+}
+
+/// Shortest paths within one stub domain (its members plus its transit
+/// router, which sits at matrix index `members`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct DomainTable {
+    /// Core index of the transit router this domain hangs off.
+    pub(crate) core_index: u32,
+    /// Number of stub routers in the domain; matrices are
+    /// `(members + 1) × (members + 1)` with the transit router last.
+    pub(crate) members: u32,
+    /// Flattened symmetric intra-domain latency matrix (ms).
+    pub(crate) latency_ms: Vec<f64>,
+    /// Flattened symmetric intra-domain hop matrix.
+    pub(crate) hops: Vec<u32>,
+}
+
+/// Where one client attaches to the router level.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) struct ClientAttachment {
+    /// Index into [`TwoLevelModel::domains`].
+    pub(crate) domain: u32,
+    /// Member index of the client's stub router within its domain.
+    pub(crate) member: u32,
+}
+
+/// Storage-shape summary of a [`RoutedModel`], for memory assertions.
+///
+/// # Examples
+///
+/// ```
+/// use egm_topology::TransitStubConfig;
+///
+/// let model = TransitStubConfig::small().with_clients(16).build();
+/// let shape = model.memory_shape();
+/// assert_eq!(shape.dense_cells, 0, "routed models hold no n×n matrix");
+/// assert_eq!(shape.client_entries, 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryShape {
+    /// Cells in client-granularity `n × n` matrices (0 for the routed
+    /// layout).
+    pub dense_cells: usize,
+    /// Cells in the transit-core router matrix.
+    pub core_cells: usize,
+    /// Total cells across all per-stub-domain tables.
+    pub domain_cells: usize,
+    /// Entries in the client attachment table (== client count for the
+    /// routed layout, 0 for dense).
+    pub client_entries: usize,
+}
+
+impl TwoLevelModel {
+    /// Builds the flattened per-client columns from attachment records.
+    fn new(
+        access_ms: f64,
+        core_n: usize,
+        core_latency_ms: Vec<f64>,
+        core_hops: Vec<u32>,
+        domains: Vec<DomainTable>,
+        attachments: &[ClientAttachment],
+    ) -> Self {
+        let mut cols = Vec::with_capacity(attachments.len());
+        for c in attachments {
+            let d = &domains[c.domain as usize];
+            assert!(c.member < d.members, "client attached outside its domain");
+            let w = d.members as usize + 1;
+            // member → own transit router (transit sits at index k).
+            let up = c.member as usize * w + d.members as usize;
+            cols.push(ClientCol {
+                domain: c.domain,
+                member: c.member,
+                core: d.core_index,
+                up_hops: d.hops[up],
+                up_ms: d.latency_ms[up],
+            });
+        }
+        TwoLevelModel {
+            access_ms,
+            core_n,
+            core_latency_ms,
+            core_hops,
+            domains,
+            cols,
+        }
+    }
+
+    /// Router-level latency/hops between two distinct clients. The pair is
+    /// canonicalized (`a < b`) so the float summation order — and thus the
+    /// exact result — is identical in both directions.
+    #[inline]
+    fn parts(&self, a: usize, b: usize) -> PairParts {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let ca = self.cols[a];
+        let cb = self.cols[b];
+        if ca.domain != cb.domain {
+            let core = ca.core as usize * self.core_n + cb.core as usize;
+            PairParts {
+                latency_ms: ca.up_ms + self.core_latency_ms[core] + cb.up_ms,
+                hops: ca.up_hops + self.core_hops[core] + cb.up_hops,
+            }
+        } else {
+            let d = &self.domains[ca.domain as usize];
+            let w = d.members as usize + 1;
+            let idx = ca.member as usize * w + cb.member as usize;
+            PairParts {
+                latency_ms: d.latency_ms[idx],
+                hops: d.hops[idx],
+            }
+        }
+    }
+}
+
+/// Latency/hops of the router-level segment of one client pair.
+struct PairParts {
+    latency_ms: f64,
+    hops: u32,
 }
 
 impl RoutedModel {
@@ -75,10 +261,60 @@ impl RoutedModel {
         }
         RoutedModel {
             n,
-            latency_ms,
-            hops,
             coords,
             router_count,
+            repr: ModelRepr::Dense { latency_ms, hops },
+        }
+    }
+
+    /// Builds the two-level routed layout; used by the transit–stub
+    /// generator. Validation is structural (table sizes), not O(n²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if table dimensions are inconsistent with the attachment
+    /// records.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_two_level(
+        access_ms: f64,
+        core_n: usize,
+        core_latency_ms: Vec<f64>,
+        core_hops: Vec<u32>,
+        domains: Vec<DomainTable>,
+        attachments: &[ClientAttachment],
+        coords: Vec<Point>,
+        router_count: usize,
+    ) -> Self {
+        let n = coords.len();
+        assert_eq!(attachments.len(), n, "one attachment per client");
+        assert_eq!(
+            core_latency_ms.len(),
+            core_n * core_n,
+            "core matrix must be square"
+        );
+        assert_eq!(core_hops.len(), core_latency_ms.len());
+        for d in &domains {
+            let w = d.members as usize + 1;
+            assert_eq!(d.latency_ms.len(), w * w, "domain table must be square");
+            assert_eq!(d.hops.len(), w * w);
+            assert!(
+                (d.core_index as usize) < core_n,
+                "domain transit router out of core range"
+            );
+        }
+        let two_level = TwoLevelModel::new(
+            access_ms,
+            core_n,
+            core_latency_ms,
+            core_hops,
+            domains,
+            attachments,
+        );
+        RoutedModel {
+            n,
+            coords,
+            router_count,
+            repr: ModelRepr::Routed(two_level),
         }
     }
 
@@ -114,10 +350,9 @@ impl RoutedModel {
             .collect();
         RoutedModel {
             n,
-            latency_ms,
-            hops,
             coords,
             router_count: 0,
+            repr: ModelRepr::Dense { latency_ms, hops },
         }
     }
 
@@ -150,10 +385,9 @@ impl RoutedModel {
         }
         RoutedModel {
             n,
-            latency_ms,
-            hops,
             coords,
             router_count: 0,
+            repr: ModelRepr::Dense { latency_ms, hops },
         }
     }
 
@@ -169,12 +403,26 @@ impl RoutedModel {
 
     /// One-way latency between two clients in milliseconds.
     ///
+    /// O(1) for both layouts: a matrix read for dense models, three table
+    /// reads composed as `access + router distance + access` for routed
+    /// ones.
+    ///
     /// # Panics
     ///
     /// Panics if either index is out of range.
+    #[inline]
     pub fn latency_ms(&self, a: usize, b: usize) -> f64 {
         assert!(a < self.n && b < self.n, "client index out of range");
-        self.latency_ms[a * self.n + b]
+        match &self.repr {
+            ModelRepr::Dense { latency_ms, .. } => latency_ms[a * self.n + b],
+            ModelRepr::Routed(tl) => {
+                if a == b {
+                    0.0
+                } else {
+                    2.0 * tl.access_ms + tl.parts(a, b).latency_ms
+                }
+            }
+        }
     }
 
     /// Router-level hop count between two clients.
@@ -182,9 +430,19 @@ impl RoutedModel {
     /// # Panics
     ///
     /// Panics if either index is out of range.
+    #[inline]
     pub fn hops(&self, a: usize, b: usize) -> u32 {
         assert!(a < self.n && b < self.n, "client index out of range");
-        self.hops[a * self.n + b]
+        match &self.repr {
+            ModelRepr::Dense { hops, .. } => hops[a * self.n + b],
+            ModelRepr::Routed(tl) => {
+                if a == b {
+                    0
+                } else {
+                    tl.parts(a, b).hops
+                }
+            }
+        }
     }
 
     /// Pseudo-geographic coordinate of a client.
@@ -201,15 +459,51 @@ impl RoutedModel {
         self.coords[a].distance(self.coords[b])
     }
 
-    /// Aggregate statistics over all distinct client pairs (§5.1 of the
+    /// Storage-shape summary: which layout backs the oracle and how big
+    /// each table is. Scale tests assert `dense_cells == 0` for generated
+    /// models so no refactor can silently reintroduce an `n × n` client
+    /// matrix.
+    pub fn memory_shape(&self) -> MemoryShape {
+        match &self.repr {
+            ModelRepr::Dense { latency_ms, hops } => MemoryShape {
+                dense_cells: latency_ms.len() + hops.len(),
+                core_cells: 0,
+                domain_cells: 0,
+                client_entries: 0,
+            },
+            ModelRepr::Routed(tl) => MemoryShape {
+                dense_cells: 0,
+                core_cells: tl.core_latency_ms.len() + tl.core_hops.len(),
+                domain_cells: tl
+                    .domains
+                    .iter()
+                    .map(|d| d.latency_ms.len() + d.hops.len())
+                    .sum(),
+                client_entries: tl.cols.len(),
+            },
+        }
+    }
+
+    /// Aggregate statistics over distinct client pairs (§5.1 of the
     /// paper).
+    ///
+    /// Models with more than ~1 M pairs (n ≳ 1450) are summarized over a
+    /// deterministic strided subsample of pairs so the computation stays
+    /// bounded in memory at 10k clients; [`ModelStats::pair_count`] then
+    /// reports the sampled count.
     pub fn stats(&self) -> ModelStats {
-        let mut lat = Vec::with_capacity(self.n * (self.n - 1) / 2);
+        let total_pairs = self.n * (self.n - 1) / 2;
+        let stride = total_pairs.div_ceil(MAX_STATS_PAIRS).max(1);
+        let mut lat = Vec::with_capacity(total_pairs.min(MAX_STATS_PAIRS));
         let mut hop = Vec::with_capacity(lat.capacity());
+        let mut p = 0usize;
         for a in 0..self.n {
             for b in (a + 1)..self.n {
-                lat.push(self.latency_ms(a, b));
-                hop.push(self.hops(a, b));
+                if p % stride == 0 {
+                    lat.push(self.latency_ms(a, b));
+                    hop.push(self.hops(a, b));
+                }
+                p += 1;
             }
         }
         ModelStats::from_pairs(&lat, &hop, self.router_count)
@@ -291,6 +585,15 @@ mod tests {
         assert_eq!(s.pair_count, 20 * 19 / 2);
         assert!(s.mean_latency_ms > 39.0 && s.mean_latency_ms < 60.0);
         assert!((s.frac_latency_39_60 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_models_report_dense_shape() {
+        let m = RoutedModel::uniform_synthetic(4, 1.0, 2.0, 2);
+        let shape = m.memory_shape();
+        assert_eq!(shape.dense_cells, 32, "two 4×4 matrices");
+        assert_eq!(shape.core_cells, 0);
+        assert_eq!(shape.client_entries, 0);
     }
 
     #[test]

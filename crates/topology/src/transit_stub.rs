@@ -13,16 +13,28 @@
 //!    their transit router and connect to it in a star, with optional
 //!    intra-stub ring edges for redundancy.
 //! 4. Attach each client to a *distinct* stub router with a 1 ms access
-//!    link, then run Dijkstra from every client to produce the
-//!    [`RoutedModel`].
+//!    link, then route to produce the [`RoutedModel`].
 //!
 //! Link latency is `max(min_link_ms, distance × ms_per_unit)`; default
 //! constants are calibrated so the 100-client default model matches the
 //! shape of §5.1 (mean hops ≈ 5.5, mean latency ≈ 50 ms).
+//!
+//! # Routing at scale
+//!
+//! [`TransitStubConfig::build`] produces the *two-level* routed layout:
+//! shortest paths are solved once over the transit core (a small dense
+//! matrix) and once per stub domain (tiny per-domain tables), and each
+//! client stores only its attachment point. This is exact — a stub domain
+//! reaches the rest of the network through exactly one transit router, so
+//! every inter-domain shortest path decomposes as
+//! `stub → transit → core → transit → stub` — and keeps a 10k-client
+//! model in the low megabytes instead of the ~1.6 GB an `n × n` client
+//! matrix would need. [`TransitStubConfig::build_dense`] keeps the legacy
+//! all-pairs Dijkstra path for equivalence tests at small `n`.
 
 use crate::geometry::Point;
 use crate::graph::Graph;
-use crate::model::RoutedModel;
+use crate::model::{ClientAttachment, DomainTable, RoutedModel};
 use egm_rng::{sample, Rng};
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +108,20 @@ impl Default for TransitStubConfig {
     }
 }
 
+/// Intermediate output of topology generation: the router graph plus the
+/// structural indices both routing backends need. Transit routers occupy
+/// vertices `0..transit_count`, stub routers the next `stub_count`
+/// vertices grouped by domain; clients are *not* in the graph yet.
+struct Generated {
+    graph: Graph,
+    coords: Vec<Point>,
+    transit_count: usize,
+    stub_count: usize,
+    /// Client attachment picks: indices into the flattened stub-router
+    /// list (stub router `s` is vertex `transit_count + s`).
+    picks: Vec<usize>,
+}
+
 impl TransitStubConfig {
     /// A reduced model (~90 routers) for fast unit and property tests.
     pub fn small() -> Self {
@@ -107,6 +133,33 @@ impl TransitStubConfig {
             clients: 16,
             extra_domain_links: 2,
             ..TransitStubConfig::default()
+        }
+    }
+
+    /// A configuration sized for `clients` protocol nodes (the 1k–10k
+    /// scale axis): the transit core stays at the default 100 routers so
+    /// the two-level core matrix stays small, while stub capacity grows
+    /// with the client count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use egm_topology::TransitStubConfig;
+    ///
+    /// let c = TransitStubConfig::scaled(10_000);
+    /// assert!(c.stub_router_count() >= 10_000);
+    /// assert_eq!(c.transit_domains * c.routers_per_transit, 100);
+    /// ```
+    pub fn scaled(clients: usize) -> Self {
+        let base = TransitStubConfig::default();
+        let core = base.transit_domains * base.routers_per_transit;
+        let needed = clients
+            .div_ceil(core * base.routers_per_stub)
+            .max(base.stubs_per_transit_router);
+        TransitStubConfig {
+            stubs_per_transit_router: needed,
+            clients,
+            ..base
         }
     }
 
@@ -137,7 +190,8 @@ impl TransitStubConfig {
     }
 
     /// Generates the router graph and routes all clients, producing the
-    /// [`RoutedModel`] oracle.
+    /// [`RoutedModel`] oracle in the compact two-level layout (see the
+    /// module docs).
     ///
     /// # Panics
     ///
@@ -145,6 +199,149 @@ impl TransitStubConfig {
     /// clients, or more clients than stub routers (clients must attach to
     /// *distinct* stub routers, §5.1).
     pub fn build(&self) -> RoutedModel {
+        let g = self.generate();
+        let transit = g.transit_count;
+        let rps = self.routers_per_stub;
+        let spt = self.stubs_per_transit_router;
+
+        // Core: shortest paths over the transit mesh only. Exact because
+        // stub domains are reachable solely through their own transit
+        // router, so no core shortest path ever detours through a stub.
+        let mut core_graph = Graph::new(transit);
+        for a in 0..transit {
+            for &(b, w) in g.graph.neighbors(a) {
+                if b < transit && b > a {
+                    core_graph.add_edge(a, b, w);
+                }
+            }
+        }
+        let mut core_latency_ms = vec![0.0; transit * transit];
+        let mut core_hops = vec![0u32; transit * transit];
+        for t in 0..transit {
+            let sp = core_graph.shortest_paths(t);
+            for u in 0..transit {
+                core_latency_ms[t * transit + u] = if t == u { 0.0 } else { sp.latency_ms[u] };
+                core_hops[t * transit + u] = if t == u { 0 } else { sp.hops[u] };
+            }
+        }
+        symmetrize(&mut core_latency_ms, &mut core_hops, transit);
+
+        // Per stub domain: shortest paths over its members plus its
+        // transit router (matrix index `rps`). Domain `d` owns vertices
+        // `transit + d*rps ..` and hangs off transit router `d / spt`.
+        let domain_count = g.stub_count / rps;
+        let mut domains = Vec::with_capacity(domain_count);
+        for d in 0..domain_count {
+            let base = transit + d * rps;
+            let t_vertex = d / spt;
+            let w = rps + 1;
+            let mut dg = Graph::new(w);
+            for m in 0..rps {
+                for &(nb, weight) in g.graph.neighbors(base + m) {
+                    if nb == t_vertex {
+                        dg.add_edge(m, rps, weight);
+                    } else if nb >= base && nb < base + rps && nb > base + m {
+                        dg.add_edge(m, nb - base, weight);
+                    }
+                }
+            }
+            let mut latency_ms = vec![0.0; w * w];
+            let mut hops = vec![0u32; w * w];
+            for s in 0..w {
+                let sp = dg.shortest_paths(s);
+                for u in 0..w {
+                    latency_ms[s * w + u] = if s == u { 0.0 } else { sp.latency_ms[u] };
+                    hops[s * w + u] = if s == u { 0 } else { sp.hops[u] };
+                }
+            }
+            symmetrize(&mut latency_ms, &mut hops, w);
+            domains.push(DomainTable {
+                core_index: t_vertex as u32,
+                members: rps as u32,
+                latency_ms,
+                hops,
+            });
+        }
+
+        // Clients: attachment records plus coordinates (clients sit at
+        // their stub router's location). No client vertices are ever added
+        // to a graph and no n×n matrix is materialized.
+        let mut clients = Vec::with_capacity(self.clients);
+        let mut client_coords = Vec::with_capacity(self.clients);
+        for &s in &g.picks {
+            clients.push(ClientAttachment {
+                domain: (s / rps) as u32,
+                member: (s % rps) as u32,
+            });
+            client_coords.push(g.coords[transit + s]);
+        }
+
+        RoutedModel::from_two_level(
+            self.client_stub_ms,
+            transit,
+            core_latency_ms,
+            core_hops,
+            domains,
+            &clients,
+            client_coords,
+            g.graph.vertex_count(),
+        )
+    }
+
+    /// Legacy dense routing: adds the clients to the router graph and runs
+    /// Dijkstra from every client, materializing `n × n` matrices. Kept
+    /// for the equivalence tests that pin [`TransitStubConfig::build`]'s
+    /// compact layout to the brute-force answer; O(n²) memory, so only
+    /// suitable for small `n`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TransitStubConfig::build`].
+    pub fn build_dense(&self) -> RoutedModel {
+        let g = self.generate();
+        let mut graph = g.graph;
+        let mut coords = g.coords;
+        let mut client_vertices = Vec::with_capacity(self.clients);
+        let mut client_coords = Vec::with_capacity(self.clients);
+        for &s in &g.picks {
+            let stub = g.transit_count + s;
+            let v = graph.add_vertex();
+            // Clients sit at their stub router's location.
+            coords.push(coords[stub]);
+            // Access links have a fixed latency regardless of distance.
+            graph.add_edge(v, stub, self.client_stub_ms);
+            client_vertices.push(v);
+            client_coords.push(coords[stub]);
+        }
+
+        let n = self.clients;
+        let mut latency = vec![0.0; n * n];
+        let mut hops = vec![0u32; n * n];
+        for (i, &src) in client_vertices.iter().enumerate() {
+            let sp = graph.shortest_paths(src);
+            for (j, &dst) in client_vertices.iter().enumerate() {
+                latency[i * n + j] = if i == j { 0.0 } else { sp.latency_ms[dst] };
+                // Hop distance is measured between the clients' stub
+                // attachment points (router-level hops), so the two client
+                // access links are not counted — matching how §5.1 reports
+                // "hop distance between client nodes" for ModelNet.
+                hops[i * n + j] = if i == j {
+                    0
+                } else {
+                    sp.hops[dst].saturating_sub(2)
+                };
+            }
+        }
+        // Dijkstra is deterministic and the graph undirected, but float
+        // summation order differs per direction; symmetrize to the mean.
+        symmetrize(&mut latency, &mut hops, n);
+        RoutedModel::from_matrices(latency, hops, client_coords, graph.vertex_count() - n)
+    }
+
+    /// Generates the router graph and draws the client attachment picks
+    /// (steps 1–3 plus the attachment sampling of step 4). Shared by both
+    /// routing backends so they see the identical topology for a seed.
+    fn generate(&self) -> Generated {
         assert!(self.transit_domains > 0, "need at least one transit domain");
         assert!(
             self.routers_per_transit > 0,
@@ -191,6 +388,7 @@ impl TransitStubConfig {
             }
             domain_routers.push(routers);
         }
+        let transit_count = graph.vertex_count();
 
         // 2. Inter-domain connectivity: random spanning tree + extra links.
         let mut order: Vec<usize> = (0..self.transit_domains).collect();
@@ -216,7 +414,6 @@ impl TransitStubConfig {
         }
 
         // 3. Stub domains: star onto their transit router (+ optional ring).
-        let mut stub_routers: Vec<usize> = Vec::with_capacity(self.stub_router_count());
         for domain in &domain_routers {
             for &transit in domain {
                 for _ in 0..self.stubs_per_transit_router {
@@ -243,58 +440,21 @@ impl TransitStubConfig {
                             self.link(&mut graph, &coords, members[i], members[j]);
                         }
                     }
-                    stub_routers.extend(members);
                 }
             }
         }
         debug_assert!(graph.is_connected(), "generated graph must be connected");
 
-        // 4. Clients on distinct stub routers, then route everything.
-        let picks = sample::distinct_indices(&mut rng, stub_routers.len(), self.clients);
-        let mut client_vertices = Vec::with_capacity(self.clients);
-        let mut client_coords = Vec::with_capacity(self.clients);
-        for &s in &picks {
-            let stub = stub_routers[s];
-            let v = graph.add_vertex();
-            // Clients sit at their stub router's location.
-            coords.push(coords[stub]);
-            // Access links have a fixed latency regardless of distance.
-            graph.add_edge(v, stub, self.client_stub_ms);
-            client_vertices.push(v);
-            client_coords.push(coords[stub]);
+        // 4 (sampling only). Clients pick distinct stub routers.
+        let stub_count = graph.vertex_count() - transit_count;
+        let picks = sample::distinct_indices(&mut rng, stub_count, self.clients);
+        Generated {
+            graph,
+            coords,
+            transit_count,
+            stub_count,
+            picks,
         }
-
-        let n = self.clients;
-        let mut latency = vec![0.0; n * n];
-        let mut hops = vec![0u32; n * n];
-        for (i, &src) in client_vertices.iter().enumerate() {
-            let sp = graph.shortest_paths(src);
-            for (j, &dst) in client_vertices.iter().enumerate() {
-                latency[i * n + j] = if i == j { 0.0 } else { sp.latency_ms[dst] };
-                // Hop distance is measured between the clients' stub
-                // attachment points (router-level hops), so the two client
-                // access links are not counted — matching how §5.1 reports
-                // "hop distance between client nodes" for ModelNet.
-                hops[i * n + j] = if i == j {
-                    0
-                } else {
-                    sp.hops[dst].saturating_sub(2)
-                };
-            }
-        }
-        // Dijkstra is deterministic and the graph undirected, but float
-        // summation order differs per direction; symmetrize to the mean.
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let l = (latency[i * n + j] + latency[j * n + i]) / 2.0;
-                latency[i * n + j] = l;
-                latency[j * n + i] = l;
-                let h = hops[i * n + j].min(hops[j * n + i]);
-                hops[i * n + j] = h;
-                hops[j * n + i] = h;
-            }
-        }
-        RoutedModel::from_matrices(latency, hops, client_coords, graph.vertex_count() - n)
     }
 
     /// Adds a distance-proportional link between two placed routers.
@@ -304,6 +464,22 @@ impl TransitStubConfig {
         }
         let latency = (coords[a].distance(coords[b]) * self.ms_per_unit).max(self.min_link_ms);
         graph.add_edge(a, b, latency);
+    }
+}
+
+/// Symmetrizes flattened `n × n` latency/hop matrices in place: latency to
+/// the directional mean (float summation order differs per direction),
+/// hops to the directional minimum.
+fn symmetrize(latency_ms: &mut [f64], hops: &mut [u32], n: usize) {
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let l = (latency_ms[i * n + j] + latency_ms[j * n + i]) / 2.0;
+            latency_ms[i * n + j] = l;
+            latency_ms[j * n + i] = l;
+            let h = hops[i * n + j].min(hops[j * n + i]);
+            hops[i * n + j] = h;
+            hops[j * n + i] = h;
+        }
     }
 }
 
@@ -402,6 +578,60 @@ mod tests {
             s.frac_hops_5_6 > 0.3,
             "hop band fraction {}",
             s.frac_hops_5_6
+        );
+    }
+
+    #[test]
+    fn routed_layout_holds_no_client_matrix() {
+        let m = TransitStubConfig::default()
+            .with_clients(100)
+            .with_seed(5)
+            .build();
+        let shape = m.memory_shape();
+        assert_eq!(shape.dense_cells, 0, "no n×n client matrix");
+        assert_eq!(shape.core_cells, 2 * 100 * 100, "10×10 transit core");
+        assert_eq!(shape.client_entries, 100);
+    }
+
+    #[test]
+    fn two_level_matches_dense_reference() {
+        // The proptest in tests/properties.rs fuzzes this; here one fixed
+        // seed guards the decomposition in the unit suite.
+        let config = TransitStubConfig::small().with_clients(12).with_seed(9);
+        let compact = config.build();
+        let dense = config.build_dense();
+        for a in 0..12 {
+            for b in 0..12 {
+                let dl = dense.latency_ms(a, b);
+                let cl = compact.latency_ms(a, b);
+                assert!(
+                    (dl - cl).abs() < 1e-9,
+                    "latency mismatch at ({a},{b}): dense {dl} vs two-level {cl}"
+                );
+                assert_eq!(
+                    dense.hops(a, b),
+                    compact.hops(a, b),
+                    "hop mismatch at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_config_hosts_requested_clients() {
+        for n in [1_000usize, 4_000, 10_000] {
+            let c = TransitStubConfig::scaled(n);
+            assert!(c.stub_router_count() >= n, "capacity for {n}");
+            assert_eq!(
+                c.transit_domains * c.routers_per_transit,
+                100,
+                "core stays small"
+            );
+        }
+        // Small client counts keep the default shape.
+        assert_eq!(
+            TransitStubConfig::scaled(100).stubs_per_transit_router,
+            TransitStubConfig::default().stubs_per_transit_router
         );
     }
 }

@@ -61,4 +61,52 @@ proptest! {
             }
         }
     }
+
+    /// The compact two-level routed layout answers exactly like the dense
+    /// all-pairs reference: same hop counts, latencies equal up to float
+    /// summation order (the segments are summed in a different order than
+    /// a full-path Dijkstra accumulates).
+    #[test]
+    fn two_level_equals_dense_reference(seed in 0u64..64, clients in 2usize..27) {
+        let config = TransitStubConfig::small().with_clients(clients).with_seed(seed);
+        let compact = config.build();
+        let dense = config.build_dense();
+        prop_assert_eq!(compact.client_count(), dense.client_count());
+        for a in 0..clients {
+            for b in 0..clients {
+                let dl = dense.latency_ms(a, b);
+                let cl = compact.latency_ms(a, b);
+                prop_assert!(
+                    (dl - cl).abs() < 1e-9,
+                    "latency mismatch at ({}, {}): dense {} vs two-level {}",
+                    a, b, dl, cl
+                );
+                prop_assert_eq!(dense.hops(a, b), compact.hops(a, b));
+            }
+        }
+        // And the compact layout never materialized a client matrix.
+        prop_assert_eq!(compact.memory_shape().dense_cells, 0);
+    }
+
+    /// The equivalence also holds at the default (paper-sized) topology
+    /// with up to 200 clients — the regime the dense reference is still
+    /// comfortable in.
+    #[test]
+    fn two_level_equals_dense_at_paper_scale(seed in 0u64..4) {
+        let config = TransitStubConfig::default().with_clients(200).with_seed(seed);
+        let compact = config.build();
+        let dense = config.build_dense();
+        for a in 0..200 {
+            for b in (a + 1)..200 {
+                let dl = dense.latency_ms(a, b);
+                let cl = compact.latency_ms(a, b);
+                prop_assert!(
+                    (dl - cl).abs() < 1e-9,
+                    "latency mismatch at ({}, {}): dense {} vs two-level {}",
+                    a, b, dl, cl
+                );
+                prop_assert_eq!(dense.hops(a, b), compact.hops(a, b));
+            }
+        }
+    }
 }

@@ -14,6 +14,7 @@
 //! | [`fig6`] | structure degradation under monitor noise |
 //! | [`ablation`] | extension: NeEM redundancy-suppression ablation |
 //! | [`rank_quality`] | extension: decentralized ranking quality |
+//! | [`scale`] | extension: 1k–10k-node scale-axis presets |
 //!
 //! Experiments default to a reduced **quick** scale so the whole suite
 //! runs in seconds; set `EGM_SCALE=paper` to reproduce at the paper's full
@@ -27,6 +28,7 @@ pub mod fig5c;
 pub mod fig6;
 pub mod netstats;
 pub mod rank_quality;
+pub mod scale;
 
 use crate::scenario::{Scenario, TopologySource};
 use egm_topology::{RoutedModel, TransitStubConfig};

@@ -1,0 +1,186 @@
+//! Scale-axis scenario presets: 1k / 4k / 10k-node runs.
+//!
+//! The paper's emergent-structure results are measured on a hundred
+//! nodes; gossip overlays in the HyParView/Plumtree lineage are routinely
+//! evaluated at 10k. These presets make that regime runnable here with
+//! the same determinism guarantees as the figure experiments, leaning on
+//! the scale refactors across the stack:
+//!
+//! * the **two-level routed topology** ([`TransitStubConfig::scaled`])
+//!   keeps the network model O(n) instead of an `n × n` client matrix;
+//! * **link-accounting spill** bounds per-link traffic tallies
+//!   ([`Scenario::link_spill_threshold`]);
+//! * **index-free timer cancellation** keeps the event heap free of dead
+//!   request retries (the dominant event class under lazy push);
+//! * the **sparse delivery log** stores per-message records, not a
+//!   per-(node, message) table.
+//!
+//! Presets run through [`run_sweep`] like every figure experiment, so
+//! multi-seed scale sweeps parallelize across cores with byte-identical
+//! results. The `scale_events_per_sec` bench bin (crate `egm-bench`)
+//! measures throughput and peak RSS on these presets and records them in
+//! `BENCH_events_per_sec.json`.
+//!
+//! # Memory budget (measured on the 2026-07 scale refactor, release
+//! build, 30 messages, Ranked best=20 %)
+//!
+//! | preset | nodes  | routed model | peak process RSS |
+//! |--------|--------|--------------|------------------|
+//! | 1k     | 1 000  | ~0.3 MB      | ~36 MB  |
+//! | 4k     | 4 000  | ~0.5 MB      | ~123 MB |
+//! | 10k    | 10 000 | ~1 MB        | ~274 MB |
+//!
+//! Peak RSS is dominated by in-flight simulator events and per-node
+//! protocol state, both O(n); nothing is O(n²). For comparison, a dense
+//! client latency+hop matrix alone would be ~1.2 GB at 10k nodes, and a
+//! dense per-(node, message) delivery table another ~5 MB per message.
+
+use crate::runner::{run_sweep, RunOutcome};
+use crate::scenario::{Scenario, TopologySource};
+use egm_core::{MonitorSpec, StrategySpec};
+use egm_topology::TransitStubConfig;
+
+/// A scale-axis preset size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalePreset {
+    /// 1 000 nodes — the CI smoke size.
+    N1k,
+    /// 4 000 nodes.
+    N4k,
+    /// 10 000 nodes — the HyParView/Plumtree evaluation regime.
+    N10k,
+}
+
+impl ScalePreset {
+    /// Number of protocol nodes.
+    pub fn nodes(&self) -> usize {
+        match self {
+            ScalePreset::N1k => 1_000,
+            ScalePreset::N4k => 4_000,
+            ScalePreset::N10k => 10_000,
+        }
+    }
+
+    /// Display label (`"1k"`, `"4k"`, `"10k"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalePreset::N1k => "1k",
+            ScalePreset::N4k => "4k",
+            ScalePreset::N10k => "10k",
+        }
+    }
+
+    /// Parses a label; `None` for anything unrecognized.
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "1k" | "1000" => Some(ScalePreset::N1k),
+            "4k" | "4000" => Some(ScalePreset::N4k),
+            "10k" | "10000" => Some(ScalePreset::N10k),
+            _ => None,
+        }
+    }
+
+    /// Reads `EGM_SCALE_PRESET` from the environment; unset selects 1k.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value: the scale bench doubles as a CI
+    /// assertion, and silently falling back to the smallest preset would
+    /// make a typoed budget check pass against the wrong workload.
+    pub fn from_env() -> Self {
+        match std::env::var("EGM_SCALE_PRESET") {
+            Err(_) => ScalePreset::N1k,
+            Ok(v) => ScalePreset::parse(&v).unwrap_or_else(|| {
+                panic!("unrecognized EGM_SCALE_PRESET {v:?}: use 1k, 4k or 10k")
+            }),
+        }
+    }
+
+    /// Link-accounting bound for this size: individually tracked links
+    /// are capped at ~256 per node so the per-link map stays tens of MB
+    /// at worst instead of growing toward n².
+    pub fn link_spill_threshold(&self) -> usize {
+        self.nodes() * 256
+    }
+
+    /// The scenario this preset runs: a scaled transit–stub topology
+    /// (100-router transit core, stub capacity ≥ n), the paper's §5.2
+    /// protocol parameters, and the Ranked best=20 % strategy under the
+    /// latency oracle — the configuration whose emergent structure the
+    /// paper studies, pushed along the scale axis.
+    pub fn scenario(&self, messages: usize, seed: u64) -> Scenario {
+        let n = self.nodes();
+        let mut s = Scenario::paper_default();
+        s.topology = TopologySource::TransitStub(TransitStubConfig::scaled(n));
+        s.strategy = StrategySpec::Ranked { best_fraction: 0.2 };
+        s.monitor = MonitorSpec::OracleLatency;
+        s.messages = messages;
+        // Denser injection than the paper's 500 ms keeps wall time and
+        // event-queue depth reasonable as n grows.
+        s.mean_interval_ms = 250.0;
+        s.link_spill_threshold = Some(self.link_spill_threshold());
+        s.seed = seed;
+        s
+    }
+}
+
+/// Runs scale presets through the parallel sweep runner, one run per
+/// (preset, seed) pair in input order — the scale twin of the figure
+/// sweeps.
+///
+/// # Panics
+///
+/// Panics if `messages == 0` (scenario invariant).
+pub fn run_presets(presets: &[(ScalePreset, u64)], messages: usize) -> Vec<RunOutcome> {
+    let scenarios = presets
+        .iter()
+        .map(|&(preset, seed)| preset.scenario(messages, seed))
+        .collect();
+    run_sweep(scenarios, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ScalePreset;
+
+    #[test]
+    fn preset_sizes_and_labels() {
+        assert_eq!(ScalePreset::N1k.nodes(), 1_000);
+        assert_eq!(ScalePreset::N4k.nodes(), 4_000);
+        assert_eq!(ScalePreset::N10k.nodes(), 10_000);
+        assert_eq!(ScalePreset::parse("10k"), Some(ScalePreset::N10k));
+        assert_eq!(ScalePreset::parse("4000"), Some(ScalePreset::N4k));
+        assert_eq!(ScalePreset::parse("huge"), None);
+    }
+
+    #[test]
+    fn scenarios_are_consistent() {
+        for preset in [ScalePreset::N1k, ScalePreset::N4k, ScalePreset::N10k] {
+            let s = preset.scenario(10, 7);
+            assert_eq!(s.node_count(), preset.nodes());
+            assert_eq!(s.messages, 10);
+            assert_eq!(s.seed, 7);
+            assert_eq!(
+                s.link_spill_threshold,
+                Some(preset.link_spill_threshold()),
+                "scale runs must bound link accounting"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_models_never_materialize_client_matrices() {
+        // Building the 10k model is cheap (O(routers)); the memory-shape
+        // assertion is the acceptance guard for the scale axis.
+        let s = ScalePreset::N10k.scenario(1, 1);
+        let model = s.topology.build(s.seed ^ 0x7090);
+        assert_eq!(model.client_count(), 10_000);
+        let shape = model.memory_shape();
+        assert_eq!(shape.dense_cells, 0, "no n×n client matrix at 10k");
+        assert!(
+            shape.core_cells + shape.domain_cells < 1_000_000,
+            "router tables stay small: {shape:?}"
+        );
+        assert_eq!(shape.client_entries, 10_000);
+    }
+}

@@ -30,8 +30,13 @@ pub struct RunOutcome {
     pub best_ids: Vec<NodeId>,
     /// Aggregated scheduler counters over all nodes.
     pub scheduler: SchedulerStats,
-    /// Simulator events processed by the run (perf accounting).
+    /// Simulator events processed by the run (perf accounting; stale
+    /// cancelled-timer pops are excluded, see [`egm_simnet::Sim`]).
     pub events: u64,
+    /// Request timers cancelled before firing (index-free cancellation).
+    pub timers_cancelled: u64,
+    /// Cancelled timer events dropped at pop time without dispatch.
+    pub stale_timer_drops: u64,
     /// The network model the run used.
     pub model: Arc<RoutedModel>,
 }
@@ -141,6 +146,9 @@ pub fn run_detailed(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> Run
     if let Some(bw) = scenario.egress_bandwidth {
         sim_config = sim_config.with_egress_bandwidth(bw);
     }
+    if let Some(links) = scenario.link_spill_threshold {
+        sim_config = sim_config.with_link_spill_threshold(links);
+    }
     let mut sim = Sim::new(sim_config, scenario.seed, nodes);
 
     // Fault injection at the end of warm-up, immediately before traffic
@@ -230,6 +238,8 @@ fn collect(
         scheduler.request_replies += s.request_replies;
         scheduler.request_misses += s.request_misses;
         scheduler.duplicate_payloads += s.duplicate_payloads;
+        scheduler.suppressed_sends += s.suppressed_sends;
+        scheduler.resolved_timer_pops += s.resolved_timer_pops;
     }
 
     let traffic = sim.traffic();
@@ -275,8 +285,10 @@ fn collect(
     report.mean_delivery_fraction = log.mean_delivery_fraction(&eligible);
     report.atomic_delivery_fraction = log.atomic_delivery_fraction(&eligible);
     if !payload_links.is_empty() {
-        let counts: Vec<u64> = payload_links.iter().map(|&(_, c)| c).collect();
-        report.top5_link_share = link::top_fraction_share(&counts, 0.05);
+        let mut counts: Vec<u64> = payload_links.iter().map(|&(_, c)| c).collect();
+        // The owned scratch buffer lets the O(n) selection variant skip
+        // the clone + full sort; `gini` sorts its own copy afterwards.
+        report.top5_link_share = link::top_fraction_share_mut(&mut counts, 0.05);
         report.link_gini = link::gini(&counts);
     }
     report.node_gini = link::gini(&payloads_per_node);
@@ -301,6 +313,8 @@ fn collect(
         best_ids,
         scheduler,
         events: sim.events_processed(),
+        timers_cancelled: sim.timers_cancelled(),
+        stale_timer_drops: sim.stale_timer_drops(),
         model,
     }
 }

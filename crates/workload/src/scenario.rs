@@ -107,6 +107,13 @@ pub struct Scenario {
     /// Models the burst serialization the paper observes on its testbed
     /// (§5.3).
     pub egress_bandwidth: Option<f64>,
+    /// Bound on individually tracked links in traffic accounting (`None`
+    /// = unbounded). Scale scenarios set this so link tallies stay sparse:
+    /// once the map holds this many distinct links, further new links are
+    /// folded into one aggregate spill tally (totals and per-node payload
+    /// counts remain exact). See
+    /// [`egm_simnet::SimConfig::with_link_spill_threshold`].
+    pub link_spill_threshold: Option<usize>,
     /// Overrides the best-node set computed from the strategy spec (used
     /// to plug in decentralized / estimated rankings).
     pub best_override: Option<std::sync::Arc<egm_core::BestSet>>,
@@ -134,6 +141,7 @@ impl Scenario {
             loss: 0.0,
             jitter: 0.0,
             egress_bandwidth: None,
+            link_spill_threshold: None,
             best_override: None,
             seed: 42,
         }
@@ -201,6 +209,12 @@ impl Scenario {
     /// Overrides the best-node set (builder style).
     pub fn with_best_override(mut self, best: Option<std::sync::Arc<egm_core::BestSet>>) -> Self {
         self.best_override = best;
+        self
+    }
+
+    /// Bounds link-accounting memory (builder style).
+    pub fn with_link_spill_threshold(mut self, links: Option<usize>) -> Self {
+        self.link_spill_threshold = links;
         self
     }
 
