@@ -47,6 +47,7 @@ fn main() {
     // count, which is identical across runs by determinism.
     let warm = egm_workload::runner::run_detailed(&scenario, Some(model.clone()));
     let events = warm.events;
+    println!("queue: {:?}", warm.queue);
     println!(
         "warm-up: {nodes} nodes, {messages} messages, {} events, delivery {:.2}%",
         events,

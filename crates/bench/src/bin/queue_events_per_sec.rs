@@ -1,0 +1,111 @@
+//! Queue-comparison throughput bench: heap vs calendar on one scale
+//! preset, over a shared topology.
+//!
+//! Runs the selected `egm_workload::experiments::scale` preset once per
+//! [`QueueKind`], asserts the runs are event-for-event identical (the
+//! equivalence contract), and upserts the `queue_events_per_sec_<preset>`
+//! bin into `BENCH_events_per_sec.json` (schema in `egm_bench`'s crate
+//! docs) with both rates, the speedup, and the calendar geometry.
+//!
+//! ```sh
+//! EGM_SCALE_PRESET=10k cargo run --release -p egm_bench --bin queue_events_per_sec
+//! ```
+//!
+//! Environment:
+//! * `EGM_SCALE_PRESET` — `1k` (default), `4k` or `10k`.
+//! * `EGM_BENCH_RUNS` — timed runs per queue after one warm-up (default 2).
+//! * `EGM_SCALE_MESSAGES` — multicasts per run (default 30).
+//! * `EGM_BENCH_OUT` — output path (default `BENCH_events_per_sec.json`).
+
+use egm_bench::record;
+use egm_simnet::QueueKind;
+use egm_workload::experiments::scale::ScalePreset;
+use egm_workload::runner::run_detailed;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let preset = ScalePreset::from_env();
+    let runs = env_usize("EGM_BENCH_RUNS", 2).max(1);
+    let messages = env_usize("EGM_SCALE_MESSAGES", 30).max(1);
+    let out_path =
+        std::env::var("EGM_BENCH_OUT").unwrap_or_else(|_| "BENCH_events_per_sec.json".to_string());
+
+    let nodes = preset.nodes();
+    let seed = 42u64;
+    let base = preset.scenario(messages, seed);
+    let model = Arc::new(base.topology.build(base.seed ^ 0x7090));
+
+    // Warm-up (also yields the reference event count and delivery log
+    // digest the per-queue runs must reproduce).
+    let warm = run_detailed(&base, Some(model.clone()));
+    let events = warm.events;
+    println!(
+        "warm-up: {nodes} nodes ({} preset), {messages} messages, {events} events, \
+         delivery {:.2}%",
+        preset.label(),
+        warm.report.mean_delivery_fraction * 100.0
+    );
+
+    let mut best_ms = [f64::INFINITY; 2];
+    let mut calendar_stats = None;
+    for (slot, kind) in [QueueKind::Heap, QueueKind::Calendar]
+        .into_iter()
+        .enumerate()
+    {
+        let scenario = base.clone().with_event_queue(Some(kind));
+        for i in 0..runs {
+            let start = Instant::now();
+            let outcome = run_detailed(&scenario, Some(model.clone()));
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            assert_eq!(
+                outcome.events, events,
+                "queue implementations must dispatch identical events"
+            );
+            assert_eq!(
+                outcome.report, warm.report,
+                "queue implementations must produce identical reports"
+            );
+            println!(
+                "{kind:?} run {}/{runs}: {ms:.1} ms wall, {:.0} events/sec",
+                i + 1,
+                events as f64 / ms * 1000.0
+            );
+            best_ms[slot] = best_ms[slot].min(ms);
+            if kind == QueueKind::Calendar {
+                calendar_stats = Some(outcome.queue);
+            }
+        }
+    }
+
+    let heap_eps = events as f64 / best_ms[0] * 1000.0;
+    let calendar_eps = events as f64 / best_ms[1] * 1000.0;
+    let speedup = calendar_eps / heap_eps;
+    let cal = calendar_stats.expect("calendar ran");
+    println!(
+        "heap best {:.1} ms ({heap_eps:.0} ev/s) | calendar best {:.1} ms \
+         ({calendar_eps:.0} ev/s) | speedup {speedup:.2}x",
+        best_ms[0], best_ms[1]
+    );
+
+    let body = format!(
+        "{{\n  \"bench\": \"queue_events_per_sec\",\n  \"preset\": \"{}\",\n  \"scenario\": \"ranked best=20% oracle-latency scaled transit-stub\",\n  \"nodes\": {nodes},\n  \"messages\": {messages},\n  \"runs\": {runs},\n  \"events\": {events},\n  \"heap_best_wall_ms\": {:.3},\n  \"heap_events_per_sec\": {heap_eps:.0},\n  \"calendar_best_wall_ms\": {:.3},\n  \"calendar_events_per_sec\": {calendar_eps:.0},\n  \"calendar_speedup\": {speedup:.3},\n  \"calendar_bucket_count\": {},\n  \"calendar_bucket_width_us\": {},\n  \"calendar_resizes\": {},\n  \"calendar_year_scans\": {}\n}}",
+        preset.label(),
+        best_ms[0],
+        best_ms[1],
+        cal.bucket_count,
+        cal.bucket_width_us,
+        cal.resizes,
+        cal.year_scans,
+    );
+    let bin = format!("queue_events_per_sec_{}", preset.label());
+    record::upsert_bin(&out_path, &bin, &body);
+    println!("wrote bin {bin} to {out_path}");
+}

@@ -61,6 +61,7 @@ fn main() {
         preset.label(),
         warm.report.mean_delivery_fraction * 100.0
     );
+    println!("queue: {:?}", warm.queue);
 
     // Timed runs share the warm-up's topology (as events_per_sec does),
     // so the measurement is the event loop, not graph generation and

@@ -1,0 +1,579 @@
+//! Arena-backed per-message node state.
+//!
+//! Before the 10k-scale work, every node kept its per-message state in
+//! half a dozen hash structures — the gossip known-set `K`, the
+//! scheduler's received-set `R`, payload cache `C`, missing-message queue
+//! and holder map, plus two timer maps in the node itself. One delivered
+//! message meant five or six independent hash probes into cold tables,
+//! and at 10 000 nodes every probe is a cache miss.
+//!
+//! [`MsgArena`] collapses all of it into one structure: a single
+//! interning map (`MsgId` → dense slot index) and a slab of
+//! [`MsgState`] records holding *every* per-message flag and buffer
+//! side by side. A message event costs one hash probe to find the slot;
+//! everything else is field access on one contiguous record. Slots are
+//! generation-stamped and recycled through a free list; a FIFO eviction
+//! queue bounds live slots to the configured `known_capacity` (mirroring
+//! the old bounded sets — far above any experiment's live message count),
+//! and a second FIFO bounds cached payloads to `cache_capacity`.
+//!
+//! The generation stamp also replaces the node's timer maps: a request
+//! timer tag encodes `(slot, generation)`, so a firing timer re-finds its
+//! message in O(1) and a timer for an evicted (recycled) slot is
+//! recognized as stale without any bookkeeping.
+
+use crate::id::MsgId;
+use crate::msg::Payload;
+use egm_rng::hash::FastHashMap;
+use egm_simnet::{NodeId, TimerTag, TimerToken};
+use std::collections::VecDeque;
+
+/// All per-message state one node keeps, in one record.
+#[derive(Debug, Default)]
+pub struct MsgState {
+    /// The interned message id.
+    id: MsgId,
+    /// Bumped whenever the slot is evicted and recycled; stale handles
+    /// (timer tags) carry the generation they were minted with.
+    gen: u32,
+    /// Gossip known-set `K` membership (Fig. 2, line 2).
+    known: bool,
+    /// Scheduler received-set `R` membership (Fig. 3, line 17).
+    received: bool,
+    /// Whether `cache` holds a payload (`C`, Fig. 3, line 16).
+    cached: bool,
+    /// Whether the message is advertised-but-missing with a live request
+    /// rotation.
+    missing: bool,
+    /// Cached payload and round for answering `IWANT`s.
+    cache: (Payload, u32),
+    /// Peers known to hold the message (only tracked when NeEM-style
+    /// suppression is enabled).
+    holders: Vec<NodeId>,
+    /// Known sources in advertisement order (missing-message queue).
+    sources: Vec<NodeId>,
+    /// Which sources have been asked in the current rotation.
+    requested: Vec<bool>,
+    /// Pending retry timer, so a resolving payload can cancel it
+    /// index-free instead of letting the dead event pop.
+    timer: Option<(TimerTag, TimerToken)>,
+}
+
+impl MsgState {
+    fn reset(&mut self) {
+        self.known = false;
+        self.received = false;
+        self.cached = false;
+        self.missing = false;
+        self.holders.clear();
+        self.sources.clear();
+        self.requested.clear();
+        self.timer = None;
+    }
+}
+
+/// Dense, generation-checked arena of per-message state for one node.
+///
+/// # Examples
+///
+/// ```
+/// use egm_core::arena::MsgArena;
+/// use egm_core::MsgId;
+///
+/// let mut arena = MsgArena::new(64, 32, false);
+/// let slot = arena.intern(MsgId::from_raw(7));
+/// assert!(arena.mark_received(slot));
+/// assert!(!arena.mark_received(slot), "second delivery is a duplicate");
+/// assert!(arena.has_received(&MsgId::from_raw(7)));
+/// ```
+#[derive(Debug)]
+pub struct MsgArena {
+    index: FastHashMap<MsgId, u32>,
+    slots: Vec<MsgState>,
+    free: Vec<u32>,
+    /// Slot insertion order (with mint generation) for FIFO eviction.
+    fifo: VecDeque<(u32, u32)>,
+    /// Cache insertion order (with generation) for FIFO payload eviction.
+    cache_fifo: VecDeque<(u32, u32)>,
+    capacity: usize,
+    cache_capacity: usize,
+    live: usize,
+    cached: usize,
+    known: usize,
+    missing: usize,
+    track_holders: bool,
+}
+
+impl MsgArena {
+    /// Creates an arena bounded to `capacity` live messages and
+    /// `cache_capacity` cached payloads. `track_holders` enables the
+    /// holder lists consulted by NeEM-style suppression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero or `capacity` exceeds `2^31`
+    /// (slot indices are packed into timer tags).
+    pub fn new(capacity: usize, cache_capacity: usize, track_holders: bool) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(cache_capacity > 0, "cache capacity must be positive");
+        assert!(capacity <= 1 << 31, "capacity must fit a packed tag");
+        MsgArena {
+            index: FastHashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            fifo: VecDeque::new(),
+            cache_fifo: VecDeque::new(),
+            capacity,
+            cache_capacity,
+            live: 0,
+            cached: 0,
+            known: 0,
+            missing: 0,
+            track_holders,
+        }
+    }
+
+    /// Returns the slot for `id`, creating (and possibly evicting the
+    /// oldest message) if unseen. This is the single hash probe a message
+    /// event pays; all further state access is by slot.
+    pub fn intern(&mut self, id: MsgId) -> u32 {
+        if let Some(&slot) = self.index.get(&id) {
+            return slot;
+        }
+        if self.live >= self.capacity {
+            self.evict_oldest();
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].id = id;
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(MsgState {
+                    id,
+                    ..MsgState::default()
+                });
+                s
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.index.insert(id, slot);
+        self.fifo.push_back((slot, gen));
+        self.live += 1;
+        slot
+    }
+
+    /// Looks up the slot for `id` without creating one.
+    pub fn lookup(&self, id: &MsgId) -> Option<u32> {
+        self.index.get(id).copied()
+    }
+
+    /// Evicts the oldest live slot (FIFO over interning order).
+    fn evict_oldest(&mut self) {
+        while let Some((slot, gen)) = self.fifo.pop_front() {
+            let s = &mut self.slots[slot as usize];
+            if s.gen != gen {
+                continue; // stale fifo entry of a recycled slot
+            }
+            if s.known {
+                self.known -= 1;
+            }
+            if s.cached {
+                self.cached -= 1;
+            }
+            if s.missing {
+                self.missing -= 1;
+            }
+            self.index.remove(&s.id);
+            s.reset();
+            s.gen = s.gen.wrapping_add(1);
+            self.free.push(slot);
+            self.live -= 1;
+            // Slot eviction may have stranded this slot's cache_fifo
+            // entry; drain stale front entries so the fifo stays bounded
+            // even when the cache itself never overflows.
+            self.drain_stale_cache_fifo();
+            return;
+        }
+        unreachable!("live slots imply a fifo entry");
+    }
+
+    /// Pops cache-fifo front entries whose slot was evicted (generation
+    /// mismatch) or un-cached meanwhile. Amortized O(1): every entry is
+    /// pushed once and popped once. Slot eviction is FIFO over intern
+    /// order and caching follows interning, so stranded entries surface
+    /// at the front and the fifo length tracks the live cache.
+    fn drain_stale_cache_fifo(&mut self) {
+        while let Some(&(slot, gen)) = self.cache_fifo.front() {
+            let s = &self.slots[slot as usize];
+            if s.gen == gen && s.cached {
+                break;
+            }
+            self.cache_fifo.pop_front();
+        }
+    }
+
+    /// The generation currently minted for `slot`.
+    pub fn generation(&self, slot: u32) -> u32 {
+        self.slots[slot as usize].gen
+    }
+
+    /// The message id interned in `slot`.
+    pub fn slot_id(&self, slot: u32) -> MsgId {
+        self.slots[slot as usize].id
+    }
+
+    /// Whether `slot` still carries the generation a handle was minted
+    /// with (i.e. the handle's message was not evicted meanwhile).
+    pub fn check_generation(&self, slot: u32, gen: u32) -> bool {
+        (slot as usize) < self.slots.len() && self.slots[slot as usize].gen == gen
+    }
+
+    // --- gossip known-set `K` -------------------------------------------
+
+    /// Marks `slot` known; `true` when newly known (Fig. 2's `i ∉ K`).
+    pub fn mark_known(&mut self, slot: u32) -> bool {
+        let s = &mut self.slots[slot as usize];
+        if s.known {
+            return false;
+        }
+        s.known = true;
+        self.known += 1;
+        true
+    }
+
+    /// Whether the message is in `K`.
+    pub fn knows(&self, id: &MsgId) -> bool {
+        self.lookup(id)
+            .is_some_and(|slot| self.slots[slot as usize].known)
+    }
+
+    /// Number of messages currently in `K`.
+    pub fn known_count(&self) -> usize {
+        self.known
+    }
+
+    // --- scheduler received-set `R` -------------------------------------
+
+    /// Marks `slot` received; `true` when newly received (Fig. 3's
+    /// `i ∉ R`).
+    pub fn mark_received(&mut self, slot: u32) -> bool {
+        let s = &mut self.slots[slot as usize];
+        if s.received {
+            return false;
+        }
+        s.received = true;
+        true
+    }
+
+    /// Whether the payload for `slot` has been received.
+    pub fn is_received(&self, slot: u32) -> bool {
+        self.slots[slot as usize].received
+    }
+
+    /// Whether the payload of `id` has been received.
+    pub fn has_received(&self, id: &MsgId) -> bool {
+        self.lookup(id)
+            .is_some_and(|slot| self.slots[slot as usize].received)
+    }
+
+    // --- payload cache `C` ----------------------------------------------
+
+    /// Caches the payload for `slot` (Fig. 3, line 23: `C[i] = (d, r)`),
+    /// evicting the oldest cached payload beyond the cache capacity.
+    /// Re-caching an existing entry replaces it without changing its age.
+    pub fn cache_put(&mut self, slot: u32, payload: Payload, round: u32) {
+        let gen = {
+            let s = &mut self.slots[slot as usize];
+            s.cache = (payload, round);
+            if s.cached {
+                return;
+            }
+            s.cached = true;
+            s.gen
+        };
+        self.cached += 1;
+        self.cache_fifo.push_back((slot, gen));
+        self.drain_stale_cache_fifo();
+        while self.cached > self.cache_capacity {
+            match self.cache_fifo.pop_front() {
+                Some((old, old_gen)) => {
+                    let s = &mut self.slots[old as usize];
+                    if s.gen == old_gen && s.cached {
+                        s.cached = false;
+                        self.cached -= 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The cached payload for `slot`, if still cached.
+    pub fn cache_get(&self, slot: u32) -> Option<(Payload, u32)> {
+        let s = &self.slots[slot as usize];
+        s.cached.then_some(s.cache)
+    }
+
+    // --- holder tracking (NeEM-style suppression) -----------------------
+
+    /// Notes that `peer` holds the message (no-op unless holder tracking
+    /// is enabled — holders are only consulted by suppression).
+    pub fn note_holder(&mut self, slot: u32, peer: NodeId) {
+        if !self.track_holders {
+            return;
+        }
+        let s = &mut self.slots[slot as usize];
+        if !s.holders.contains(&peer) {
+            s.holders.push(peer);
+        }
+    }
+
+    /// Whether `peer` is known to hold the message.
+    pub fn is_holder(&self, slot: u32, peer: NodeId) -> bool {
+        self.slots[slot as usize].holders.contains(&peer)
+    }
+
+    // --- missing-message queue ------------------------------------------
+
+    /// Whether `slot` is advertised-but-missing.
+    pub fn is_missing(&self, slot: u32) -> bool {
+        self.slots[slot as usize].missing
+    }
+
+    /// Number of advertised-but-missing messages currently queued.
+    pub fn missing_count(&self) -> usize {
+        self.missing
+    }
+
+    /// Starts the missing-message queue for `slot` with its first source.
+    pub fn missing_start(&mut self, slot: u32, source: NodeId) {
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(!s.missing);
+        s.missing = true;
+        s.sources.clear();
+        s.requested.clear();
+        s.sources.push(source);
+        s.requested.push(false);
+        self.missing += 1;
+    }
+
+    /// Queues another source for a missing message (`Queue(i, s)`).
+    pub fn missing_add_source(&mut self, slot: u32, source: NodeId) {
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.missing);
+        if !s.sources.contains(&source) {
+            s.sources.push(source);
+            s.requested.push(false);
+        }
+    }
+
+    /// Clears the missing state (`Clear(i)`), e.g. when the payload
+    /// arrives. Returns whether it was set.
+    pub fn missing_clear(&mut self, slot: u32) -> bool {
+        let s = &mut self.slots[slot as usize];
+        if !s.missing {
+            return false;
+        }
+        s.missing = false;
+        s.sources.clear();
+        s.requested.clear();
+        self.missing -= 1;
+        true
+    }
+
+    /// Fills `idx`/`sources` with the positions and ids of sources not
+    /// yet requested this rotation, resetting the rotation when exhausted
+    /// (requests cycle through all known sources). Writes into
+    /// caller-owned scratch buffers: this runs on every request-timer
+    /// expiry, so it must not allocate.
+    pub fn missing_candidates_into(
+        &mut self,
+        slot: u32,
+        idx: &mut Vec<usize>,
+        sources: &mut Vec<NodeId>,
+    ) {
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.missing);
+        if s.requested.iter().all(|&r| r) {
+            for r in &mut s.requested {
+                *r = false;
+            }
+        }
+        idx.clear();
+        sources.clear();
+        for (i, &asked) in s.requested.iter().enumerate() {
+            if !asked {
+                idx.push(i);
+                sources.push(s.sources[i]);
+            }
+        }
+    }
+
+    /// Marks rotation position `source_idx` as requested and returns its
+    /// source id.
+    pub fn missing_mark_requested(&mut self, slot: u32, source_idx: usize) -> NodeId {
+        let s = &mut self.slots[slot as usize];
+        s.requested[source_idx] = true;
+        s.sources[source_idx]
+    }
+
+    // --- request-timer handle -------------------------------------------
+
+    /// Stores the pending retry timer for `slot`.
+    pub fn set_timer(&mut self, slot: u32, tag: TimerTag, token: TimerToken) {
+        self.slots[slot as usize].timer = Some((tag, token));
+    }
+
+    /// Takes the pending retry timer for `slot`, if any.
+    pub fn take_timer(&mut self, slot: u32) -> Option<(TimerTag, TimerToken)> {
+        self.slots[slot as usize].timer.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MsgArena;
+    use crate::id::MsgId;
+    use crate::msg::Payload;
+    use egm_simnet::NodeId;
+
+    fn payload() -> Payload {
+        Payload { seq: 1, bytes: 64 }
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut a = MsgArena::new(8, 8, false);
+        let s0 = a.intern(MsgId::from_raw(10));
+        let s1 = a.intern(MsgId::from_raw(11));
+        assert_ne!(s0, s1);
+        assert_eq!(a.intern(MsgId::from_raw(10)), s0);
+        assert_eq!(a.lookup(&MsgId::from_raw(11)), Some(s1));
+        assert_eq!(a.lookup(&MsgId::from_raw(12)), None);
+    }
+
+    #[test]
+    fn flags_cover_known_received_cache_missing() {
+        let mut a = MsgArena::new(8, 8, false);
+        let s = a.intern(MsgId::from_raw(1));
+        assert!(a.mark_known(s));
+        assert!(!a.mark_known(s));
+        assert_eq!(a.known_count(), 1);
+        assert!(a.knows(&MsgId::from_raw(1)));
+
+        assert!(a.mark_received(s));
+        assert!(!a.mark_received(s));
+        assert!(a.is_received(s));
+
+        assert_eq!(a.cache_get(s), None);
+        a.cache_put(s, payload(), 3);
+        assert_eq!(a.cache_get(s), Some((payload(), 3)));
+
+        assert!(!a.is_missing(s));
+        a.missing_start(s, NodeId(4));
+        assert!(a.is_missing(s));
+        assert_eq!(a.missing_count(), 1);
+        assert!(a.missing_clear(s));
+        assert!(!a.missing_clear(s));
+        assert_eq!(a.missing_count(), 0);
+    }
+
+    #[test]
+    fn fifo_eviction_recycles_slots_and_bumps_generation() {
+        let mut a = MsgArena::new(2, 2, false);
+        let s0 = a.intern(MsgId::from_raw(0));
+        let gen0 = a.generation(s0);
+        a.mark_known(s0);
+        let _s1 = a.intern(MsgId::from_raw(1));
+        // Third message evicts message 0 (oldest).
+        let s2 = a.intern(MsgId::from_raw(2));
+        assert_eq!(s2, s0, "slot is recycled");
+        assert!(!a.check_generation(s0, gen0), "stale handle is detected");
+        assert_eq!(a.lookup(&MsgId::from_raw(0)), None);
+        assert!(!a.knows(&MsgId::from_raw(0)));
+        assert_eq!(a.known_count(), 0, "eviction drops the known flag");
+    }
+
+    #[test]
+    fn cache_eviction_is_fifo_and_bounded() {
+        let mut a = MsgArena::new(8, 2, false);
+        let s0 = a.intern(MsgId::from_raw(0));
+        let s1 = a.intern(MsgId::from_raw(1));
+        let s2 = a.intern(MsgId::from_raw(2));
+        a.cache_put(s0, payload(), 0);
+        a.cache_put(s1, payload(), 1);
+        // Replacing does not change the age.
+        a.cache_put(s0, payload(), 9);
+        a.cache_put(s2, payload(), 2);
+        assert_eq!(a.cache_get(s0), None, "oldest payload evicted");
+        assert_eq!(a.cache_get(s1), Some((payload(), 1)));
+        assert_eq!(a.cache_get(s2), Some((payload(), 2)));
+    }
+
+    #[test]
+    fn holder_tracking_is_gated() {
+        let mut off = MsgArena::new(4, 4, false);
+        let s = off.intern(MsgId::from_raw(1));
+        off.note_holder(s, NodeId(7));
+        assert!(!off.is_holder(s, NodeId(7)), "disabled tracking is a no-op");
+
+        let mut on = MsgArena::new(4, 4, true);
+        let s = on.intern(MsgId::from_raw(1));
+        on.note_holder(s, NodeId(7));
+        on.note_holder(s, NodeId(7));
+        assert!(on.is_holder(s, NodeId(7)));
+        assert!(!on.is_holder(s, NodeId(8)));
+    }
+
+    #[test]
+    fn rotation_cycles_through_sources() {
+        let mut a = MsgArena::new(4, 4, false);
+        let s = a.intern(MsgId::from_raw(1));
+        a.missing_start(s, NodeId(1));
+        a.missing_add_source(s, NodeId(2));
+        a.missing_add_source(s, NodeId(2)); // duplicate ignored
+        let (mut idx, mut sources) = (Vec::new(), Vec::new());
+        a.missing_candidates_into(s, &mut idx, &mut sources);
+        assert_eq!(sources, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(a.missing_mark_requested(s, 0), NodeId(1));
+        a.missing_candidates_into(s, &mut idx, &mut sources);
+        assert_eq!(sources, vec![NodeId(2)]);
+        assert_eq!(a.missing_mark_requested(s, idx[0]), NodeId(2));
+        // Exhausted: the rotation resets and offers everyone again.
+        a.missing_candidates_into(s, &mut idx, &mut sources);
+        assert_eq!(sources, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn cache_fifo_does_not_leak_across_slot_eviction() {
+        // Two live slots, cache capacity far above what is ever cached:
+        // the cache never overflows, yet slot eviction keeps un-caching
+        // entries. Stranded fifo entries must be drained, not hoarded.
+        let mut a = MsgArena::new(2, 64, false);
+        for k in 0..1_000u128 {
+            let s = a.intern(MsgId::from_raw(k));
+            a.cache_put(s, payload(), 0);
+        }
+        assert!(
+            a.cache_fifo.len() <= 4,
+            "cache fifo leaked: {} entries for 2 live slots",
+            a.cache_fifo.len()
+        );
+        assert_eq!(a.cached, 2);
+    }
+
+    #[test]
+    fn timer_handles_are_single_use() {
+        let mut a = MsgArena::new(4, 4, false);
+        let s = a.intern(MsgId::from_raw(1));
+        assert!(a.take_timer(s).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = MsgArena::new(0, 4, false);
+    }
+}

@@ -7,10 +7,10 @@
 //! the returned [`LSend`] intents into wire messages through the
 //! scheduler.
 
+use crate::arena::MsgArena;
 use crate::config::ProtocolConfig;
 use crate::id::MsgId;
 use crate::msg::Payload;
-use crate::util::BoundedSet;
 use egm_membership::PartialView;
 use egm_rng::Rng;
 use egm_simnet::NodeId;
@@ -44,9 +44,14 @@ pub struct GossipStep {
 
 /// The basic gossip protocol of Fig. 2.
 ///
+/// The known-message set `K` lives in the node's [`MsgArena`] (alongside
+/// all other per-message state), so the layer itself holds only the
+/// configuration and its scratch buffers.
+///
 /// # Examples
 ///
 /// ```
+/// use egm_core::arena::MsgArena;
 /// use egm_core::gossip::GossipLayer;
 /// use egm_core::{Payload, ProtocolConfig};
 /// use egm_membership::{PartialView, ViewConfig};
@@ -55,20 +60,19 @@ pub struct GossipStep {
 ///
 /// let config = ProtocolConfig::default().with_fanout(2);
 /// let mut gossip = GossipLayer::new(&config);
+/// let mut arena = MsgArena::new(64, 64, false);
 /// let mut view = PartialView::new(NodeId(0), ViewConfig::default());
 /// view.insert(NodeId(1));
 /// view.insert(NodeId(2));
 /// let mut rng = Rng::seed_from_u64(1);
 ///
-/// let step = gossip.multicast(&mut rng, &view, Payload { seq: 0, bytes: 256 });
+/// let (_slot, step) = gossip.multicast(&mut rng, &view, &mut arena, Payload { seq: 0, bytes: 256 });
 /// assert_eq!(step.round, 0);
 /// assert_eq!(step.sends.len(), 2);
 /// assert!(step.sends.iter().all(|s| s.round == 1));
 /// ```
 #[derive(Debug)]
 pub struct GossipLayer {
-    /// The known-message set `K` (line 2).
-    known: BoundedSet<MsgId>,
     fanout: usize,
     rounds: u32,
     /// Scratch for peer-sample indices, reused across forwards.
@@ -86,7 +90,6 @@ impl GossipLayer {
     /// Creates the layer from the node configuration.
     pub fn new(config: &ProtocolConfig) -> Self {
         GossipLayer {
-            known: BoundedSet::new(config.known_capacity),
             fanout: config.fanout,
             rounds: config.rounds,
             scratch_idx: Vec::new(),
@@ -105,51 +108,54 @@ impl GossipLayer {
         }
     }
 
-    /// Number of message ids currently remembered in `K`.
-    pub fn known_count(&self) -> usize {
-        self.known.len()
-    }
-
-    /// Whether message `id` is in `K`.
-    pub fn knows(&self, id: &MsgId) -> bool {
-        self.known.contains(id)
-    }
-
     /// `Multicast(d)` (line 3): mint an id and forward at round 0.
-    pub fn multicast(&mut self, rng: &mut Rng, view: &PartialView, payload: Payload) -> GossipStep {
+    /// Returns the minted message's arena slot alongside the step.
+    pub fn multicast(
+        &mut self,
+        rng: &mut Rng,
+        view: &PartialView,
+        arena: &mut MsgArena,
+        payload: Payload,
+    ) -> (u32, GossipStep) {
         let id = MsgId::generate(rng);
-        self.forward(rng, view, id, payload, 0)
-            .expect("fresh ids are never duplicates")
+        let slot = arena.intern(id);
+        let step = self
+            .forward(rng, view, arena, slot, id, payload, 0)
+            .expect("fresh ids are never duplicates");
+        (slot, step)
     }
 
     /// `L-Receive(i, d, r, s)` (line 12): deliver-and-forward unless the
     /// message is a duplicate, in which case `None` is returned.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_l_receive(
         &mut self,
         rng: &mut Rng,
         view: &PartialView,
+        arena: &mut MsgArena,
+        slot: u32,
         id: MsgId,
         payload: Payload,
         round: u32,
     ) -> Option<GossipStep> {
-        if self.known.contains(&id) {
-            return None; // line 13: i ∈ K
-        }
-        self.forward(rng, view, id, payload, round)
+        self.forward(rng, view, arena, slot, id, payload, round)
     }
 
     /// `Forward(i, d, r)` (line 5): deliver, remember, and relay to `f`
     /// sampled peers at round `r + 1` while `r < t`.
+    #[allow(clippy::too_many_arguments)]
     fn forward(
         &mut self,
         rng: &mut Rng,
         view: &PartialView,
+        arena: &mut MsgArena,
+        slot: u32,
         id: MsgId,
         payload: Payload,
         round: u32,
     ) -> Option<GossipStep> {
-        if !self.known.insert(id) {
-            return None;
+        if !arena.mark_known(slot) {
+            return None; // line 13: i ∈ K
         }
         let sends = if round < self.rounds {
             // line 9: PeerSample(f), drawn into reusable scratch buffers;
@@ -185,6 +191,7 @@ impl GossipLayer {
 #[cfg(test)]
 mod tests {
     use super::GossipLayer;
+    use crate::arena::MsgArena;
     use crate::config::ProtocolConfig;
     use crate::id::MsgId;
     use crate::msg::Payload;
@@ -193,9 +200,10 @@ mod tests {
     use egm_simnet::NodeId;
     use std::collections::HashSet;
 
-    fn setup(fanout: usize, peers: usize) -> (GossipLayer, PartialView, Rng) {
+    fn setup(fanout: usize, peers: usize) -> (GossipLayer, MsgArena, PartialView, Rng) {
         let config = ProtocolConfig::default().with_fanout(fanout).with_rounds(3);
         let gossip = GossipLayer::new(&config);
+        let arena = MsgArena::new(config.known_capacity, config.cache_capacity, false);
         let mut view = PartialView::new(
             NodeId(0),
             ViewConfig {
@@ -206,7 +214,7 @@ mod tests {
         for i in 1..=peers {
             view.insert(NodeId(i));
         }
-        (gossip, view, Rng::seed_from_u64(9))
+        (gossip, arena, view, Rng::seed_from_u64(9))
     }
 
     fn payload() -> Payload {
@@ -215,53 +223,60 @@ mod tests {
 
     #[test]
     fn multicast_fans_out_to_f_distinct_peers() {
-        let (mut gossip, view, mut rng) = setup(4, 10);
-        let step = gossip.multicast(&mut rng, &view, payload());
+        let (mut gossip, mut arena, view, mut rng) = setup(4, 10);
+        let (_slot, step) = gossip.multicast(&mut rng, &view, &mut arena, payload());
         assert_eq!(step.sends.len(), 4);
         let targets: HashSet<_> = step.sends.iter().map(|s| s.to).collect();
         assert_eq!(targets.len(), 4, "targets must be distinct");
         assert!(step.sends.iter().all(|s| s.round == 1 && s.id == step.id));
-        assert!(gossip.knows(&step.id));
+        assert!(arena.knows(&step.id));
     }
 
     #[test]
     fn duplicates_are_dropped() {
-        let (mut gossip, view, mut rng) = setup(3, 5);
+        let (mut gossip, mut arena, view, mut rng) = setup(3, 5);
         let id = MsgId::from_raw(42);
-        let first = gossip.on_l_receive(&mut rng, &view, id, payload(), 1);
+        let slot = arena.intern(id);
+        let first = gossip.on_l_receive(&mut rng, &view, &mut arena, slot, id, payload(), 1);
         assert!(first.is_some());
-        let second = gossip.on_l_receive(&mut rng, &view, id, payload(), 2);
+        let second = gossip.on_l_receive(&mut rng, &view, &mut arena, slot, id, payload(), 2);
         assert!(second.is_none(), "duplicate must not deliver again");
-        assert_eq!(gossip.known_count(), 1);
+        assert_eq!(arena.known_count(), 1);
     }
 
     #[test]
     fn forwarding_stops_at_round_t() {
-        let (mut gossip, view, mut rng) = setup(3, 5);
+        let (mut gossip, mut arena, view, mut rng) = setup(3, 5);
         // rounds = 3: r = 2 still forwards, r = 3 does not.
+        let id = MsgId::from_raw(1);
+        let slot = arena.intern(id);
         let step = gossip
-            .on_l_receive(&mut rng, &view, MsgId::from_raw(1), payload(), 2)
+            .on_l_receive(&mut rng, &view, &mut arena, slot, id, payload(), 2)
             .expect("new message");
         assert_eq!(step.sends.len(), 3);
         assert!(step.sends.iter().all(|s| s.round == 3));
+        let id2 = MsgId::from_raw(2);
+        let slot2 = arena.intern(id2);
         let stopped = gossip
-            .on_l_receive(&mut rng, &view, MsgId::from_raw(2), payload(), 3)
+            .on_l_receive(&mut rng, &view, &mut arena, slot2, id2, payload(), 3)
             .expect("new message");
         assert!(stopped.sends.is_empty(), "r >= t must not relay");
     }
 
     #[test]
     fn small_view_limits_fanout() {
-        let (mut gossip, view, mut rng) = setup(11, 3);
-        let step = gossip.multicast(&mut rng, &view, payload());
+        let (mut gossip, mut arena, view, mut rng) = setup(11, 3);
+        let (_slot, step) = gossip.multicast(&mut rng, &view, &mut arena, payload());
         assert_eq!(step.sends.len(), 3, "fanout capped by view size");
     }
 
     #[test]
     fn delivery_round_is_the_arrival_round() {
-        let (mut gossip, view, mut rng) = setup(2, 4);
+        let (mut gossip, mut arena, view, mut rng) = setup(2, 4);
+        let id = MsgId::from_raw(3);
+        let slot = arena.intern(id);
         let step = gossip
-            .on_l_receive(&mut rng, &view, MsgId::from_raw(3), payload(), 2)
+            .on_l_receive(&mut rng, &view, &mut arena, slot, id, payload(), 2)
             .expect("new message");
         assert_eq!(step.round, 2);
         assert_eq!(step.payload, payload());

@@ -71,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod gossip;
 pub mod id;

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// The simulator does not ship actual bytes; a payload is its experiment
 /// sequence number (used by the measurement harness to match deliveries to
 /// multicasts) plus its declared size, which drives byte accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct Payload {
     /// Harness-assigned multicast sequence number.
     pub seq: u64,

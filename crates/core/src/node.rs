@@ -7,17 +7,16 @@
 //! under the node's [`TransmissionStrategy`], and the Performance Monitor
 //! (oracle or ping-based) feeds the strategy.
 
+use crate::arena::MsgArena;
 use crate::config::ProtocolConfig;
 use crate::gossip::{GossipLayer, GossipStep};
-use crate::id::MsgId;
 use crate::monitor::Monitor;
 use crate::msg::{EgmMessage, Payload};
 use crate::scheduler::{PayloadScheduler, RequestAction, SchedulerStats};
 use crate::strategy::StrategyCtx;
 use crate::strategy::TransmissionStrategy;
 use egm_membership::PartialView;
-use egm_rng::hash::FastHashMap;
-use egm_simnet::{Context, NodeId, Protocol, SimDuration, SimTime, TimerTag, TimerToken};
+use egm_simnet::{Context, NodeId, Protocol, SimDuration, SimTime, TimerTag};
 
 /// A payload delivered to the application at this node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +40,20 @@ pub struct MulticastRecord {
 
 const TAG_SHUFFLE: TimerTag = 0;
 const TAG_PING: TimerTag = 1;
-const TAG_REQUEST_BASE: TimerTag = 2;
+
+/// Request-timer tags have the top bit set and pack the message's arena
+/// slot and generation, so a firing timer re-finds its message in O(1)
+/// and a timer whose slot was recycled is recognized as stale — no
+/// tag-to-message maps.
+const REQUEST_TAG_FLAG: TimerTag = 1 << 63;
+
+fn request_tag(slot: u32, generation: u32) -> TimerTag {
+    REQUEST_TAG_FLAG | (u64::from(slot) << 32) | u64::from(generation)
+}
+
+fn decode_request_tag(tag: TimerTag) -> (u32, u32) {
+    (((tag >> 32) & 0x7FFF_FFFF) as u32, tag as u32)
+}
 
 /// Number of peers probed per ping round of the runtime monitor.
 const PING_FANOUT: usize = 3;
@@ -75,11 +87,10 @@ pub struct EgmNode {
     scheduler: PayloadScheduler,
     strategy: Box<dyn TransmissionStrategy>,
     monitor: Monitor,
-    request_tags: FastHashMap<TimerTag, MsgId>,
-    /// Pending retry timer per missing message, so a resolving payload can
-    /// cancel it index-free instead of letting the dead event pop.
-    request_timers: FastHashMap<MsgId, (TimerTag, TimerToken)>,
-    next_tag: TimerTag,
+    /// Arena holding all per-message state (known/received flags, payload
+    /// cache, missing queue, holder lists, retry-timer handles) in dense
+    /// generation-stamped slots — one hash probe per message event.
+    msgs: MsgArena,
     multicasts: Vec<MulticastRecord>,
     deliveries: Vec<DeliveryRecord>,
 }
@@ -104,13 +115,15 @@ impl EgmNode {
             id,
             gossip: GossipLayer::new(&config),
             scheduler: PayloadScheduler::new(&config),
+            msgs: MsgArena::new(
+                config.known_capacity,
+                config.cache_capacity,
+                config.suppress_known,
+            ),
             config,
             view,
             strategy,
             monitor,
-            request_tags: FastHashMap::default(),
-            request_timers: FastHashMap::default(),
-            next_tag: TAG_REQUEST_BASE,
             multicasts: Vec::new(),
             deliveries: Vec::new(),
         }
@@ -154,7 +167,12 @@ impl EgmNode {
     /// Delivers a gossip step to the application and pushes its forwards
     /// through the payload scheduler. The drained `sends` buffer is handed
     /// back to the gossip layer's pool, keeping forwarding allocation-free.
-    fn deliver_and_forward(&mut self, ctx: &mut Context<'_, EgmMessage>, step: GossipStep) {
+    fn deliver_and_forward(
+        &mut self,
+        ctx: &mut Context<'_, EgmMessage>,
+        slot: u32,
+        step: GossipStep,
+    ) {
         self.deliveries.push(DeliveryRecord {
             seq: step.payload.seq,
             time: ctx.now(),
@@ -171,6 +189,8 @@ impl EgmNode {
                 self.scheduler.l_send(
                     &mut sctx,
                     self.strategy.as_mut(),
+                    &mut self.msgs,
+                    slot,
                     s.id,
                     s.payload,
                     s.round,
@@ -189,22 +209,20 @@ impl EgmNode {
     fn arm_request_timer(
         &mut self,
         ctx: &mut Context<'_, EgmMessage>,
-        id: MsgId,
+        slot: u32,
         delay: SimDuration,
     ) {
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        self.request_tags.insert(tag, id);
+        let tag = request_tag(slot, self.msgs.generation(slot));
         let token = ctx.set_cancellable_timer(delay, tag);
-        self.request_timers.insert(id, (tag, token));
+        self.msgs.set_timer(slot, tag, token);
     }
 
-    /// Cancels the pending retry timer for `id`, if any — called when the
-    /// payload resolves so the timer never reaches the scheduler.
-    fn cancel_request_timer(&mut self, ctx: &mut Context<'_, EgmMessage>, id: &MsgId) {
-        if let Some((tag, token)) = self.request_timers.remove(id) {
+    /// Cancels the pending retry timer for the message in `slot`, if any
+    /// — called when the payload resolves so the timer never reaches the
+    /// scheduler.
+    fn cancel_request_timer(&mut self, ctx: &mut Context<'_, EgmMessage>, slot: u32) {
+        if let Some((_tag, token)) = self.msgs.take_timer(slot) {
             ctx.cancel_timer(token);
-            self.request_tags.remove(&tag);
         }
     }
 }
@@ -228,32 +246,42 @@ impl Protocol for EgmNode {
     fn on_receive(&mut self, ctx: &mut Context<'_, EgmMessage>, from: NodeId, msg: EgmMessage) {
         match msg {
             EgmMessage::Msg { id, payload, round } => {
-                self.scheduler.note_holder(id, from);
-                match self.scheduler.on_msg(id, payload, round) {
+                let slot = self.msgs.intern(id);
+                self.msgs.note_holder(slot, from);
+                match self.scheduler.on_msg(&mut self.msgs, slot, payload, round) {
                     Some((payload, round)) => {
                         // The payload resolves any pending retry timer for
                         // this id: cancel it instead of letting the dead
-                        // event pop through the heap.
-                        self.cancel_request_timer(ctx, &id);
+                        // event pop through the queue.
+                        self.cancel_request_timer(ctx, slot);
                         self.strategy.on_payload(from);
-                        if let Some(step) =
-                            self.gossip
-                                .on_l_receive(ctx.rng(), &self.view, id, payload, round)
-                        {
-                            self.deliver_and_forward(ctx, step);
+                        if let Some(step) = self.gossip.on_l_receive(
+                            ctx.rng(),
+                            &self.view,
+                            &mut self.msgs,
+                            slot,
+                            id,
+                            payload,
+                            round,
+                        ) {
+                            self.deliver_and_forward(ctx, slot, step);
                         }
                     }
                     None => self.strategy.on_duplicate(from),
                 }
             }
             EgmMessage::IHave { id } => {
-                self.scheduler.note_holder(id, from);
-                if let Some(delay) = self.scheduler.on_ihave(self.strategy.as_ref(), id, from) {
-                    self.arm_request_timer(ctx, id, delay);
+                let slot = self.msgs.intern(id);
+                self.msgs.note_holder(slot, from);
+                if let Some(delay) =
+                    self.scheduler
+                        .on_ihave(self.strategy.as_ref(), &mut self.msgs, slot, from)
+                {
+                    self.arm_request_timer(ctx, slot, delay);
                 }
             }
             EgmMessage::IWant { id } => {
-                if let Some(reply) = self.scheduler.on_iwant(id) {
+                if let Some(reply) = self.scheduler.on_iwant(&self.msgs, id) {
                     ctx.send(from, reply);
                 }
             }
@@ -294,31 +322,37 @@ impl Protocol for EgmNode {
                     ctx.set_timer(interval, TAG_PING);
                 }
             }
-            _ => {
-                let Some(&id) = self.request_tags.get(&tag) else {
-                    return; // stale timer
-                };
+            tag if tag & REQUEST_TAG_FLAG != 0 => {
+                let (slot, generation) = decode_request_tag(tag);
+                if !self.msgs.check_generation(slot, generation) {
+                    return; // the message was evicted; the timer is stale
+                }
                 let action = {
                     let mut sctx = StrategyCtx {
                         me: self.id,
                         rng: ctx.rng(),
                         monitor: &self.monitor,
                     };
-                    self.scheduler
-                        .on_request_timer(&mut sctx, self.strategy.as_mut(), id)
+                    self.scheduler.on_request_timer(
+                        &mut sctx,
+                        self.strategy.as_mut(),
+                        &mut self.msgs,
+                        slot,
+                    )
                 };
                 match action {
                     RequestAction::Resolved => {
-                        self.request_tags.remove(&tag);
-                        self.request_timers.remove(&id);
+                        self.msgs.take_timer(slot);
                     }
                     RequestAction::Request(to, retry) => {
+                        let id = self.msgs.slot_id(slot);
                         ctx.send(to, EgmMessage::IWant { id });
                         let token = ctx.set_cancellable_timer(retry, tag);
-                        self.request_timers.insert(id, (tag, token));
+                        self.msgs.set_timer(slot, tag, token);
                     }
                 }
             }
+            _ => {}
         }
     }
 
@@ -331,8 +365,10 @@ impl Protocol for EgmNode {
             seq: value,
             time: ctx.now(),
         });
-        let step = self.gossip.multicast(ctx.rng(), &self.view, payload);
-        self.deliver_and_forward(ctx, step);
+        let (slot, step) = self
+            .gossip
+            .multicast(ctx.rng(), &self.view, &mut self.msgs, payload);
+        self.deliver_and_forward(ctx, slot, step);
     }
 }
 

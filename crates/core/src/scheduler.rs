@@ -10,13 +10,18 @@
 //! periodically every `T` while sources are known, rotating through
 //! sources so that *"a queue eventually clears itself as requests on all
 //! known sources for a given message identifier are scheduled"*.
+//!
+//! All per-message state — the received set `R`, payload cache `C`,
+//! missing-message queue and holder lists — lives in the node's
+//! [`MsgArena`], so the scheduler itself is just the policy plus its
+//! counters: an event pays one arena slot access instead of several hash
+//! probes.
 
+use crate::arena::MsgArena;
 use crate::config::ProtocolConfig;
 use crate::id::MsgId;
 use crate::msg::{EgmMessage, Payload};
 use crate::strategy::{StrategyCtx, TransmissionStrategy};
-use crate::util::{BoundedMap, BoundedSet};
-use egm_rng::hash::FastHashMap;
 use egm_simnet::{NodeId, SimDuration};
 
 /// Per-node scheduler counters, exposed for reports.
@@ -46,45 +51,6 @@ pub struct SchedulerStats {
     pub resolved_timer_pops: u64,
 }
 
-/// State for one advertised-but-missing message.
-#[derive(Debug, Clone)]
-struct MissingEntry {
-    /// Known sources in advertisement order.
-    sources: Vec<NodeId>,
-    /// Which sources have been asked in the current rotation.
-    requested: Vec<bool>,
-}
-
-impl MissingEntry {
-    fn add_source(&mut self, s: NodeId) {
-        if !self.sources.contains(&s) {
-            self.sources.push(s);
-            self.requested.push(false);
-        }
-    }
-
-    /// Fills `idx`/`sources` with the positions and ids of sources not
-    /// yet requested this rotation, resetting the rotation when
-    /// exhausted (requests cycle through all known sources). Writes into
-    /// caller-owned scratch buffers: this runs on every request-timer
-    /// expiry, so it must not allocate.
-    fn candidates_into(&mut self, idx: &mut Vec<usize>, sources: &mut Vec<NodeId>) {
-        if self.requested.iter().all(|&r| r) {
-            for r in &mut self.requested {
-                *r = false;
-            }
-        }
-        idx.clear();
-        sources.clear();
-        for (i, &asked) in self.requested.iter().enumerate() {
-            if !asked {
-                idx.push(i);
-                sources.push(self.sources[i]);
-            }
-        }
-    }
-}
-
 /// Outcome of a request-timer expiry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestAction {
@@ -96,24 +62,16 @@ pub enum RequestAction {
 
 /// The Lazy Point-to-Point module (Fig. 3).
 ///
-/// A pure state machine: the embedding node owns the timers and the
-/// transport, and translates the returned values into sends and timer
-/// arms. See `egm-core`'s `node` module for the full wiring.
+/// A pure state machine over the node's [`MsgArena`]: the embedding node
+/// owns the timers and the transport, and translates the returned values
+/// into sends and timer arms. See `egm-core`'s `node` module for the full
+/// wiring.
 #[derive(Debug)]
 pub struct PayloadScheduler {
-    /// Received-payload set `R` (line 17).
-    received: BoundedSet<MsgId>,
-    /// Payload cache `C` (line 16): payload and round per advertised id.
-    cache: BoundedMap<MsgId, (Payload, u32)>,
-    /// Advertised-but-missing messages with their source queues.
-    missing: FastHashMap<MsgId, MissingEntry>,
-    /// Peers known to hold each message (they sent us the payload or an
-    /// advertisement). Only consulted when `suppress_known` is on.
-    holders: crate::util::BoundedMap<MsgId, Vec<NodeId>>,
     suppress_known: bool,
     retry_interval: SimDuration,
     stats: SchedulerStats,
-    /// Scratch for [`MissingEntry::candidates_into`], reused across
+    /// Scratch for [`MsgArena::missing_candidates_into`], reused across
     /// request-timer expiries to keep the retry path allocation-free.
     scratch_idx: Vec<usize>,
     /// Scratch candidate sources handed to the strategy's `pick_source`.
@@ -124,10 +82,6 @@ impl PayloadScheduler {
     /// Creates the scheduler from the node configuration.
     pub fn new(config: &ProtocolConfig) -> Self {
         PayloadScheduler {
-            received: BoundedSet::new(config.known_capacity),
-            cache: BoundedMap::new(config.cache_capacity),
-            missing: FastHashMap::default(),
-            holders: BoundedMap::new(config.known_capacity),
             suppress_known: config.suppress_known,
             retry_interval: config.retry_interval,
             stats: SchedulerStats::default(),
@@ -136,55 +90,28 @@ impl PayloadScheduler {
         }
     }
 
-    /// Notes that `peer` is known to hold message `id` (it sent us the
-    /// payload or advertised it).
-    pub fn note_holder(&mut self, id: MsgId, peer: NodeId) {
-        match self.holders.get_mut(&id) {
-            Some(peers) => {
-                if !peers.contains(&peer) {
-                    peers.push(peer);
-                }
-            }
-            None => self.holders.insert(id, vec![peer]),
-        }
-    }
-
-    /// Whether `peer` is known to hold message `id`.
-    pub fn is_holder(&self, id: &MsgId, peer: NodeId) -> bool {
-        self.holders
-            .get(id)
-            .is_some_and(|peers| peers.contains(&peer))
-    }
-
     /// Scheduler counters.
     pub fn stats(&self) -> SchedulerStats {
         self.stats
-    }
-
-    /// Number of advertised-but-missing messages currently queued.
-    pub fn missing_count(&self) -> usize {
-        self.missing.len()
-    }
-
-    /// Whether the payload of `id` has been received.
-    pub fn has_received(&self, id: &MsgId) -> bool {
-        self.received.contains(id)
     }
 
     /// `L-Send(i, d, r, p)` (line 19): consult `Eager?` and produce either
     /// the full `MSG` or an `IHAVE` (caching the payload for later
     /// requests). Returns `None` when NeEM-style suppression is enabled
     /// and the target is already known to hold the message.
+    #[allow(clippy::too_many_arguments)]
     pub fn l_send(
         &mut self,
         ctx: &mut StrategyCtx<'_>,
         strategy: &mut dyn TransmissionStrategy,
+        arena: &mut MsgArena,
+        slot: u32,
         id: MsgId,
         payload: Payload,
         round: u32,
         to: NodeId,
     ) -> Option<EgmMessage> {
-        if self.suppress_known && self.is_holder(&id, to) {
+        if self.suppress_known && arena.is_holder(slot, to) {
             self.stats.suppressed_sends += 1;
             return None;
         }
@@ -192,7 +119,7 @@ impl PayloadScheduler {
             self.stats.eager_sends += 1;
             Some(EgmMessage::Msg { id, payload, round })
         } else {
-            self.cache.insert(id, (payload, round)); // line 23: C[i] = (d, r)
+            arena.cache_put(slot, payload, round); // line 23: C[i] = (d, r)
             self.stats.lazy_advertisements += 1;
             Some(EgmMessage::IHave { id })
         }
@@ -200,12 +127,18 @@ impl PayloadScheduler {
 
     /// `Receive(MSG(i, d, r), s)` (line 28): returns the payload to hand
     /// to the gossip layer (`L-Receive`), or `None` for duplicates.
-    pub fn on_msg(&mut self, id: MsgId, payload: Payload, round: u32) -> Option<(Payload, u32)> {
-        if !self.received.insert(id) {
+    pub fn on_msg(
+        &mut self,
+        arena: &mut MsgArena,
+        slot: u32,
+        payload: Payload,
+        round: u32,
+    ) -> Option<(Payload, u32)> {
+        if !arena.mark_received(slot) {
             self.stats.duplicate_payloads += 1;
             return None; // line 29: i ∈ R
         }
-        self.missing.remove(&id); // line 31: Clear(i)
+        arena.missing_clear(slot); // line 31: Clear(i)
         Some((payload, round))
     }
 
@@ -216,27 +149,19 @@ impl PayloadScheduler {
     pub fn on_ihave(
         &mut self,
         strategy: &dyn TransmissionStrategy,
-        id: MsgId,
+        arena: &mut MsgArena,
+        slot: u32,
         from: NodeId,
     ) -> Option<SimDuration> {
-        if self.received.contains(&id) {
+        if arena.is_received(slot) {
             return None; // line 26: i ∈ R
         }
-        match self.missing.get_mut(&id) {
-            Some(entry) => {
-                entry.add_source(from); // Queue(i, s), timer already armed
-                None
-            }
-            None => {
-                self.missing.insert(
-                    id,
-                    MissingEntry {
-                        sources: vec![from],
-                        requested: vec![false],
-                    },
-                );
-                Some(strategy.first_request_delay())
-            }
+        if arena.is_missing(slot) {
+            arena.missing_add_source(slot, from); // Queue(i, s), timer armed
+            None
+        } else {
+            arena.missing_start(slot, from);
+            Some(strategy.first_request_delay())
         }
     }
 
@@ -246,9 +171,9 @@ impl PayloadScheduler {
     /// the payload "is guaranteed to be locally known" — with a bounded
     /// cache an eviction can break that guarantee, which is counted in
     /// [`SchedulerStats::request_misses`].
-    pub fn on_iwant(&mut self, id: MsgId) -> Option<EgmMessage> {
-        match self.cache.get(&id) {
-            Some(&(payload, round)) => {
+    pub fn on_iwant(&mut self, arena: &MsgArena, id: MsgId) -> Option<EgmMessage> {
+        match arena.lookup(&id).and_then(|slot| arena.cache_get(slot)) {
+            Some((payload, round)) => {
                 self.stats.request_replies += 1;
                 Some(EgmMessage::Msg { id, payload, round })
             }
@@ -259,40 +184,42 @@ impl PayloadScheduler {
         }
     }
 
-    /// Request-timer expiry for message `id` — the body of Task 2's
-    /// `ScheduleNext()` loop (line 38): pick a source via the strategy,
-    /// emit `IWANT`, and reschedule.
+    /// Request-timer expiry for the message in `slot` — the body of Task
+    /// 2's `ScheduleNext()` loop (line 38): pick a source via the
+    /// strategy, emit `IWANT`, and reschedule.
     pub fn on_request_timer(
         &mut self,
         ctx: &mut StrategyCtx<'_>,
         strategy: &mut dyn TransmissionStrategy,
-        id: MsgId,
+        arena: &mut MsgArena,
+        slot: u32,
     ) -> RequestAction {
-        if self.received.contains(&id) {
-            self.missing.remove(&id);
+        if arena.is_received(slot) {
+            arena.missing_clear(slot);
             self.stats.resolved_timer_pops += 1;
             return RequestAction::Resolved;
         }
-        let Some(entry) = self.missing.get_mut(&id) else {
+        if !arena.is_missing(slot) {
             self.stats.resolved_timer_pops += 1;
             return RequestAction::Resolved;
-        };
-        entry.candidates_into(&mut self.scratch_idx, &mut self.scratch_sources);
+        }
+        arena.missing_candidates_into(slot, &mut self.scratch_idx, &mut self.scratch_sources);
         debug_assert!(
             !self.scratch_idx.is_empty(),
             "missing entries always have a source"
         );
         let choice = strategy.pick_source(ctx, &self.scratch_sources);
         let source_idx = self.scratch_idx[choice.min(self.scratch_idx.len() - 1)];
-        entry.requested[source_idx] = true;
+        let source = arena.missing_mark_requested(slot, source_idx);
         self.stats.requests_sent += 1;
-        RequestAction::Request(entry.sources[source_idx], self.retry_interval)
+        RequestAction::Request(source, self.retry_interval)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::{PayloadScheduler, RequestAction};
+    use crate::arena::MsgArena;
     use crate::config::ProtocolConfig;
     use crate::id::MsgId;
     use crate::monitor::NullMonitor;
@@ -301,8 +228,16 @@ mod tests {
     use egm_rng::Rng;
     use egm_simnet::{NodeId, SimDuration};
 
-    fn scheduler() -> PayloadScheduler {
-        PayloadScheduler::new(&ProtocolConfig::default())
+    fn scheduler() -> (PayloadScheduler, MsgArena) {
+        let config = ProtocolConfig::default();
+        (
+            PayloadScheduler::new(&config),
+            MsgArena::new(
+                config.known_capacity,
+                config.cache_capacity,
+                config.suppress_known,
+            ),
+        )
     }
 
     fn payload() -> Payload {
@@ -322,11 +257,23 @@ mod tests {
 
     #[test]
     fn eager_strategy_sends_full_message() {
-        let mut sched = scheduler();
+        let (mut sched, mut arena) = scheduler();
         let mut eager = Flat::new(1.0);
         let id = MsgId::from_raw(1);
-        let out = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(2)))
-            .expect("not suppressed");
+        let slot = arena.intern(id);
+        let out = with_ctx(|ctx| {
+            sched.l_send(
+                ctx,
+                &mut eager,
+                &mut arena,
+                slot,
+                id,
+                payload(),
+                1,
+                NodeId(2),
+            )
+        })
+        .expect("not suppressed");
         assert!(matches!(out, EgmMessage::Msg { round: 1, .. }));
         assert_eq!(sched.stats().eager_sends, 1);
         assert_eq!(sched.stats().lazy_advertisements, 0);
@@ -334,91 +281,108 @@ mod tests {
 
     #[test]
     fn lazy_strategy_advertises_and_caches() {
-        let mut sched = scheduler();
+        let (mut sched, mut arena) = scheduler();
         let mut lazy = Flat::new(0.0);
         let id = MsgId::from_raw(2);
-        let out = with_ctx(|ctx| sched.l_send(ctx, &mut lazy, id, payload(), 2, NodeId(3)))
-            .expect("not suppressed");
+        let slot = arena.intern(id);
+        let out = with_ctx(|ctx| {
+            sched.l_send(
+                ctx,
+                &mut lazy,
+                &mut arena,
+                slot,
+                id,
+                payload(),
+                2,
+                NodeId(3),
+            )
+        })
+        .expect("not suppressed");
         assert_eq!(out, EgmMessage::IHave { id });
         assert_eq!(sched.stats().lazy_advertisements, 1);
         // the cached payload answers IWANT with the original round
-        let reply = sched.on_iwant(id).expect("cache hit");
+        let reply = sched.on_iwant(&arena, id).expect("cache hit");
         assert!(matches!(reply, EgmMessage::Msg { round: 2, .. }));
         assert_eq!(sched.stats().request_replies, 1);
     }
 
     #[test]
     fn iwant_miss_is_counted_not_fatal() {
-        let mut sched = scheduler();
-        assert!(sched.on_iwant(MsgId::from_raw(99)).is_none());
+        let (mut sched, arena) = scheduler();
+        assert!(sched.on_iwant(&arena, MsgId::from_raw(99)).is_none());
         assert_eq!(sched.stats().request_misses, 1);
     }
 
     #[test]
     fn duplicate_payloads_are_dropped() {
-        let mut sched = scheduler();
+        let (mut sched, mut arena) = scheduler();
         let id = MsgId::from_raw(3);
-        assert!(sched.on_msg(id, payload(), 1).is_some());
-        assert!(sched.on_msg(id, payload(), 2).is_none());
+        let slot = arena.intern(id);
+        assert!(sched.on_msg(&mut arena, slot, payload(), 1).is_some());
+        assert!(sched.on_msg(&mut arena, slot, payload(), 2).is_none());
         assert_eq!(sched.stats().duplicate_payloads, 1);
-        assert!(sched.has_received(&id));
+        assert!(arena.has_received(&id));
     }
 
     #[test]
     fn first_ihave_arms_timer_with_strategy_delay() {
-        let mut sched = scheduler();
+        let (mut sched, mut arena) = scheduler();
         let lazy = Flat::new(0.0);
         let id = MsgId::from_raw(4);
-        let delay = sched.on_ihave(&lazy, id, NodeId(5));
+        let slot = arena.intern(id);
+        let delay = sched.on_ihave(&lazy, &mut arena, slot, NodeId(5));
         assert_eq!(delay, Some(SimDuration::ZERO), "flat requests immediately");
         // second advertisement only queues the source, no new timer
-        assert_eq!(sched.on_ihave(&lazy, id, NodeId(6)), None);
-        assert_eq!(sched.missing_count(), 1);
+        assert_eq!(sched.on_ihave(&lazy, &mut arena, slot, NodeId(6)), None);
+        assert_eq!(arena.missing_count(), 1);
     }
 
     #[test]
     fn ihave_after_payload_is_ignored() {
-        let mut sched = scheduler();
+        let (mut sched, mut arena) = scheduler();
         let lazy = Flat::new(0.0);
         let id = MsgId::from_raw(5);
-        sched.on_msg(id, payload(), 1);
-        assert_eq!(sched.on_ihave(&lazy, id, NodeId(5)), None);
-        assert_eq!(sched.missing_count(), 0);
+        let slot = arena.intern(id);
+        sched.on_msg(&mut arena, slot, payload(), 1);
+        assert_eq!(sched.on_ihave(&lazy, &mut arena, slot, NodeId(5)), None);
+        assert_eq!(arena.missing_count(), 0);
     }
 
     #[test]
     fn request_timer_rotates_through_sources() {
-        let mut sched = scheduler();
+        let (mut sched, mut arena) = scheduler();
         let mut lazy = Flat::new(0.0);
         let id = MsgId::from_raw(6);
-        sched.on_ihave(&lazy, id, NodeId(10));
-        sched.on_ihave(&lazy, id, NodeId(11));
-        let first = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, id));
+        let slot = arena.intern(id);
+        sched.on_ihave(&lazy, &mut arena, slot, NodeId(10));
+        sched.on_ihave(&lazy, &mut arena, slot, NodeId(11));
+        let first = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, &mut arena, slot));
         let RequestAction::Request(s1, t) = first else {
             panic!("expected a request");
         };
         assert_eq!(t, SimDuration::from_ms(400.0));
-        let second = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, id));
+        let second = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, &mut arena, slot));
         let RequestAction::Request(s2, _) = second else {
             panic!("expected a request");
         };
         assert_ne!(s1, s2, "rotation must try the other source");
         // Third request wraps around the rotation.
-        let third = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, id));
+        let third = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, &mut arena, slot));
         assert!(matches!(third, RequestAction::Request(_, _)));
         assert_eq!(sched.stats().requests_sent, 3);
     }
 
     #[test]
     fn request_timer_resolves_after_payload_arrives() {
-        let mut sched = scheduler();
+        let (mut sched, mut arena) = scheduler();
         let mut lazy = Flat::new(0.0);
         let id = MsgId::from_raw(7);
-        sched.on_ihave(&lazy, id, NodeId(10));
-        sched.on_msg(id, payload(), 1);
-        let action = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, id));
+        let slot = arena.intern(id);
+        sched.on_ihave(&lazy, &mut arena, slot, NodeId(10));
+        sched.on_msg(&mut arena, slot, payload(), 1);
+        let action = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, &mut arena, slot));
         assert_eq!(action, RequestAction::Resolved);
-        assert_eq!(sched.missing_count(), 0);
+        assert_eq!(arena.missing_count(), 0);
         assert_eq!(sched.stats().requests_sent, 0);
     }
 
@@ -429,37 +393,78 @@ mod tests {
             ..ProtocolConfig::default()
         };
         let mut sched = PayloadScheduler::new(&config);
+        let mut arena = MsgArena::new(
+            config.known_capacity,
+            config.cache_capacity,
+            config.suppress_known,
+        );
         let mut eager = Flat::new(1.0);
         let id = MsgId::from_raw(50);
-        sched.note_holder(id, NodeId(7));
-        assert!(sched.is_holder(&id, NodeId(7)));
-        assert!(!sched.is_holder(&id, NodeId(8)));
-        let to_holder = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(7)));
+        let slot = arena.intern(id);
+        arena.note_holder(slot, NodeId(7));
+        assert!(arena.is_holder(slot, NodeId(7)));
+        assert!(!arena.is_holder(slot, NodeId(8)));
+        let to_holder = with_ctx(|ctx| {
+            sched.l_send(
+                ctx,
+                &mut eager,
+                &mut arena,
+                slot,
+                id,
+                payload(),
+                1,
+                NodeId(7),
+            )
+        });
         assert!(
             to_holder.is_none(),
             "send to a known holder must be suppressed"
         );
         assert_eq!(sched.stats().suppressed_sends, 1);
-        let to_other = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(8)));
+        let to_other = with_ctx(|ctx| {
+            sched.l_send(
+                ctx,
+                &mut eager,
+                &mut arena,
+                slot,
+                id,
+                payload(),
+                1,
+                NodeId(8),
+            )
+        });
         assert!(to_other.is_some());
     }
 
     #[test]
     fn suppression_is_off_by_default() {
-        let mut sched = scheduler();
+        let (mut sched, mut arena) = scheduler();
         let mut eager = Flat::new(1.0);
         let id = MsgId::from_raw(51);
-        sched.note_holder(id, NodeId(7));
-        let out = with_ctx(|ctx| sched.l_send(ctx, &mut eager, id, payload(), 1, NodeId(7)));
+        let slot = arena.intern(id);
+        arena.note_holder(slot, NodeId(7));
+        let out = with_ctx(|ctx| {
+            sched.l_send(
+                ctx,
+                &mut eager,
+                &mut arena,
+                slot,
+                id,
+                payload(),
+                1,
+                NodeId(7),
+            )
+        });
         assert!(out.is_some(), "pseudocode-faithful mode pushes regardless");
         assert_eq!(sched.stats().suppressed_sends, 0);
     }
 
     #[test]
     fn unknown_timer_is_resolved_quietly() {
-        let mut sched = scheduler();
+        let (mut sched, mut arena) = scheduler();
         let mut lazy = Flat::new(0.0);
-        let action = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, MsgId::from_raw(77)));
+        let slot = arena.intern(MsgId::from_raw(77));
+        let action = with_ctx(|ctx| sched.on_request_timer(ctx, &mut lazy, &mut arena, slot));
         assert_eq!(action, RequestAction::Resolved);
     }
 }

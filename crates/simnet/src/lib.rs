@@ -40,13 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod event;
+pub mod event;
 pub mod net;
 pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod wire;
 
+pub use event::{CalendarQueue, EventQueue, HeapQueue, QueueKind, QueueStats, Scheduled};
 pub use net::{Network, SimConfig};
 pub use sim::{Context, Protocol, Sim, TimerTag, TimerToken};
 pub use stats::{LinkTally, Traffic};

@@ -1,5 +1,6 @@
 //! The virtual network: delays, loss, jitter, and fault injection.
 
+use crate::event::QueueKind;
 use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
 use egm_rng::Rng;
@@ -40,6 +41,10 @@ pub struct SimConfig {
     /// Maximum distinct links the traffic accounting tracks individually
     /// (see [`crate::Traffic::with_spill_threshold`]).
     link_spill_threshold: usize,
+    /// Which event-queue implementation the simulator uses; `None`
+    /// resolves by size at simulation start (`EGM_EVENT_QUEUE` or
+    /// [`SimConfig::with_event_queue`] override it).
+    event_queue: Option<QueueKind>,
 }
 
 #[derive(Debug, Clone)]
@@ -66,6 +71,7 @@ impl SimConfig {
             min_delay: SimDuration::from_micros(10),
             egress_bandwidth: None,
             link_spill_threshold: usize::MAX,
+            event_queue: QueueKind::from_env(),
         }
     }
 
@@ -79,6 +85,7 @@ impl SimConfig {
             min_delay: SimDuration::from_micros(10),
             egress_bandwidth: None,
             link_spill_threshold: usize::MAX,
+            event_queue: QueueKind::from_env(),
         }
     }
 
@@ -131,6 +138,24 @@ impl SimConfig {
     /// The configured link-accounting spill threshold.
     pub fn link_spill_threshold(&self) -> usize {
         self.link_spill_threshold
+    }
+
+    /// Selects the event-queue implementation (builder style),
+    /// overriding both the `EGM_EVENT_QUEUE` variable and the size-based
+    /// default. Both implementations dispatch in bit-identical order, so
+    /// this is a performance A/B switch, never a behavioural one.
+    pub fn with_event_queue(mut self, kind: QueueKind) -> Self {
+        self.event_queue = Some(kind);
+        self
+    }
+
+    /// The event-queue implementation this configuration resolves to:
+    /// an explicit [`SimConfig::with_event_queue`] choice wins, then the
+    /// `EGM_EVENT_QUEUE` environment override, then the size-based
+    /// default ([`QueueKind::auto_for`]).
+    pub fn event_queue(&self) -> QueueKind {
+        self.event_queue
+            .unwrap_or_else(|| QueueKind::auto_for(self.node_count()))
     }
 
     /// Number of protocol nodes.

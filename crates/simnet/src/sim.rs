@@ -1,13 +1,12 @@
 //! The simulation engine: event loop, protocol trait, and node context.
 
-use crate::event::{EventKind, Scheduled};
+use crate::event::{EventKind, QueueImpl, QueueStats, Scheduled};
 use crate::net::{Network, SimConfig};
 use crate::stats::Traffic;
 use crate::time::{SimDuration, SimTime};
 use crate::wire::Wire;
 use crate::NodeId;
 use egm_rng::Rng;
-use std::collections::BinaryHeap;
 
 /// Tag identifying a protocol timer; meaning is private to the node that
 /// set it.
@@ -208,7 +207,7 @@ impl<M: Wire> Context<'_, M> {
 /// Shared mutable simulation state (everything but the nodes themselves).
 #[derive(Debug)]
 struct SimCore<M> {
-    queue: BinaryHeap<Scheduled<M>>,
+    queue: QueueImpl<EventKind<M>>,
     seq: u64,
     network: Network,
     traffic: Traffic,
@@ -222,7 +221,7 @@ impl<M> SimCore<M> {
         self.queue.push(Scheduled {
             time,
             seq: self.seq,
-            kind,
+            item: kind,
         });
         self.seq += 1;
     }
@@ -260,12 +259,13 @@ impl<P: Protocol> Sim<P> {
         let mut root = Rng::seed_from_u64(seed);
         let node_rngs: Vec<Rng> = (0..nodes.len()).map(|_| root.fork()).collect();
         let net_rng = root.fork();
+        let queue_kind = config.event_queue();
         Sim {
             core: SimCore {
-                // Pre-size the event heap: a gossip burst schedules
+                // Pre-size the event queue: a gossip burst schedules
                 // ~fanout events per node, so even modest runs reach
                 // hundreds of in-flight events within the first round.
-                queue: BinaryHeap::with_capacity(1024),
+                queue: queue_kind.build(1024),
                 seq: 0,
                 traffic: Traffic::with_spill_threshold(config.link_spill_threshold()),
                 network: Network::new(config),
@@ -310,6 +310,20 @@ impl<P: Protocol> Sim<P> {
     /// Transport-level traffic accounting.
     pub fn traffic(&self) -> &Traffic {
         &self.core.traffic
+    }
+
+    /// Seals the traffic log so repeated per-link queries are O(1) (see
+    /// [`Traffic::seal`]). Call once measurement is over: the simulation
+    /// must not send any further messages afterwards.
+    pub fn seal_traffic(&mut self) {
+        self.core.traffic.seal();
+    }
+
+    /// Event-queue counters (pushes/pops plus, for the calendar queue,
+    /// bucket geometry and resize activity). See
+    /// [`crate::event::QueueStats`].
+    pub fn queue_stats(&self) -> QueueStats {
+        self.core.queue.stats()
     }
 
     /// Immutable access to a protocol node (e.g. to read final state).
@@ -410,18 +424,25 @@ impl<P: Protocol> Sim<P> {
     /// count it (see [`Sim::stale_timer_drops`]).
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(ev) = self.core.queue.pop() else {
+        let Some(ev) = self.core.queue.pop_next(None) else {
             return false;
         };
+        self.dispatch(ev);
+        true
+    }
+
+    /// Dispatches one popped event (or drops it, if it is a stale
+    /// cancelled timer).
+    fn dispatch(&mut self, ev: Scheduled<EventKind<P::Msg>>) {
         debug_assert!(ev.time >= self.now, "time must be monotonic");
-        if let EventKind::CancellableTimer { token, .. } = &ev.kind {
+        if let EventKind::CancellableTimer { token, .. } = &ev.item {
             if !self.core.timers.fire(*token) {
-                return true; // stale: dropped before dispatch
+                return; // stale: dropped before dispatch
             }
         }
         self.now = ev.time;
         self.events_processed += 1;
-        match ev.kind {
+        match ev.item {
             EventKind::Deliver { to, from, msg } => {
                 let mut ctx = Context {
                     id: to,
@@ -449,20 +470,14 @@ impl<P: Protocol> Sim<P> {
             EventKind::Silence(node) => self.core.network.silence(node),
             EventKind::Revive(node) => self.core.network.revive(node),
         }
-        true
     }
 
     /// Runs until the event queue is exhausted or virtual time would pass
     /// `deadline`; the clock finishes at `deadline` if it was reached.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        loop {
-            match self.core.queue.peek() {
-                Some(ev) if ev.time <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
+        while let Some(ev) = self.core.queue.pop_next(Some(deadline)) {
+            self.dispatch(ev);
         }
         if self.now < deadline {
             self.now = deadline;

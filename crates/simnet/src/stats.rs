@@ -6,16 +6,34 @@
 //! a transmitted-but-dropped packet still consumed bandwidth at the sender,
 //! which matches how the paper counts transmissions.
 //!
-//! Accounting is purely sparse: only links that actually carried traffic
-//! occupy memory, and per-node payload counters live in a flat vector. A
-//! configurable *spill threshold* bounds the per-link map at scale — once
-//! the map holds that many distinct links, traffic on further new links is
-//! folded into a single aggregate [`Traffic::spilled`] tally (totals and
-//! per-node counters stay exact), so a 10k-node run cannot let link
-//! accounting grow toward the n² worst case.
+//! # Storage: append-only log, aggregated on demand
+//!
+//! Totals and per-node payload counters are updated inline (flat
+//! counters, exact). Per-link tallies, however, are *not* maintained in a
+//! hash map on the hot path: at 10k nodes that map holds hundreds of
+//! thousands of entries, and the per-send probe (plus its periodic
+//! rehashes) was worth ~20 % of the whole event loop. Instead every send
+//! appends one 16-byte record to a log — a sequential, cache-friendly
+//! write — and the per-link view is built once, on demand, by a
+//! counting-sort aggregation over the log. Long runs stay bounded: the
+//! log folds into per-link accumulators every `COMPACT_AT` records, so
+//! traffic memory is O(distinct links) plus a ~64 MB log window rather
+//! than O(total sends). Results are identical to the old streaming map
+//! at every query point, because the aggregation replays (or merges
+//! partial folds of) the same deterministic record stream.
+//!
+//! # Spill threshold
+//!
+//! A configurable *spill threshold* bounds link tracking at scale: links
+//! are tracked individually in order of first appearance, and links whose
+//! first-appearance rank exceeds the threshold are folded into a single
+//! aggregate [`Traffic::spilled`] tally (totals and per-node counters
+//! stay exact), so a 10k-node run cannot let link accounting grow toward
+//! the n² worst case. This reproduces the old streaming semantics
+//! exactly: a link was tracked iff fewer than `threshold` distinct links
+//! had appeared before its first record.
 
 use crate::NodeId;
-use egm_rng::hash::FastHashMap;
 use serde::{Deserialize, Serialize};
 
 /// Per-directed-link tally of traffic.
@@ -39,6 +57,42 @@ impl LinkTally {
     }
 }
 
+/// One logged transmission (16 bytes).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct SendRecord {
+    from: u32,
+    to: u32,
+    bytes: u32,
+    payload: bool,
+}
+
+/// One partially aggregated link: its tally so far plus the global
+/// position of its first record (drives the spill rule at seal time).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct LinkAcc {
+    from: u32,
+    to: u32,
+    first_pos: u64,
+    tally: LinkTally,
+}
+
+/// Fold the log into the partial aggregate whenever it reaches this many
+/// records (64 MB of log), so traffic memory is bounded by the distinct
+/// link count plus a constant, not by the total send count of the run.
+const COMPACT_AT: usize = 1 << 22;
+
+/// The aggregated per-link view: one sorted target table per sender.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SealedLinks {
+    /// `per_sender[from]` lists `(to, tally)` sorted by `to`, tracked
+    /// links only.
+    per_sender: Vec<Vec<(NodeId, LinkTally)>>,
+    /// Number of individually tracked links.
+    tracked: usize,
+    /// Aggregate tally of records on links beyond the spill threshold.
+    spilled: LinkTally,
+}
+
 /// Aggregated traffic over the whole virtual network.
 ///
 /// # Examples
@@ -55,15 +109,20 @@ impl LinkTally {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Traffic {
-    links: FastHashMap<(NodeId, NodeId), LinkTally>,
+    log: Vec<SendRecord>,
+    /// Records folded out of `log` so far (sorted by `(from, to)`); the
+    /// log is compacted into this once it reaches [`COMPACT_AT`].
+    folded: Vec<LinkAcc>,
+    /// Total records ever logged (global positions for the spill rule).
+    records_seen: u64,
+    /// Built by [`Traffic::seal`]; `None` while recording.
+    sealed: Option<SealedLinks>,
     total: LinkTally,
-    /// Payloads sent per node, grown on demand (exact even when the link
-    /// map spills).
+    /// Payloads sent per node, grown on demand (exact even when link
+    /// tracking spills).
     node_payloads: Vec<u64>,
     /// Maximum number of distinct links tracked individually.
     spill_threshold: usize,
-    /// Aggregate tally of traffic on links beyond the threshold.
-    spilled: LinkTally,
 }
 
 impl Default for Traffic {
@@ -74,37 +133,229 @@ impl Default for Traffic {
 
 impl Traffic {
     /// Creates an accounting table that tracks at most `spill_threshold`
-    /// distinct links individually; traffic on further links is folded
-    /// into the aggregate [`Traffic::spilled`] tally.
+    /// distinct links individually (in order of first appearance);
+    /// records on further links are folded into the aggregate
+    /// [`Traffic::spilled`] tally.
     pub fn with_spill_threshold(spill_threshold: usize) -> Self {
         Traffic {
-            links: FastHashMap::default(),
+            log: Vec::new(),
+            folded: Vec::new(),
+            records_seen: 0,
+            sealed: None,
             total: LinkTally::default(),
             node_payloads: Vec::new(),
             spill_threshold,
-            spilled: LinkTally::default(),
         }
     }
 
     /// Records one message from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Traffic::seal`] — sealing drops the
+    /// record log.
     pub fn record(&mut self, from: NodeId, to: NodeId, bytes: u32, payload: bool) {
+        assert!(self.sealed.is_none(), "record() after seal()");
         self.total.add(bytes, payload);
+        let idx = from.index();
         if payload {
-            let idx = from.index();
             if idx >= self.node_payloads.len() {
                 self.node_payloads.resize(idx + 1, 0);
             }
             self.node_payloads[idx] += 1;
         }
-        if self.links.len() < self.spill_threshold {
-            self.links
-                .entry((from, to))
-                .or_default()
-                .add(bytes, payload);
-        } else if let Some(tally) = self.links.get_mut(&(from, to)) {
-            tally.add(bytes, payload);
-        } else {
-            self.spilled.add(bytes, payload);
+        debug_assert!(idx < u32::MAX as usize && to.index() < u32::MAX as usize);
+        self.log.push(SendRecord {
+            from: idx as u32,
+            to: to.index() as u32,
+            bytes,
+            payload,
+        });
+        self.records_seen += 1;
+        if self.log.len() >= COMPACT_AT {
+            self.compact();
+        }
+    }
+
+    /// Folds the log into `folded` and clears it (keeping its capacity),
+    /// bounding traffic memory over arbitrarily long runs.
+    fn compact(&mut self) {
+        if self.log.is_empty() {
+            return;
+        }
+        let base = self.records_seen - self.log.len() as u64;
+        let flat = Self::flatten(&self.log, base);
+        self.log.clear();
+        self.folded = Self::merge(std::mem::take(&mut self.folded), flat);
+    }
+
+    /// Builds the per-link view once and drops the record log. Optional:
+    /// queries aggregate transparently (each call re-scans the log) —
+    /// sealing makes repeated queries O(1) and frees the log's memory,
+    /// at the price that no further [`Traffic::record`] is accepted.
+    pub fn seal(&mut self) {
+        if self.sealed.is_none() {
+            self.compact();
+            self.log = Vec::new();
+            let folded = std::mem::take(&mut self.folded);
+            self.sealed = Some(Self::finish(folded, self.spill_threshold));
+        }
+    }
+
+    /// Folds one log chunk into per-link accumulators sorted by
+    /// `(from, to)`: counting-sort by sender, sort each sender's slice by
+    /// target, group. Tally sums are integer additions, so accumulation
+    /// order within a link is irrelevant and the link's first appearance
+    /// is simply the minimum position of its group (`base` + local).
+    fn flatten(log: &[SendRecord], base: u64) -> Vec<LinkAcc> {
+        debug_assert!(log.len() < u32::MAX as usize);
+        let senders = log.iter().map(|r| r.from as usize + 1).max().unwrap_or(0);
+        // Counting sort: group records by sender (contiguous copies, so
+        // the per-sender sorts below stay cache-resident).
+        #[derive(Clone, Copy, Default)]
+        struct GroupedRec {
+            to: u32,
+            pos: u32,
+            bytes: u32,
+            payload: bool,
+        }
+        let mut offsets = vec![0u32; senders + 1];
+        for r in log {
+            offsets[r.from as usize + 1] += 1;
+        }
+        for i in 0..senders {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut grouped = vec![GroupedRec::default(); log.len()];
+        let mut cursor: Vec<u32> = offsets[..senders].to_vec();
+        for (pos, r) in log.iter().enumerate() {
+            let c = &mut cursor[r.from as usize];
+            grouped[*c as usize] = GroupedRec {
+                to: r.to,
+                pos: pos as u32,
+                bytes: r.bytes,
+                payload: r.payload,
+            };
+            *c += 1;
+        }
+        // Per sender: sort by target, then fold each group. The result
+        // is ordered by (from, to) with each link's first global
+        // position attached.
+        let mut flat: Vec<LinkAcc> = Vec::new();
+        for from in 0..senders {
+            let seg = &mut grouped[offsets[from] as usize..offsets[from + 1] as usize];
+            seg.sort_unstable_by_key(|g| g.to);
+            for g in seg.iter() {
+                match flat.last_mut() {
+                    Some(last) if last.from == from as u32 && last.to == g.to => {
+                        last.tally.add(g.bytes, g.payload);
+                        last.first_pos = last.first_pos.min(base + u64::from(g.pos));
+                    }
+                    _ => {
+                        let mut tally = LinkTally::default();
+                        tally.add(g.bytes, g.payload);
+                        flat.push(LinkAcc {
+                            from: from as u32,
+                            to: g.to,
+                            first_pos: base + u64::from(g.pos),
+                            tally,
+                        });
+                    }
+                }
+            }
+        }
+        flat
+    }
+
+    /// Merges two `(from, to)`-sorted accumulator lists, adding tallies
+    /// and keeping the earlier first appearance.
+    fn merge(a: Vec<LinkAcc>, b: Vec<LinkAcc>) -> Vec<LinkAcc> {
+        if a.is_empty() {
+            return b;
+        }
+        if b.is_empty() {
+            return a;
+        }
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut ia, mut ib) = (0, 0);
+        while ia < a.len() && ib < b.len() {
+            let (ka, kb) = ((a[ia].from, a[ia].to), (b[ib].from, b[ib].to));
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[ia]);
+                    ia += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[ib]);
+                    ib += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let mut m = a[ia];
+                    m.first_pos = m.first_pos.min(b[ib].first_pos);
+                    m.tally.messages += b[ib].tally.messages;
+                    m.tally.bytes += b[ib].tally.bytes;
+                    m.tally.payloads += b[ib].tally.payloads;
+                    out.push(m);
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[ia..]);
+        out.extend_from_slice(&b[ib..]);
+        out
+    }
+
+    /// Applies the first-appearance spill rule — a link is tracked iff
+    /// fewer than `spill_threshold` distinct links appeared before it —
+    /// and builds the queryable per-sender view.
+    fn finish(flat: Vec<LinkAcc>, spill_threshold: usize) -> SealedLinks {
+        let mut spilled = LinkTally::default();
+        let mut tracked_flags: Option<Vec<bool>> = None;
+        if flat.len() > spill_threshold {
+            let mut order: Vec<u32> = (0..flat.len() as u32).collect();
+            order.sort_unstable_by_key(|&i| flat[i as usize].first_pos);
+            let mut flags = vec![false; flat.len()];
+            for &i in &order[..spill_threshold] {
+                flags[i as usize] = true;
+            }
+            for &i in &order[spill_threshold..] {
+                let t = &flat[i as usize].tally;
+                spilled.messages += t.messages;
+                spilled.bytes += t.bytes;
+                spilled.payloads += t.payloads;
+            }
+            tracked_flags = Some(flags);
+        }
+        let senders = flat.iter().map(|l| l.from as usize + 1).max().unwrap_or(0);
+        let mut per_sender: Vec<Vec<(NodeId, LinkTally)>> = Vec::new();
+        per_sender.resize_with(senders, Vec::new);
+        let mut tracked = 0usize;
+        for (i, link) in flat.iter().enumerate() {
+            if tracked_flags.as_ref().is_some_and(|flags| !flags[i]) {
+                continue;
+            }
+            per_sender[link.from as usize].push((NodeId(link.to as usize), link.tally));
+            tracked += 1;
+        }
+        SealedLinks {
+            per_sender,
+            tracked,
+            spilled,
+        }
+    }
+
+    /// Runs `f` over the per-link view — the sealed one if available,
+    /// otherwise a freshly aggregated snapshot of the folded state plus
+    /// the log so far.
+    fn with_links<R>(&self, f: impl FnOnce(&SealedLinks) -> R) -> R {
+        match &self.sealed {
+            Some(s) => f(s),
+            None => {
+                let base = self.records_seen - self.log.len() as u64;
+                let flat = Self::merge(self.folded.clone(), Self::flatten(&self.log, base));
+                f(&Self::finish(flat, self.spill_threshold))
+            }
         }
     }
 
@@ -125,30 +376,42 @@ impl Traffic {
 
     /// Number of individually tracked directed links that carried at
     /// least one message. When [`Traffic::spilled`] is non-empty this
-    /// undercounts the true distinct-link count (by design: the map is
+    /// undercounts the true distinct-link count (by design: tracking is
     /// bounded).
     pub fn link_count(&self) -> usize {
-        self.links.len()
+        self.with_links(|s| s.tracked)
     }
 
-    /// Aggregate tally of traffic recorded after the link map reached its
-    /// spill threshold (all zeros when nothing spilled).
+    /// Aggregate tally of traffic recorded on links beyond the spill
+    /// threshold (all zeros when nothing spilled).
     pub fn spilled(&self) -> LinkTally {
-        self.spilled
+        self.with_links(|s| s.spilled)
     }
 
     /// Tally for one directed link, if it carried traffic and was tracked
     /// individually.
     pub fn link(&self, from: NodeId, to: NodeId) -> Option<LinkTally> {
-        self.links.get(&(from, to)).copied()
+        self.with_links(|s| {
+            let table = s.per_sender.get(from.index())?;
+            table
+                .binary_search_by_key(&to, |e| e.0)
+                .ok()
+                .map(|i| table[i].1)
+        })
     }
 
     /// All individually tracked directed links and their tallies, in
     /// deterministic (source, destination) order.
     pub fn links(&self) -> Vec<((NodeId, NodeId), LinkTally)> {
-        let mut v: Vec<_> = self.links.iter().map(|(&k, &t)| (k, t)).collect();
-        v.sort_by_key(|&((a, b), _)| (a, b));
-        v
+        self.with_links(|s| {
+            let mut v = Vec::with_capacity(s.tracked);
+            for (from, table) in s.per_sender.iter().enumerate() {
+                for &(to, tally) in table {
+                    v.push(((NodeId(from), to), tally));
+                }
+            }
+            v
+        })
     }
 
     /// Payload transmissions sent by one node. Exact regardless of link
@@ -217,7 +480,7 @@ mod tests {
     }
 
     #[test]
-    fn spill_threshold_bounds_the_link_map() {
+    fn spill_threshold_bounds_link_tracking() {
         let mut t = Traffic::with_spill_threshold(2);
         t.record(NodeId(0), NodeId(1), 10, true);
         t.record(NodeId(0), NodeId(2), 10, false);
@@ -246,5 +509,71 @@ mod tests {
         assert_eq!(t.spilled().messages, 1);
         assert_eq!(t.total_bytes(), 7);
         assert_eq!(t.node_payloads_sent(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn seal_freezes_the_view_and_queries_agree() {
+        let mut t = Traffic::with_spill_threshold(3);
+        t.record(NodeId(1), NodeId(0), 5, true);
+        t.record(NodeId(0), NodeId(1), 5, false);
+        t.record(NodeId(0), NodeId(2), 5, false);
+        t.record(NodeId(2), NodeId(1), 5, true); // spilled (4th link)
+        let before = (t.links(), t.link_count(), t.spilled());
+        t.seal();
+        t.seal(); // idempotent
+        assert_eq!(before.0, t.links());
+        assert_eq!(before.1, t.link_count());
+        assert_eq!(before.2, t.spilled());
+        assert_eq!(t.spilled().messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "after seal")]
+    fn recording_after_seal_panics() {
+        let mut t = Traffic::default();
+        t.record(NodeId(0), NodeId(1), 1, false);
+        t.seal();
+        t.record(NodeId(0), NodeId(2), 1, false);
+    }
+
+    #[test]
+    fn compaction_preserves_queries_and_spill_order() {
+        // Two identical record streams; `b` folds its log mid-stream.
+        // Every query and the sealed view must agree with the
+        // never-compacted twin, including which link spills.
+        let stream = [(5, 6), (4, 5), (0, 1), (5, 6), (0, 2), (4, 5)];
+        let mut a = Traffic::with_spill_threshold(2);
+        let mut b = Traffic::with_spill_threshold(2);
+        for (i, &(f, t)) in stream.iter().enumerate() {
+            a.record(NodeId(f), NodeId(t), 10, i % 2 == 0);
+            b.record(NodeId(f), NodeId(t), 10, i % 2 == 0);
+            if i % 2 == 0 {
+                b.compact();
+            }
+        }
+        assert_eq!(a.links(), b.links());
+        assert_eq!(a.link_count(), b.link_count());
+        assert_eq!(a.spilled(), b.spilled());
+        b.seal();
+        assert_eq!(a.links(), b.links());
+        assert_eq!(a.spilled(), b.spilled());
+        assert!(
+            b.link(NodeId(0), NodeId(1)).is_none(),
+            "third-seen link spills on both"
+        );
+    }
+
+    #[test]
+    fn spill_rule_is_first_appearance_order() {
+        // The link first seen third spills even though it is
+        // lexicographically smallest.
+        let mut t = Traffic::with_spill_threshold(2);
+        t.record(NodeId(5), NodeId(6), 1, false);
+        t.record(NodeId(4), NodeId(5), 1, false);
+        t.record(NodeId(0), NodeId(1), 1, false);
+        assert!(t.link(NodeId(5), NodeId(6)).is_some());
+        assert!(t.link(NodeId(4), NodeId(5)).is_some());
+        assert!(t.link(NodeId(0), NodeId(1)).is_none(), "third link spills");
+        assert_eq!(t.spilled().messages, 1);
     }
 }

@@ -8,10 +8,19 @@
 //!
 //! * the **two-level routed topology** ([`TransitStubConfig::scaled`])
 //!   keeps the network model O(n) instead of an `n × n` client matrix;
-//! * **link-accounting spill** bounds per-link traffic tallies
-//!   ([`Scenario::link_spill_threshold`]);
-//! * **index-free timer cancellation** keeps the event heap free of dead
-//!   request retries (the dominant event class under lazy push);
+//! * the **calendar event queue** (O(1) amortized, cache-warm slab
+//!   storage) replaces the binary heap by default at this scale —
+//!   bit-identical dispatch order, ~1.5–1.75× the heap's event rate at
+//!   10k (`EGM_EVENT_QUEUE=heap` or [`Scenario::event_queue`] switch
+//!   back);
+//! * **arena-backed node state** (`egm_core::arena::MsgArena`) replaces
+//!   the per-node per-message hash maps with dense generation-stamped
+//!   slots — one intern probe per message event;
+//! * **log-based traffic accounting** appends 16-byte send records and
+//!   aggregates once at the end of the run, with a **spill threshold**
+//!   bounding tracked links ([`Scenario::link_spill_threshold`]);
+//! * **index-free timer cancellation** keeps the event queue free of
+//!   dead request retries (the dominant event class under lazy push);
 //! * the **sparse delivery log** stores per-message records, not a
 //!   per-(node, message) table.
 //!
@@ -21,14 +30,14 @@
 //! measures throughput and peak RSS on these presets and records them in
 //! `BENCH_events_per_sec.json`.
 //!
-//! # Memory budget (measured on the 2026-07 scale refactor, release
-//! build, 30 messages, Ranked best=20 %)
+//! # Memory budget (measured on the 2026-07 calendar-queue/arena
+//! refactor, release build, 30 messages, Ranked best=20 %)
 //!
 //! | preset | nodes  | routed model | peak process RSS |
 //! |--------|--------|--------------|------------------|
-//! | 1k     | 1 000  | ~0.3 MB      | ~36 MB  |
-//! | 4k     | 4 000  | ~0.5 MB      | ~123 MB |
-//! | 10k    | 10 000 | ~1 MB        | ~274 MB |
+//! | 1k     | 1 000  | ~0.3 MB      | ~37 MB  |
+//! | 4k     | 4 000  | ~0.5 MB      | ~127 MB |
+//! | 10k    | 10 000 | ~1 MB        | ~292 MB |
 //!
 //! Peak RSS is dominated by in-flight simulator events and per-node
 //! protocol state, both O(n); nothing is O(n²). For comparison, a dense

@@ -7,7 +7,7 @@ use egm_core::strategy::Noisy;
 use egm_core::{EgmNode, SchedulerStats};
 use egm_metrics::{link, DeliveryLog, RunReport};
 use egm_rng::Rng;
-use egm_simnet::{NodeId, Sim, SimConfig, SimDuration, SimTime};
+use egm_simnet::{NodeId, QueueStats, Sim, SimConfig, SimDuration, SimTime};
 use egm_topology::RoutedModel;
 use std::sync::Arc;
 
@@ -37,6 +37,8 @@ pub struct RunOutcome {
     pub timers_cancelled: u64,
     /// Cancelled timer events dropped at pop time without dispatch.
     pub stale_timer_drops: u64,
+    /// Event-queue counters (pushes/pops plus calendar-queue geometry).
+    pub queue: QueueStats,
     /// The network model the run used.
     pub model: Arc<RoutedModel>,
 }
@@ -149,6 +151,9 @@ pub fn run_detailed(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> Run
     if let Some(links) = scenario.link_spill_threshold {
         sim_config = sim_config.with_link_spill_threshold(links);
     }
+    if let Some(queue) = scenario.event_queue {
+        sim_config = sim_config.with_event_queue(queue);
+    }
     let mut sim = Sim::new(sim_config, scenario.seed, nodes);
 
     // Fault injection at the end of warm-up, immediately before traffic
@@ -203,11 +208,14 @@ pub fn run_detailed(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> Run
 /// Gathers node-side and network-side records into the outcome.
 fn collect(
     scenario: &Scenario,
-    sim: Sim<EgmNode>,
+    mut sim: Sim<EgmNode>,
     model: Arc<RoutedModel>,
     victims: Vec<NodeId>,
     best_ids: Vec<NodeId>,
 ) -> RunOutcome {
+    // The run is over: seal the traffic log so the per-link queries below
+    // aggregate once instead of re-scanning the send log each.
+    sim.seal_traffic();
     let n = sim.node_count();
 
     // Rebuild the delivery log from per-node records.
@@ -315,6 +323,7 @@ fn collect(
         events: sim.events_processed(),
         timers_cancelled: sim.timers_cancelled(),
         stale_timer_drops: sim.stale_timer_drops(),
+        queue: sim.queue_stats(),
         model,
     }
 }

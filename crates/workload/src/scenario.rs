@@ -3,6 +3,7 @@
 use crate::faults::{ChurnPlan, FaultPlan};
 use egm_core::{MonitorSpec, ProtocolConfig, StrategySpec};
 use egm_metrics::RunReport;
+use egm_simnet::QueueKind;
 use egm_topology::{RoutedModel, TransitStubConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -114,6 +115,13 @@ pub struct Scenario {
     /// counts remain exact). See
     /// [`egm_simnet::SimConfig::with_link_spill_threshold`].
     pub link_spill_threshold: Option<usize>,
+    /// Forces a simulator event-queue implementation (`None` = the
+    /// simulator's default resolution: `EGM_EVENT_QUEUE`, then size-based
+    /// selection). Both implementations dispatch in bit-identical order —
+    /// the `queue_determinism` test runs the same scenario through both
+    /// and asserts byte-identical results — so this is a performance A/B
+    /// switch, never a behavioural one.
+    pub event_queue: Option<QueueKind>,
     /// Overrides the best-node set computed from the strategy spec (used
     /// to plug in decentralized / estimated rankings).
     pub best_override: Option<std::sync::Arc<egm_core::BestSet>>,
@@ -142,6 +150,7 @@ impl Scenario {
             jitter: 0.0,
             egress_bandwidth: None,
             link_spill_threshold: None,
+            event_queue: None,
             best_override: None,
             seed: 42,
         }
@@ -215,6 +224,12 @@ impl Scenario {
     /// Bounds link-accounting memory (builder style).
     pub fn with_link_spill_threshold(mut self, links: Option<usize>) -> Self {
         self.link_spill_threshold = links;
+        self
+    }
+
+    /// Forces an event-queue implementation (builder style).
+    pub fn with_event_queue(mut self, queue: Option<QueueKind>) -> Self {
+        self.event_queue = queue;
         self
     }
 

@@ -1,5 +1,6 @@
 //! Property-based tests over the full stack's invariants.
 
+use egm_core::arena::MsgArena;
 use egm_core::gossip::GossipLayer;
 use egm_core::scheduler::{PayloadScheduler, RequestAction};
 use egm_core::strategy::{Flat, StrategyCtx};
@@ -132,6 +133,7 @@ proptest! {
     ) {
         let config = ProtocolConfig::default().with_fanout(4).with_rounds(5);
         let mut gossip = GossipLayer::new(&config);
+        let mut arena = MsgArena::new(config.known_capacity, config.cache_capacity, false);
         let mut rng = Rng::seed_from_u64(seed);
         let mut view = PartialView::new(NodeId(0), ViewConfig { capacity: 8, shuffle_size: 3 });
         for i in 1..=8 {
@@ -140,7 +142,9 @@ proptest! {
         let mut delivered = std::collections::HashSet::new();
         for (raw, round) in events {
             let id = MsgId::from_raw(raw);
-            let step = gossip.on_l_receive(&mut rng, &view, id, Payload { seq: 0, bytes: 1 }, round);
+            let slot = arena.intern(id);
+            let step =
+                gossip.on_l_receive(&mut rng, &view, &mut arena, slot, id, Payload { seq: 0, bytes: 1 }, round);
             if let Some(step) = step {
                 prop_assert!(delivered.insert(id), "duplicate delivery of {id}");
                 prop_assert!(step.sends.len() <= 4);
@@ -165,21 +169,23 @@ proptest! {
     ) {
         let config = ProtocolConfig::default();
         let mut sched = PayloadScheduler::new(&config);
+        let mut arena = MsgArena::new(config.known_capacity, config.cache_capacity, false);
         let mut strategy = Flat::new(0.0);
         let mut rng = Rng::seed_from_u64(seed);
         let monitor = egm_core::monitor::NullMonitor;
         for (raw, source, receive_payload) in script {
             let id = MsgId::from_raw(raw);
+            let slot = arena.intern(id);
             if receive_payload {
-                sched.on_msg(id, Payload { seq: 0, bytes: 1 }, 1);
+                sched.on_msg(&mut arena, slot, Payload { seq: 0, bytes: 1 }, 1);
             } else {
-                sched.on_ihave(&strategy, id, NodeId(source));
+                sched.on_ihave(&strategy, &mut arena, slot, NodeId(source));
             }
             // Fire the request timer: if the payload was received the
             // action must be Resolved, never a request.
             let mut ctx = StrategyCtx { me: NodeId(99), rng: &mut rng, monitor: &monitor };
-            let action = sched.on_request_timer(&mut ctx, &mut strategy, id);
-            if sched.has_received(&id) {
+            let action = sched.on_request_timer(&mut ctx, &mut strategy, &mut arena, slot);
+            if arena.has_received(&id) {
                 prop_assert_eq!(action, RequestAction::Resolved);
             } else {
                 // The message is missing: a source must be asked.
