@@ -16,16 +16,10 @@
 //! * `EGM_BENCH_MESSAGES` — multicasts per run (default 150).
 //! * `EGM_BENCH_OUT` — output path (default `BENCH_events_per_sec.json`).
 
+use egm_bench::env_usize;
 use egm_core::{MonitorSpec, StrategySpec};
 use egm_workload::Scenario;
 use std::time::Instant;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let runs = env_usize("EGM_BENCH_RUNS", 3).max(1);
@@ -41,7 +35,7 @@ fn main() {
 
     // The topology is built once and shared so the timings below measure
     // the event loop, not Dijkstra over the transit-stub graph.
-    let model = std::sync::Arc::new(scenario.topology.build(scenario.seed ^ 0x7090));
+    let model = std::sync::Arc::new(scenario.build_model());
 
     // Warm-up run: allocator and cache warm-up; also yields the event
     // count, which is identical across runs by determinism.

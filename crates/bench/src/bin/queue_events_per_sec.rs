@@ -17,19 +17,12 @@
 //! * `EGM_SCALE_MESSAGES` — multicasts per run (default 30).
 //! * `EGM_BENCH_OUT` — output path (default `BENCH_events_per_sec.json`).
 
-use egm_bench::record;
+use egm_bench::{env_usize, record};
 use egm_simnet::QueueKind;
 use egm_workload::experiments::scale::ScalePreset;
 use egm_workload::runner::run_detailed;
 use std::sync::Arc;
 use std::time::Instant;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let preset = ScalePreset::from_env();
@@ -41,7 +34,7 @@ fn main() {
     let nodes = preset.nodes();
     let seed = 42u64;
     let base = preset.scenario(messages, seed);
-    let model = Arc::new(base.topology.build(base.seed ^ 0x7090));
+    let model = Arc::new(base.build_model());
 
     // Warm-up (also yields the reference event count and delivery log
     // digest the per-queue runs must reproduce).

@@ -60,15 +60,29 @@
 //! ```
 //!
 //! * `events_per_sec` — the original 100-node Ranked scenario
-//!   (`cargo run --release -p egm_bench --bin events_per_sec`).
+//!   (`cargo run --release -p egm_bench --bin events_per_sec`). Its
+//!   deterministic `events` value doubles as the cross-PR byte-identity
+//!   check for the oracle-ranked path.
 //! * `scale_events_per_sec_<preset>` — the 1k/4k/10k scale-axis presets
 //!   (`cargo run --release -p egm_bench --bin scale_events_per_sec`,
 //!   preset chosen with `EGM_SCALE_PRESET`). It additionally records the
-//!   index-free timer-cancellation counters and the process peak RSS, so
-//!   the memory budget per scenario size is tracked alongside throughput
-//!   (see `egm_workload::experiments::scale` for the budget table).
+//!   preset's `rank_source`, the fixed per-run `setup_ms` (ranking +
+//!   overlay-view bootstrap, paid once via `egm_workload::runner::
+//!   prepare` and amortized across the timed runs), the index-free
+//!   timer-cancellation counters and the process peak RSS, so the memory
+//!   budget per scenario size is tracked alongside throughput (see
+//!   `egm_workload::experiments::scale` for the budget table).
 //!   `EGM_SCALE_RSS_BUDGET_MB` turns the RSS record into a hard assertion
 //!   — the CI scale smoke job uses this.
+//! * `rank_events_per_sec_<preset>` — the rank-source A/B
+//!   (`cargo run --release -p egm_bench --bin rank_events_per_sec`): one
+//!   sub-object per [`RankSource`](egm_core::RankSource) (oracle /
+//!   sampled / the preset's gossip-sorted source) with that source's
+//!   `oracle_overlap`, fixed `setup_ms`, deterministic `events`,
+//!   `best_wall_ms` and `events_per_sec` — the accuracy/cost record
+//!   behind retiring the O(n²) oracle on the scale axis.
+//!   `EGM_RANK_MIN_OVERLAP` asserts the overlap floor (the presets
+//!   require ≥ 0.8).
 //! * `queue_events_per_sec_<preset>` — the event-queue A/B comparison
 //!   (`cargo run --release -p egm_bench --bin queue_events_per_sec`):
 //!   one scale preset run per queue implementation over a shared
@@ -101,6 +115,16 @@
 pub mod record;
 
 use egm_workload::experiments::Scale;
+
+/// Reads a `usize` environment knob (`EGM_BENCH_RUNS`,
+/// `EGM_SCALE_MESSAGES`, …), falling back to `default` when the variable
+/// is unset or unparseable. Shared by every bench binary.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 /// Prints a figure banner plus its rendered table.
 pub fn print_figure(name: &str, scale: &Scale, table: &str) {

@@ -25,7 +25,9 @@
 //!   [`strategy::Noisy`] wrapper (§4.3).
 //! * [`monitor`] — `Metric(p)` providers: model-file oracles (latency /
 //!   distance) and a ping-based runtime monitor.
-//! * [`rank`] — best-node (hub) selection for Ranked/Combined.
+//! * [`rank`] — best-node (hub) selection for Ranked/Combined: the
+//!   O(n²) oracle, sampled centrality, and the decentralized
+//!   gossip-sorted ranking, behind one [`RankSource`] switch.
 //! * [`node`] — [`EgmNode`], the full protocol node running on
 //!   [`egm_simnet`].
 //!
@@ -88,6 +90,6 @@ pub use id::MsgId;
 pub use monitor::MonitorSpec;
 pub use msg::{EgmMessage, Payload};
 pub use node::{DeliveryRecord, EgmNode, MulticastRecord};
-pub use rank::BestSet;
+pub use rank::{BestSet, RankSource};
 pub use scheduler::SchedulerStats;
 pub use strategy::{StrategySpec, TransmissionStrategy};

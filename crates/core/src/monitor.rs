@@ -8,9 +8,9 @@
 //! ping/pong exchanges, like TCP's implicit round-trip estimation the
 //! paper points to.
 
+use egm_rng::hash::FastHashMap;
 use egm_simnet::NodeId;
 use egm_topology::RoutedModel;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// `Metric(p)`: a scalar distance-like measure to a peer, lower = closer.
@@ -89,7 +89,11 @@ impl PerformanceMonitor for OracleDistance {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeMonitor {
-    srtt_ms: HashMap<NodeId, f64>,
+    // Deterministic hasher: aggregate queries iterate this map and sum
+    // f64s, so iteration order must not depend on std's per-process
+    // SipHash seed (it would make `mean_one_way_ms` — and every ranking
+    // built on it — differ across machines at the last bit).
+    srtt_ms: FastHashMap<NodeId, f64>,
 }
 
 impl RuntimeMonitor {
@@ -117,6 +121,22 @@ impl RuntimeMonitor {
     /// Number of peers with at least one sample.
     pub fn sampled_peers(&self) -> usize {
         self.srtt_ms.len()
+    }
+
+    /// Mean smoothed one-way delay over all sampled peers, or `None` when
+    /// no peer has a sample yet.
+    ///
+    /// This is the node's *local centrality estimate*: what it contributes
+    /// to the decentralized gossip-sorted ranking
+    /// ([`BestSet::by_gossip_sorted`](crate::rank::BestSet::by_gossip_sorted))
+    /// — the mean distance to the peers its shuffled views have exposed,
+    /// measured from its own RTT observations.
+    pub fn mean_one_way_ms(&self) -> Option<f64> {
+        if self.srtt_ms.is_empty() {
+            return None;
+        }
+        let total: f64 = self.srtt_ms.values().sum();
+        Some(total / (2.0 * self.srtt_ms.len() as f64))
     }
 }
 
@@ -255,6 +275,16 @@ mod tests {
         }
         assert!((last - 30.0).abs() < 1.0, "converged to {last}");
         assert_eq!(m.sampled_peers(), 1);
+    }
+
+    #[test]
+    fn mean_one_way_averages_sampled_peers() {
+        let mut m = RuntimeMonitor::new();
+        assert_eq!(m.mean_one_way_ms(), None, "no samples yet");
+        m.record_rtt(NodeId(1), 100.0); // one-way 50
+        m.record_rtt(NodeId(2), 20.0); // one-way 10
+        let mean = m.mean_one_way_ms().expect("two samples");
+        assert!((mean - 30.0).abs() < 1e-9, "mean one-way {mean}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ const GAIN: f64 = 0.5;
 /// Flat-style strategy whose eager probability follows the observed
 /// duplicate ratio.
 ///
-/// After every [`WINDOW`] payload receptions the node compares the
+/// After every `WINDOW` (16) payload receptions the node compares the
 /// windowed duplicate ratio `d / (d + p)` against the target and moves
 /// `pi` proportionally: too many duplicates → push less eagerly; too few
 /// (while below the eager ceiling) → push more.

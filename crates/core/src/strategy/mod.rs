@@ -35,7 +35,6 @@ use crate::monitor::PerformanceMonitor;
 use crate::rank::BestSet;
 use egm_rng::Rng;
 use egm_simnet::{NodeId, SimDuration};
-use egm_topology::RoutedModel;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -232,13 +231,6 @@ impl StrategySpec {
                 Box::new(Combined::new(best, *rho, *u, SimDuration::from_ms(*t0_ms)))
             }
         }
-    }
-
-    /// Computes the [`BestSet`] this spec needs over the given model, or
-    /// `None` for environment-free strategies.
-    pub fn best_set_for(&self, model: &RoutedModel) -> Option<Arc<BestSet>> {
-        self.best_fraction()
-            .map(|f| BestSet::by_centrality(model, f).shared())
     }
 }
 

@@ -1,6 +1,6 @@
 //! Peer sampling service: partial-view membership with periodic shuffle.
 //!
-//! The paper's gossip layer assumes a peer sampling service [10] that
+//! The paper's gossip layer assumes a peer sampling service \[10\] that
 //! returns a uniform sample of `f` other nodes (`PeerSample(f)`, Fig. 2),
 //! implemented in its testbed by NeEM's overlay management with *overlay
 //! fanout 15* and periodic shuffling of peers with neighbors (§5.2, §6.1).

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The paper uses an *overlay fanout* of 15 (§5.2): with 200 nodes this
 /// yields probability 0.999 of overlay connectedness under 15 % node
-/// failures [6].
+/// failures \[6\].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ViewConfig {
     /// Maximum number of peers kept in the view (overlay fanout).

@@ -93,8 +93,7 @@ pub fn base_scenario(scale: &Scale) -> Scenario {
 /// Builds the shared network model for a figure (the paper holds the
 /// model fixed while sweeping strategies).
 pub fn shared_model(scale: &Scale) -> Arc<RoutedModel> {
-    let scenario = base_scenario(scale);
-    Arc::new(scenario.topology.build(scenario.seed ^ 0x7090))
+    Arc::new(base_scenario(scale).build_model())
 }
 
 #[cfg(test)]

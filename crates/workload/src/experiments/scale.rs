@@ -22,7 +22,12 @@
 //! * **index-free timer cancellation** keeps the event queue free of
 //!   dead request retries (the dominant event class under lazy push);
 //! * the **sparse delivery log** stores per-message records, not a
-//!   per-(node, message) table.
+//!   per-(node, message) table;
+//! * the **decentralized gossip-sorted ranking**
+//!   ([`ScalePreset::rank_source`]) replaces the O(n²) centrality
+//!   oracle, and the remaining fixed per-run cost (ranking + view
+//!   bootstrap) is paid once per prepared setup
+//!   ([`crate::runner::prepare`]) instead of per run.
 //!
 //! Presets run through [`run_sweep`] like every figure experiment, so
 //! multi-seed scale sweeps parallelize across cores with byte-identical
@@ -46,7 +51,7 @@
 
 use crate::runner::{run_sweep, RunOutcome};
 use crate::scenario::{Scenario, TopologySource};
-use egm_core::{MonitorSpec, StrategySpec};
+use egm_core::{MonitorSpec, RankSource, StrategySpec};
 use egm_topology::TransitStubConfig;
 
 /// A scale-axis preset size.
@@ -112,11 +117,54 @@ impl ScalePreset {
         self.nodes() * 256
     }
 
+    /// Measure/shuffle cycles of the decentralized gossip-sorted ranking
+    /// the scale presets run ([`RankSource::GossipSorted`]).
+    ///
+    /// Eight cycles expose each node to ~120 distinct peers (view 15,
+    /// three shuffle ticks between measurements), which measured ≥ 0.8
+    /// hub-choice overlap with the O(n²) oracle across the 1k–10k presets
+    /// (`experiments::rank_quality::run_at_preset`) while staying O(n).
+    pub const GOSSIP_ROUNDS: usize = 8;
+
+    /// The ranking the presets use: decentralized gossip-sorted. The
+    /// paper's §6.5 noise results predict — and [`rank_quality`]
+    /// (`run_at_preset`) confirms at these sizes — that the protocol
+    /// tolerates the residual ranking error, so the scale axis no longer
+    /// pays the oracle's O(n²) fixed per-run sweep (~0.2–0.3 s at 10k).
+    /// Pass [`RankSource::Oracle`] through
+    /// [`Scenario::with_rank_source`] to compare against the oracle.
+    ///
+    /// [`rank_quality`]: crate::experiments::rank_quality
+    pub fn rank_source(&self) -> RankSource {
+        RankSource::GossipSorted {
+            rounds: Self::GOSSIP_ROUNDS,
+        }
+    }
+
+    /// The rank-source comparison triple measured by both
+    /// `rank_quality::run_at_preset` and the `rank_events_per_sec` bench
+    /// bin (one definition, so the experiment table and the bench record
+    /// always describe the same A/B): the oracle reference, a sampled
+    /// baseline calibrating the overlap scale, and the gossip-sorted
+    /// source the preset actually ships with. Oracle first — the other
+    /// sources are scored against it.
+    pub fn rank_ab_sources(&self) -> [RankSource; 3] {
+        [
+            RankSource::Oracle,
+            RankSource::Sampled {
+                samples_per_node: 32,
+            },
+            self.rank_source(),
+        ]
+    }
+
     /// The scenario this preset runs: a scaled transit–stub topology
     /// (100-router transit core, stub capacity ≥ n), the paper's §5.2
-    /// protocol parameters, and the Ranked best=20 % strategy under the
-    /// latency oracle — the configuration whose emergent structure the
-    /// paper studies, pushed along the scale axis.
+    /// protocol parameters, and the Ranked best=20 % strategy with the
+    /// decentralized gossip-sorted ranking
+    /// ([`ScalePreset::rank_source`]) over the latency-oracle monitor —
+    /// the configuration whose emergent structure the paper studies,
+    /// pushed along the scale axis without any O(n²) global sweep.
     pub fn scenario(&self, messages: usize, seed: u64) -> Scenario {
         let n = self.nodes();
         let mut s = Scenario::paper_default();
@@ -128,6 +176,7 @@ impl ScalePreset {
         // event-queue depth reasonable as n grows.
         s.mean_interval_ms = 250.0;
         s.link_spill_threshold = Some(self.link_spill_threshold());
+        s.rank_source = self.rank_source();
         s.seed = seed;
         s
     }
@@ -174,6 +223,12 @@ mod tests {
                 Some(preset.link_spill_threshold()),
                 "scale runs must bound link accounting"
             );
+            assert_eq!(
+                s.rank_source,
+                preset.rank_source(),
+                "scale runs must rank without the O(n²) oracle"
+            );
+            assert!(!s.rank_source.is_oracle());
         }
     }
 
@@ -182,7 +237,7 @@ mod tests {
         // Building the 10k model is cheap (O(routers)); the memory-shape
         // assertion is the acceptance guard for the scale axis.
         let s = ScalePreset::N10k.scenario(1, 1);
-        let model = s.topology.build(s.seed ^ 0x7090);
+        let model = s.build_model();
         assert_eq!(model.client_count(), 10_000);
         let shape = model.memory_shape();
         assert_eq!(shape.dense_cells, 0, "no n×n client matrix at 10k");

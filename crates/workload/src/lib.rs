@@ -11,10 +11,17 @@
 //! Sweeps execute through [`runner::run_sweep`], which fans independent
 //! scenario runs across all cores and returns results in input order,
 //! byte-identical to sequential execution (every run forks its full RNG
-//! tree from its own seed). `RAYON_NUM_THREADS` caps the parallelism;
+//! tree from its own seed), sharing one [`runner::RunSetup`] — model,
+//! ranked best set, bootstrapped views — across scenarios whose setup
+//! inputs coincide. `RAYON_NUM_THREADS` caps the parallelism;
 //! `EGM_SCALE=paper` switches experiments from the reduced quick scale to
 //! the paper's full 100-node × 400-message configuration (see
 //! [`experiments::Scale`]).
+//!
+//! Strategies that need a best set select *how* it is ranked via
+//! [`Scenario::rank_source`] ([`egm_core::RankSource`]): the exact O(n²)
+//! oracle for the paper-scale figures, or the decentralized gossip-sorted
+//! ranking the 1k–10k [`experiments::scale`] presets use.
 //!
 //! # Examples
 //!

@@ -1,12 +1,19 @@
 //! Scenario description: everything one experiment run needs.
 
 use crate::faults::{ChurnPlan, FaultPlan};
-use egm_core::{MonitorSpec, ProtocolConfig, StrategySpec};
+use egm_core::{MonitorSpec, ProtocolConfig, RankSource, StrategySpec};
 use egm_metrics::RunReport;
 use egm_simnet::QueueKind;
 use egm_topology::{RoutedModel, TransitStubConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Salt XORed into the scenario seed for topology construction, keeping
+/// the topology stream independent of the harness stream (views,
+/// victims, traffic) and the rank-source stream. One definition shared
+/// by the runner, experiments, tests and benches — see
+/// [`Scenario::build_model`].
+pub const TOPOLOGY_SEED_SALT: u64 = 0x7090;
 
 /// Where the network model comes from.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -122,8 +129,19 @@ pub struct Scenario {
     /// and asserts byte-identical results — so this is a performance A/B
     /// switch, never a behavioural one.
     pub event_queue: Option<QueueKind>,
+    /// How the best set is ranked when the strategy needs one
+    /// ([`RankSource::Oracle`] = the historical O(n²) centrality sweep;
+    /// the decentralized sources cost O(n·k) and are what the scale
+    /// presets use). Ignored when [`Scenario::best_override`] is set or
+    /// the strategy is environment-free. Decentralized sources draw from
+    /// their own RNG stream (forked from the scenario seed), so switching
+    /// the source never perturbs view bootstrap, fault selection or
+    /// traffic randomness — and oracle runs stay byte-identical to
+    /// pre-`RankSource` builds.
+    pub rank_source: RankSource,
     /// Overrides the best-node set computed from the strategy spec (used
-    /// to plug in decentralized / estimated rankings).
+    /// to plug in externally computed / estimated rankings, e.g. the
+    /// `rank_quality` experiment's degraded estimators).
     pub best_override: Option<std::sync::Arc<egm_core::BestSet>>,
     /// Master seed: drives topology, views, node RNGs and the network.
     pub seed: u64,
@@ -151,6 +169,7 @@ impl Scenario {
             egress_bandwidth: None,
             link_spill_threshold: None,
             event_queue: None,
+            rank_source: RankSource::Oracle,
             best_override: None,
             seed: 42,
         }
@@ -183,6 +202,17 @@ impl Scenario {
     /// Number of protocol nodes.
     pub fn node_count(&self) -> usize {
         self.topology.node_count()
+    }
+
+    /// Builds this scenario's network model exactly as a cold run would
+    /// ([`crate::runner::run_detailed`] with no model override): the
+    /// topology source seeded with `seed ^` [`TOPOLOGY_SEED_SALT`].
+    ///
+    /// Benches and A/B tests that pre-build a model to share across runs
+    /// must use this (not a hand-derived seed), or the model they measure
+    /// on could drift from the model the runs would build themselves.
+    pub fn build_model(&self) -> RoutedModel {
+        self.topology.build(self.seed ^ TOPOLOGY_SEED_SALT)
     }
 
     /// Sets the strategy (builder style).
@@ -218,6 +248,12 @@ impl Scenario {
     /// Overrides the best-node set (builder style).
     pub fn with_best_override(mut self, best: Option<std::sync::Arc<egm_core::BestSet>>) -> Self {
         self.best_override = best;
+        self
+    }
+
+    /// Selects how best nodes are ranked (builder style).
+    pub fn with_rank_source(mut self, source: RankSource) -> Self {
+        self.rank_source = source;
         self
     }
 

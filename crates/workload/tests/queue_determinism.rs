@@ -18,7 +18,7 @@ use std::sync::Arc;
 fn one_k_preset_is_byte_identical_across_queues() {
     let scenario = ScalePreset::N1k.scenario(4, 11);
     // Share the model so the comparison is purely about the event loop.
-    let model = Arc::new(scenario.topology.build(scenario.seed ^ 0x7090));
+    let model = Arc::new(scenario.build_model());
 
     let heap = run_detailed(
         &scenario.clone().with_event_queue(Some(QueueKind::Heap)),

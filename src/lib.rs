@@ -27,3 +27,10 @@ pub use egm_rng as rng;
 pub use egm_simnet as simnet;
 pub use egm_topology as topology;
 pub use egm_workload as workload;
+
+/// Compiles and runs the README's code blocks (the Quickstart snippet)
+/// as doctests, so the front-door documentation can never rot: `cargo
+/// test --doc` executes exactly what the README shows.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
