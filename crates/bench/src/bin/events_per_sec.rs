@@ -15,6 +15,10 @@
 //! * `EGM_BENCH_RUNS` — timed runs after one warm-up (default 3).
 //! * `EGM_BENCH_MESSAGES` — multicasts per run (default 150).
 //! * `EGM_BENCH_OUT` — output path (default `BENCH_events_per_sec.json`).
+//! * `EGM_MIN_EVENTS_PER_SEC` — when set, *assert* the measured best
+//!   events/s stays at or above this floor (exit 1 otherwise), so a
+//!   gross event-loop regression fails CI instead of silently updating
+//!   the JSON record.
 
 use egm_bench::env_usize;
 use egm_core::{MonitorSpec, StrategySpec};
@@ -66,6 +70,20 @@ fn main() {
     let mean = wall_ms.iter().sum::<f64>() / wall_ms.len() as f64;
     let events_per_sec = events as f64 / best * 1000.0;
     println!("best: {best:.1} ms wall ({events_per_sec:.0} events/sec)");
+
+    if let Ok(v) = std::env::var("EGM_MIN_EVENTS_PER_SEC") {
+        // A typoed gate knob must fail the job, not silently disable the
+        // gate (same policy as EGM_SHARDS / EGM_EVENT_QUEUE).
+        let floor: f64 = v.parse().unwrap_or_else(|_| {
+            panic!("unrecognized EGM_MIN_EVENTS_PER_SEC {v:?}: use an events/sec number")
+        });
+        assert!(
+            events_per_sec >= floor,
+            "event-loop throughput regressed: {events_per_sec:.0} events/sec is below the \
+             EGM_MIN_EVENTS_PER_SEC floor of {floor:.0}"
+        );
+        println!("throughput floor satisfied ({events_per_sec:.0} >= {floor:.0} events/sec)");
+    }
 
     let body = format!(
         "{{\n  \"bench\": \"events_per_sec\",\n  \"scenario\": \"ranked best=20% oracle-latency transit-stub\",\n  \"nodes\": {nodes},\n  \"messages\": {messages},\n  \"runs\": {runs},\n  \"events\": {events},\n  \"best_wall_ms\": {best:.3},\n  \"mean_wall_ms\": {mean:.3},\n  \"events_per_sec\": {events_per_sec:.0}\n}}"

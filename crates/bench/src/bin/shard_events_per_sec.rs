@@ -1,0 +1,168 @@
+//! Sharded event-loop throughput bench: events/s vs worker count on the
+//! scale presets.
+//!
+//! Runs one scale preset through the sequential engine and through the
+//! sharded engine at W ∈ {1, 2, 4}, asserting byte-identical results at
+//! every width (the determinism bar), and records per-width wall clock,
+//! events/s, window counts and lane traffic in the
+//! `shard_events_per_sec_<preset>` bin of `BENCH_events_per_sec.json`
+//! (schema in `egm_bench`'s crate docs). On a multi-core machine the
+//! wide configurations should scale >1×; on a single core the W=1 row
+//! doubles as the window-overhead assertion (`EGM_SHARD_OVERHEAD_MAX`).
+//!
+//! ```sh
+//! EGM_SCALE_PRESET=10k cargo run --release -p egm_bench --bin shard_events_per_sec
+//! ```
+//!
+//! Environment:
+//! * `EGM_SCALE_PRESET` — `1k` (default), `4k` or `10k`.
+//! * `EGM_BENCH_RUNS` — timed runs per width after one warm-up (default 2).
+//! * `EGM_SCALE_MESSAGES` — multicasts per run (default 30).
+//! * `EGM_BENCH_OUT` — output path (default `BENCH_events_per_sec.json`).
+//! * `EGM_SHARD_WIDTHS` — comma-separated widths (default `1,2,4`).
+//! * `EGM_SHARD_OVERHEAD_MAX` — when set (e.g. `1.10`), assert that the
+//!   W=1 sharded run takes at most this factor of the sequential wall
+//!   time — the per-window overhead budget.
+//! * `EGM_SCALE_RSS_BUDGET_MB` — when set, assert peak RSS stays under
+//!   this budget across all widths.
+
+use egm_bench::{env_usize, record};
+use egm_workload::experiments::scale::ScalePreset;
+use egm_workload::runner::{prepare, run_prepared, RunOutcome};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn time_runs(
+    runs: usize,
+    scenario: &egm_workload::Scenario,
+    setup: &egm_workload::runner::RunSetup,
+) -> (RunOutcome, f64) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let outcome = run_prepared(scenario, setup);
+        best = best.min(start.elapsed().as_secs_f64() * 1000.0);
+        last = Some(outcome);
+    }
+    (last.expect("at least one run"), best)
+}
+
+fn main() {
+    let preset = ScalePreset::from_env();
+    let runs = env_usize("EGM_BENCH_RUNS", 2).max(1);
+    let messages = env_usize("EGM_SCALE_MESSAGES", 30).max(1);
+    let out_path =
+        std::env::var("EGM_BENCH_OUT").unwrap_or_else(|_| "BENCH_events_per_sec.json".to_string());
+    let widths: Vec<usize> = std::env::var("EGM_SHARD_WIDTHS")
+        .map(|v| {
+            v.split(',')
+                .map(|w| w.trim().parse().expect("EGM_SHARD_WIDTHS: bad width"))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![1, 2, 4]);
+    // Typoed gate knobs must fail the job, not silently disable the
+    // gate (same policy as EGM_SHARDS / EGM_EVENT_QUEUE).
+    let overhead_max = std::env::var("EGM_SHARD_OVERHEAD_MAX").ok().map(|v| {
+        v.parse::<f64>().unwrap_or_else(|_| {
+            panic!("unrecognized EGM_SHARD_OVERHEAD_MAX {v:?}: use a factor like 1.10")
+        })
+    });
+    let rss_budget_mb = std::env::var("EGM_SCALE_RSS_BUDGET_MB").ok().map(|v| {
+        v.parse::<f64>()
+            .unwrap_or_else(|_| panic!("unrecognized EGM_SCALE_RSS_BUDGET_MB {v:?}: use MB"))
+    });
+
+    let nodes = preset.nodes();
+    let seed = 42u64;
+    let base = preset.scenario(messages, seed);
+
+    // One shared topology + prepared setup (ranking, views): the
+    // comparison is purely about the event loop.
+    let model = std::sync::Arc::new(base.build_model());
+    let setup = prepare(&base, Some(model.clone()));
+
+    // Sequential reference (forced: immune to EGM_SHARDS / auto).
+    let seq_scenario = base.clone().with_shards(Some(0));
+    let warm = run_prepared(&seq_scenario, &setup);
+    let events = warm.events;
+    println!(
+        "warm-up: {nodes} nodes ({} preset), {messages} messages, {events} events, \
+         delivery {:.2}%",
+        preset.label(),
+        warm.report.mean_delivery_fraction * 100.0
+    );
+    let (seq_out, seq_best) = time_runs(runs, &seq_scenario, &setup);
+    assert_eq!(seq_out.events, events, "deterministic event count");
+    let seq_eps = events as f64 / seq_best * 1000.0;
+    println!("sequential: {seq_best:.1} ms wall ({seq_eps:.0} events/sec)");
+
+    let mut width_fields = String::new();
+    for &w in &widths {
+        let scenario = base.clone().with_shards(Some(w));
+        let (out, best) = time_runs(runs, &scenario, &setup);
+        // The determinism bar: every width reproduces the sequential
+        // run's outputs exactly.
+        assert_eq!(out.events, events, "W={w} changed the event count");
+        assert_eq!(out.report, seq_out.report, "W={w} changed the report");
+        assert_eq!(out.log, seq_out.log, "W={w} changed the delivery log");
+        assert_eq!(
+            out.payload_links, seq_out.payload_links,
+            "W={w} changed the link tables"
+        );
+        let eps = events as f64 / best * 1000.0;
+        let speedup = seq_best / best;
+        let stats = out.shard_stats;
+        println!(
+            "W={w}: {best:.1} ms wall ({eps:.0} events/sec, {speedup:.2}x seq), \
+             {} windows, {} lane events, lookahead {} us",
+            stats.windows, stats.lane_events, stats.lookahead_us
+        );
+        if w == 1 {
+            if let Some(max) = overhead_max {
+                assert!(
+                    best <= seq_best * max,
+                    "W=1 overhead {best:.1} ms exceeds {max:.2}x of sequential {seq_best:.1} ms"
+                );
+                println!(
+                    "W=1 window overhead within budget ({:.3}x)",
+                    best / seq_best
+                );
+            }
+        }
+        write!(
+            width_fields,
+            ",\n  \"w{w}\": {{ \"best_wall_ms\": {best:.3}, \"events_per_sec\": {eps:.0}, \
+             \"speedup_vs_seq\": {speedup:.3}, \"windows\": {}, \"lane_events\": {}, \
+             \"lookahead_us\": {} }}",
+            stats.windows, stats.lane_events, stats.lookahead_us
+        )
+        .expect("write to String");
+    }
+
+    let peak_rss = record::peak_rss_mb();
+    if let Some(budget) = rss_budget_mb {
+        let peak = peak_rss.expect("RSS budget asserted but /proc unavailable");
+        assert!(
+            peak <= budget,
+            "peak RSS {peak:.1} MB exceeds the {budget:.1} MB budget for the {} preset",
+            preset.label()
+        );
+        println!("peak RSS within budget ({peak:.1} <= {budget:.1} MB)");
+    }
+    let rss_field = peak_rss
+        .map(|mb| format!("{mb:.1}"))
+        .unwrap_or_else(|| "null".to_string());
+
+    let body = format!(
+        "{{\n  \"bench\": \"shard_events_per_sec\",\n  \"preset\": \"{}\",\n  \
+         \"scenario\": \"ranked best=20% scaled transit-stub\",\n  \"nodes\": {nodes},\n  \
+         \"messages\": {messages},\n  \"runs\": {runs},\n  \"events\": {events},\n  \
+         \"seq\": {{ \"best_wall_ms\": {seq_best:.3}, \"events_per_sec\": {seq_eps:.0} }}\
+         {width_fields},\n  \"peak_rss_mb\": {rss_field}\n}}",
+        preset.label()
+    );
+    let bin = format!("shard_events_per_sec_{}", preset.label());
+    record::upsert_bin(&out_path, &bin, &body);
+    println!("wrote bin {bin} to {out_path}");
+}

@@ -83,6 +83,19 @@
 //!   behind retiring the O(n²) oracle on the scale axis.
 //!   `EGM_RANK_MIN_OVERLAP` asserts the overlap floor (the presets
 //!   require ≥ 0.8).
+//! * `shard_events_per_sec_<preset>` — the sharded-event-loop A/B
+//!   (`cargo run --release -p egm_bench --bin shard_events_per_sec`):
+//!   the preset once through the sequential engine (`seq` sub-object)
+//!   and once per shard width (`w1`/`w2`/`w4`/… sub-objects, widths from
+//!   `EGM_SHARD_WIDTHS`), each with `best_wall_ms`, `events_per_sec`,
+//!   `speedup_vs_seq`, and the window-loop counters (`windows`,
+//!   `lane_events`, `lookahead_us`). The bench *asserts* byte-identical
+//!   results at every width (report, delivery log, link tables, event
+//!   count) — the determinism record behind parallelizing one run —
+//!   and `EGM_SHARD_OVERHEAD_MAX` turns the W=1 window overhead into a
+//!   budget assertion. On a single core the wide rows show the window
+//!   pipeline's overhead (~0.75×); each worker runs on its own thread,
+//!   so multi-core machines show >1× scaling.
 //! * `queue_events_per_sec_<preset>` — the event-queue A/B comparison
 //!   (`cargo run --release -p egm_bench --bin queue_events_per_sec`):
 //!   one scale preset run per queue implementation over a shared
@@ -103,7 +116,10 @@
 //! speed); `events_per_sec` is computed from the best wall time. Stale
 //! cancelled-timer drops are excluded from `events` — they never
 //! dispatch. `EGM_BENCH_RUNS`, `EGM_BENCH_MESSAGES` and `EGM_BENCH_OUT`
-//! override the run count, workload size and output path.
+//! override the run count, workload size and output path;
+//! `EGM_MIN_EVENTS_PER_SEC` makes `events_per_sec` *assert* a
+//! throughput floor so gross event-loop regressions fail CI instead of
+//! silently updating the record.
 //!
 //! Each binary rewrites only its own bin through [`record::upsert_bin`],
 //! preserving the others (a pre-2026-07 flat single-bench file is

@@ -93,6 +93,10 @@ pub struct EgmNode {
     msgs: MsgArena,
     multicasts: Vec<MulticastRecord>,
     deliveries: Vec<DeliveryRecord>,
+    /// Scratch buffers for the periodic ping sample, so monitor probing
+    /// stays allocation-free like the gossip and shuffle paths.
+    ping_idx: Vec<usize>,
+    ping_targets: Vec<NodeId>,
 }
 
 impl EgmNode {
@@ -126,6 +130,8 @@ impl EgmNode {
             monitor,
             multicasts: Vec::new(),
             deliveries: Vec::new(),
+            ping_idx: Vec::new(),
+            ping_targets: Vec::new(),
         }
     }
 
@@ -314,10 +320,13 @@ impl Protocol for EgmNode {
             }
             TAG_PING => {
                 let now_us = ctx.now().as_micros();
-                let targets = self.view.sample(ctx.rng(), PING_FANOUT);
-                for to in targets {
+                let mut targets = std::mem::take(&mut self.ping_targets);
+                self.view
+                    .sample_into(ctx.rng(), PING_FANOUT, &mut self.ping_idx, &mut targets);
+                for &to in &targets {
                     ctx.send(to, EgmMessage::Ping { sent_us: now_us });
                 }
+                self.ping_targets = targets;
                 if let Some(interval) = self.config.ping_interval {
                     ctx.set_timer(interval, TAG_PING);
                 }

@@ -61,7 +61,10 @@ impl std::fmt::Debug for StrategyCtx<'_> {
 
 /// A payload transmission strategy (the Transmission Strategy module of
 /// Fig. 1).
-pub trait TransmissionStrategy: std::fmt::Debug {
+///
+/// `Send` is required so nodes — and the strategies they own — can be
+/// partitioned across the sharded simulator's worker threads.
+pub trait TransmissionStrategy: std::fmt::Debug + Send {
     /// `Eager?(i, d, r, p)`: whether to send the payload of message `id`
     /// at round `round` to peer `to` eagerly (`true`) or advertise it
     /// lazily (`false`).

@@ -33,6 +33,16 @@ impl Default for ViewConfig {
 /// the view never contains the owning node or duplicates, and never
 /// exceeds `capacity`.
 ///
+/// The shuffle path is allocation-free in steady state: subset sampling
+/// draws into an owned index scratch buffer, and the `Vec` carried by
+/// each [`ShuffleMsg`] is recycled — a handled request's buffer becomes
+/// the reply's, a handled reply's buffer becomes the next outgoing
+/// request's. Equality ignores the scratch state (see the manual
+/// `PartialEq`), and so must any future serialization (the serde marker
+/// impls below are written by hand so a real-serde migration is forced
+/// to decide the field set rather than silently deriving the scratch
+/// buffers into the wire format).
+///
 /// # Examples
 ///
 /// ```
@@ -47,13 +57,36 @@ impl Default for ViewConfig {
 /// let peers = view.sample(&mut rng, 2);
 /// assert_eq!(peers.len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PartialView {
     owner: NodeId,
     config: ViewConfig,
     peers: Vec<NodeId>,
     static_view: bool,
+    /// Scratch for subset-index sampling (never observable; excluded
+    /// from equality).
+    idx_scratch: Vec<usize>,
+    /// Recycled entry buffer for the next outgoing shuffle message
+    /// (never observable; excluded from equality).
+    spare: Vec<NodeId>,
 }
+
+// Hand-written marker impls (the vendored serde is attribute-free): a
+// real-serde swap must serialize only the logical fields — owner,
+// config, peers, static_view — never the scratch buffers.
+impl Serialize for PartialView {}
+impl<'de> Deserialize<'de> for PartialView {}
+
+impl PartialEq for PartialView {
+    fn eq(&self, other: &Self) -> bool {
+        self.owner == other.owner
+            && self.config == other.config
+            && self.peers == other.peers
+            && self.static_view == other.static_view
+    }
+}
+
+impl Eq for PartialView {}
 
 impl PartialView {
     /// Creates an empty view owned by `owner`.
@@ -63,6 +96,8 @@ impl PartialView {
             config,
             peers: Vec::with_capacity(config.capacity),
             static_view: false,
+            idx_scratch: Vec::new(),
+            spare: Vec::new(),
         }
     }
 
@@ -179,19 +214,24 @@ impl PartialView {
     ///
     /// Returns `None` if the view is static or empty. The offered subset
     /// includes the owner id so the partner learns about us (Cyclon-style).
+    /// The entry buffer is recycled from the last handled reply, so in
+    /// steady state this allocates nothing.
     pub fn start_shuffle(&mut self, rng: &mut Rng) -> Option<(NodeId, ShuffleMsg)> {
         if self.static_view || self.peers.is_empty() {
             return None;
         }
         let partner = *sample::choose(rng, &self.peers).expect("non-empty view");
-        let mut offer = self.subset_excluding(rng, partner);
+        let mut offer = std::mem::take(&mut self.spare);
+        self.subset_excluding_into(rng, partner, &mut offer);
         offer.truncate(self.config.shuffle_size.saturating_sub(1));
         offer.push(self.owner);
         Some((partner, ShuffleMsg::Request { entries: offer }))
     }
 
     /// Handles a shuffle message from `from`; returns a reply to send, if
-    /// any.
+    /// any. The incoming message's entry buffer is kept as the spare for
+    /// the next outgoing message, so a request→reply exchange allocates
+    /// nothing in steady state.
     pub fn handle_shuffle(
         &mut self,
         rng: &mut Rng,
@@ -200,42 +240,53 @@ impl PartialView {
     ) -> Option<(NodeId, ShuffleMsg)> {
         match msg {
             ShuffleMsg::Request { entries } => {
-                let mut reply = self.subset_excluding(rng, from);
+                let mut reply = std::mem::take(&mut self.spare);
+                self.subset_excluding_into(rng, from, &mut reply);
                 reply.truncate(self.config.shuffle_size);
                 self.merge(&entries);
                 // Requests also teach us about the requester.
                 self.insert(from);
+                self.recycle(entries);
                 Some((from, ShuffleMsg::Reply { entries: reply }))
             }
             ShuffleMsg::Reply { entries } => {
                 self.merge(&entries);
+                self.recycle(entries);
                 None
             }
         }
     }
 
-    fn subset_excluding(&self, rng: &mut Rng, excluded: NodeId) -> Vec<NodeId> {
+    /// Keeps a consumed message buffer for the next outgoing message.
+    fn recycle(&mut self, mut entries: Vec<NodeId>) {
+        if entries.capacity() > self.spare.capacity() {
+            entries.clear();
+            self.spare = entries;
+        }
+    }
+
+    fn subset_excluding_into(&mut self, rng: &mut Rng, excluded: NodeId, out: &mut Vec<NodeId>) {
         // Sample over a *virtual* filtered sequence instead of
         // materializing it: index `i` of peers-minus-excluded maps back
         // to `peers` by skipping the excluded position. Same RNG draws
-        // and same result as filtering first, one allocation less per
-        // shuffle.
+        // and same result as filtering first; the index scratch and the
+        // output buffer are both reused, so the shuffle path performs no
+        // allocation once the buffers have grown to shuffle size.
+        out.clear();
         let pos = self.peers.iter().position(|&p| p == excluded);
         let n = self.peers.len() - usize::from(pos.is_some());
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let k = self.config.shuffle_size.min(n);
-        sample::distinct_indices(rng, n, k)
-            .into_iter()
-            .map(|i| {
-                let i = match pos {
-                    Some(p) if i >= p => i + 1,
-                    _ => i,
-                };
-                self.peers[i]
-            })
-            .collect()
+        sample::distinct_indices_into(rng, n, k, &mut self.idx_scratch);
+        out.extend(self.idx_scratch.iter().map(|&i| {
+            let i = match pos {
+                Some(p) if i >= p => i + 1,
+                _ => i,
+            };
+            self.peers[i]
+        }));
     }
 
     fn merge(&mut self, entries: &[NodeId]) {
@@ -256,14 +307,18 @@ impl PartialView {
 /// Panics if `n == 0`.
 pub fn bootstrap_views(n: usize, config: &ViewConfig, rng: &mut Rng) -> Vec<PartialView> {
     assert!(n > 0, "need at least one node");
+    let mut idx_scratch = Vec::new();
     (0..n)
         .map(|i| {
             let mut view = PartialView::new(NodeId(i), *config);
             let k = config.capacity.min(n.saturating_sub(1));
             // Sample k distinct peers from 0..n-1 excluding i by index
-            // remapping: indices >= i shift up by one.
+            // remapping: indices >= i shift up by one. One shared index
+            // buffer serves all n draws (same index sequence as the
+            // allocating variant).
             if k > 0 {
-                for idx in sample::distinct_indices(rng, n - 1, k) {
+                sample::distinct_indices_into(rng, n - 1, k, &mut idx_scratch);
+                for &idx in &idx_scratch {
                     let peer = if idx >= i { idx + 1 } else { idx };
                     view.insert(NodeId(peer));
                 }

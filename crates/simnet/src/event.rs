@@ -134,6 +134,10 @@ pub trait EventQueue<T> {
     /// a separate peek.
     fn pop_next(&mut self, bound: Option<SimTime>) -> Option<Scheduled<T>>;
 
+    /// Time of the earliest queued item without popping it (the sharded
+    /// engine's window planner uses this to size conservative windows).
+    fn next_time(&self) -> Option<SimTime>;
+
     /// Number of queued items.
     fn len(&self) -> usize;
 
@@ -181,6 +185,10 @@ impl<T> EventQueue<T> for HeapQueue<T> {
         let ev = self.heap.pop()?;
         self.stats.pops += 1;
         Some(ev)
+    }
+
+    fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|ev| ev.time)
     }
 
     fn len(&self) -> usize {
@@ -257,6 +265,13 @@ pub struct CalendarQueue<T> {
     grow_at: usize,
     /// Halve the bucket directory below this occupancy.
     shrink_at: usize,
+    /// One-entry memo of the last [`CalendarQueue::earliest_day`] scan —
+    /// the sharded window planner reads `next_time` and then `pop_next`
+    /// repeats the identical search, so caching halves the per-window
+    /// scan cost. Invalidated by every mutation that can change the
+    /// earliest event (push, entering a day, resize); debug builds
+    /// re-verify every hit against a fresh scan.
+    earliest_memo: std::cell::Cell<Option<(u64, usize, u64, bool)>>,
     stats: QueueStats,
 }
 
@@ -289,6 +304,7 @@ impl<T> CalendarQueue<T> {
             tune_max_len: 0,
             grow_at: 0,
             shrink_at: 0,
+            earliest_memo: std::cell::Cell::new(None),
             stats: QueueStats::default(),
         };
         q.set_thresholds();
@@ -374,6 +390,7 @@ impl<T> CalendarQueue<T> {
     /// `b` into the sorted `today` buffer and commits the calendar
     /// position to that day.
     fn enter_day(&mut self, b: usize, day_start: u64) {
+        self.earliest_memo.set(None);
         let day_end = day_start + (1u64 << self.shift);
         debug_assert!(self.today.is_empty());
         let mut i = self.heads[b];
@@ -410,6 +427,51 @@ impl<T> CalendarQueue<T> {
         self.cur_day_start = day_start;
     }
 
+    /// The earliest queued event's `(time, bucket, day_start)` — the
+    /// active day's buffer is assumed empty — walking one year of days
+    /// from the committed position and falling back to the direct
+    /// minimum scan. Commits nothing: `pop_next` enters the returned day
+    /// (and counts the year scan), `next_time` merely reads the time, so
+    /// the two can never disagree on the search. Memoized until the next
+    /// mutation, since the window planner asks and the following pop
+    /// repeats the question.
+    ///
+    /// The `bool` reports whether the year-scan fallback was needed.
+    fn earliest_day(&self) -> Option<(u64, usize, u64, bool)> {
+        if let Some(hit) = self.earliest_memo.get() {
+            debug_assert_eq!(Some(hit), self.scan_earliest_day(), "stale earliest memo");
+            return Some(hit);
+        }
+        let found = self.scan_earliest_day();
+        self.earliest_memo.set(found);
+        found
+    }
+
+    /// The uncached scan behind [`CalendarQueue::earliest_day`].
+    fn scan_earliest_day(&self) -> Option<(u64, usize, u64, bool)> {
+        if self.len == 0 {
+            return None;
+        }
+        debug_assert!(self.today.is_empty());
+        let nb = self.heads.len();
+        let width = 1u64 << self.shift;
+        let mut bucket = self.cur_bucket;
+        let mut day_start = self.cur_day_start;
+        for _ in 0..nb {
+            let day_end = day_start + width;
+            if let Some(min_t) = self.window_min_time(bucket, day_end) {
+                return Some((min_t, bucket, day_start, false));
+            }
+            bucket = (bucket + 1) & (nb - 1);
+            day_start += width;
+        }
+        // A whole year without a hit: the queue is sparse relative to
+        // the bucket width. Find the global minimum directly.
+        let t = self.global_min_time().expect("len > 0");
+        let day = (t >> self.shift) << self.shift;
+        Some((t, self.bucket_of(t), day, true))
+    }
+
     /// Pops the next event off the `today` buffer.
     fn pop_from_today(&mut self) -> Scheduled<T> {
         let ev = self.today.pop().expect("today is non-empty");
@@ -427,6 +489,7 @@ impl<T> CalendarQueue<T> {
     /// between queued event times. Events never move — the slab is simply
     /// relinked.
     fn resize(&mut self, new_nb: usize) {
+        self.earliest_memo.set(None);
         let new_nb = new_nb.clamp(MIN_BUCKETS, MAX_BUCKETS);
         if let Some(shift) = self.tune_shift() {
             self.shift = shift;
@@ -521,6 +584,7 @@ impl<T> Default for CalendarQueue<T> {
 
 impl<T> EventQueue<T> for CalendarQueue<T> {
     fn push(&mut self, ev: Scheduled<T>) {
+        self.earliest_memo.set(None);
         let t = ev.time.as_micros();
         debug_assert!(
             t >= self.cur_day_start,
@@ -550,9 +614,6 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
     }
 
     fn pop_next(&mut self, bound: Option<SimTime>) -> Option<Scheduled<T>> {
-        if self.len == 0 {
-            return None;
-        }
         // Fast path: the active day still has events.
         if let Some(last) = self.today.last() {
             if bound.is_some_and(|b| last.time > b) {
@@ -560,36 +621,26 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
             }
             return Some(self.pop_from_today());
         }
-        let nb = self.heads.len();
-        let width = 1u64 << self.shift;
-        // Walk days forward from the committed position; the position is
-        // only committed when a day is actually entered (which always
-        // pops), so a bounded miss never advances the calendar past a
-        // (future) push.
-        let mut bucket = self.cur_bucket;
-        let mut day_start = self.cur_day_start;
-        for _ in 0..nb {
-            let day_end = day_start + width;
-            if let Some(min_t) = self.window_min_time(bucket, day_end) {
-                if bound.is_some_and(|b| min_t > b.as_micros()) {
-                    return None;
-                }
-                self.enter_day(bucket, day_start);
-                return Some(self.pop_from_today());
-            }
-            bucket = (bucket + 1) & (nb - 1);
-            day_start += width;
+        // The search never commits the calendar position — only entering
+        // a day (which always pops) does — so a bounded miss never
+        // advances the calendar past a (future) push.
+        let (min_t, bucket, day_start, year_scanned) = self.earliest_day()?;
+        if year_scanned {
+            self.stats.year_scans += 1;
         }
-        // A whole year without a hit: the queue is sparse relative to the
-        // bucket width. Find the global minimum directly and re-sync.
-        self.stats.year_scans += 1;
-        let t = self.global_min_time().expect("len > 0");
-        if bound.is_some_and(|bd| t > bd.as_micros()) {
+        if bound.is_some_and(|b| min_t > b.as_micros()) {
             return None;
         }
-        let day = (t >> self.shift) << self.shift;
-        self.enter_day(self.bucket_of(t), day);
+        self.enter_day(bucket, day_start);
         Some(self.pop_from_today())
+    }
+
+    fn next_time(&self) -> Option<SimTime> {
+        if let Some(last) = self.today.last() {
+            return Some(last.time);
+        }
+        self.earliest_day()
+            .map(|(t, _, _, _)| SimTime::from_micros(t))
     }
 
     fn len(&self) -> usize {
@@ -700,6 +751,13 @@ impl<T> QueueImpl<T> {
         match self {
             QueueImpl::Heap(q) => q.stats(),
             QueueImpl::Calendar(q) => q.stats(),
+        }
+    }
+
+    pub(crate) fn next_time(&self) -> Option<SimTime> {
+        match self {
+            QueueImpl::Heap(q) => q.next_time(),
+            QueueImpl::Calendar(q) => q.next_time(),
         }
     }
 }

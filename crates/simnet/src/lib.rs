@@ -10,9 +10,14 @@
 //! — the firewall-rule fault injection of §6.3.
 //!
 //! Determinism: a single experiment seed drives one xoshiro stream per
-//! node plus one for the network; events at equal timestamps are ordered
-//! by schedule sequence. The same scenario always produces byte-identical
-//! results (the root integration tests assert this across the full stack).
+//! node plus one network (loss/jitter) stream per *sender*; events at
+//! equal timestamps are ordered by an intrinsic `(origin, origin-seq)`
+//! key (see [`sim`]). The same scenario always produces byte-identical
+//! results (the root integration tests assert this across the full
+//! stack) — on the sequential [`Sim`] and on the partitioned
+//! [`ShardedSim`], which splits one large run across worker shards
+//! under conservative time windows with identical outputs for every
+//! shard count (see [`shard`]).
 //!
 //! # Examples
 //!
@@ -42,6 +47,7 @@
 
 pub mod event;
 pub mod net;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -49,6 +55,7 @@ pub mod wire;
 
 pub use event::{CalendarQueue, EventQueue, HeapQueue, QueueKind, QueueStats, Scheduled};
 pub use net::{Network, SimConfig};
+pub use shard::{Partition, ShardChoice, ShardStats, ShardedSim};
 pub use sim::{Context, Protocol, Sim, TimerTag, TimerToken};
 pub use stats::{LinkTally, Traffic};
 pub use time::{SimDuration, SimTime};

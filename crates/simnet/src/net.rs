@@ -45,6 +45,11 @@ pub struct SimConfig {
     /// resolves by size at simulation start (`EGM_EVENT_QUEUE` or
     /// [`SimConfig::with_event_queue`] override it).
     event_queue: Option<QueueKind>,
+    /// How many worker shards a sharded run partitions the nodes across;
+    /// `None` resolves via `EGM_SHARDS`, then the size-based default
+    /// ([`crate::shard::auto_shards_for`]). `Some(0)` forces the
+    /// sequential engine.
+    shards: Option<usize>,
 }
 
 #[derive(Debug, Clone)]
@@ -72,6 +77,7 @@ impl SimConfig {
             egress_bandwidth: None,
             link_spill_threshold: usize::MAX,
             event_queue: QueueKind::from_env(),
+            shards: None,
         }
     }
 
@@ -86,6 +92,7 @@ impl SimConfig {
             egress_bandwidth: None,
             link_spill_threshold: usize::MAX,
             event_queue: QueueKind::from_env(),
+            shards: None,
         }
     }
 
@@ -156,6 +163,63 @@ impl SimConfig {
     pub fn event_queue(&self) -> QueueKind {
         self.event_queue
             .unwrap_or_else(|| QueueKind::auto_for(self.node_count()))
+    }
+
+    /// Selects how many worker shards partition the run (builder style),
+    /// overriding both the `EGM_SHARDS` variable and the size-based
+    /// default. `1` runs the sharded engine as a single windowless shard;
+    /// `0` forces the plain sequential engine (the escape hatch, like
+    /// `EGM_EVENT_QUEUE=heap`). Every shard count produces byte-identical
+    /// results — this is a performance knob, never a behavioural one.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// The shard count this configuration resolves to: an explicit
+    /// [`SimConfig::with_shards`] choice wins, then the `EGM_SHARDS`
+    /// environment override, then the size-based default
+    /// ([`crate::shard::auto_shards_for`]). Counts above the node count
+    /// are clamped. See [`crate::ShardChoice`] for how a forced choice
+    /// differs from the default.
+    pub fn shard_choice(&self) -> crate::shard::ShardChoice {
+        use crate::shard::ShardChoice;
+        let n = self.node_count();
+        if let Some(w) = self.shards {
+            return ShardChoice::Forced(w.min(n));
+        }
+        if let Some(w) = crate::shard::shards_from_env() {
+            return ShardChoice::Forced(w.min(n));
+        }
+        ShardChoice::Auto(crate::shard::auto_shards_for(n))
+    }
+
+    /// A conservative lower bound on the delivery delay of any message
+    /// crossing the given shard assignment — the sharded engine's window
+    /// *lookahead*. Derived from the minimum cross-shard base latency of
+    /// the delay source (exact on routed and dense models), shrunk by the
+    /// worst-case jitter factor and one microsecond of rounding slack,
+    /// and floored at the network's minimum delay. Returns `None` when no
+    /// pair of nodes crosses shards (single shard), in which case windows
+    /// are unnecessary.
+    pub fn conservative_lookahead(&self, assignment: &[u32]) -> Option<SimDuration> {
+        assert_eq!(assignment.len(), self.node_count(), "one shard per node");
+        let min_ms = match &self.delay {
+            DelaySource::Uniform { ms, .. } => {
+                let first = *assignment.first()?;
+                if assignment.iter().all(|&s| s == first) {
+                    return None;
+                }
+                *ms
+            }
+            DelaySource::Model(m) => m.min_cross_partition_latency_ms(assignment)?,
+        };
+        let floor_us = (min_ms * 1000.0 * (1.0 - self.jitter)).floor().max(0.0) as u64;
+        let lb = floor_us
+            .saturating_sub(1)
+            .max(self.min_delay.as_micros())
+            .max(1);
+        Some(SimDuration::from_micros(lb))
     }
 
     /// Number of protocol nodes.

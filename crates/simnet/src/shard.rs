@@ -1,0 +1,917 @@
+//! Deterministic sharded event loop: one large run partitioned across
+//! worker shards synchronized by conservative time windows.
+//!
+//! [`ShardedSim`] splits the node id space into `W` contiguous ranges
+//! ([`Partition::contiguous`]); each shard owns its nodes, their RNG
+//! streams, an [`EventQueue`](crate::EventQueue), a [`Traffic`] table and
+//! a copy of the fault view, and dispatches its own events through the
+//! *same* per-event path as the sequential [`Sim`](crate::Sim). Shards
+//! synchronize at window boundaries: a window's length is the
+//! **lookahead** — a
+//! conservative lower bound on the delivery delay of any cross-shard
+//! message ([`SimConfig::conservative_lookahead`]), derived from the
+//! routed topology's minimum cross-shard link latency. Within a window
+//! `[T, T + L)`, no shard can receive an event it has not already been
+//! handed (anything generated in the window arrives at `>= T + L`), so
+//! every shard may run its window independently — in parallel.
+//!
+//! Cross-shard sends are buffered in per-`(source, destination)` *lanes*
+//! and moved into the destination queue at the window boundary. Order
+//! needs no repair at the merge: every event carries an intrinsic
+//! `(time, origin, origin-seq)` key (see [`crate::sim`]), so the
+//! destination queue interleaves merged and local events exactly where
+//! the sequential engine would have dispatched them. The outputs —
+//! delivery records, sealed [`Traffic`] (including the first-appearance
+//! spill order, reconstructed at merge time), scheduler counters, event
+//! counts — are **byte-identical to the sequential [`Sim`](crate::Sim)
+//! for every `W`**, which the `shard_equivalence` and
+//! `shard_determinism` suites assert on every PR.
+//!
+//! With `W = 1` there are no cross-shard pairs, the lookahead is
+//! unbounded, and the run collapses to a single window — the sharded
+//! engine then is the sequential engine plus one bounds check.
+
+use crate::event::{EventKind, QueueStats, Scheduled};
+use crate::net::SimConfig;
+use crate::sim::{fork_streams, pack_seq, EngineState, Protocol, ShardRoute, SimCore, MAX_NODES};
+use crate::stats::Traffic;
+use crate::time::{SimDuration, SimTime};
+use crate::wire::Wire;
+use crate::NodeId;
+use egm_rng::hash::FastHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Node count below which the size-based default runs the sequential
+/// engine: window bookkeeping has nothing to amortize on runs whose whole
+/// working set is cache-resident.
+pub const SHARD_MIN_NODES: usize = 1000;
+
+/// Cap on the size-based default shard count: beyond ~8 shards the
+/// per-window barrier cost grows faster than the per-shard work shrinks
+/// at the scales this simulator targets.
+pub const MAX_AUTO_SHARDS: usize = 8;
+
+/// The size-based default shard count: 1 below [`SHARD_MIN_NODES`] nodes,
+/// otherwise the machine's available parallelism capped at
+/// [`MAX_AUTO_SHARDS`]. Every choice produces byte-identical results, so
+/// this only ever changes how fast a run completes.
+pub fn auto_shards_for(nodes: usize) -> usize {
+    if nodes < SHARD_MIN_NODES {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .clamp(1, MAX_AUTO_SHARDS)
+        .min(nodes)
+}
+
+/// Reads the `EGM_SHARDS` override from the environment; `None` when
+/// unset (the size-based default applies). `0` forces the sequential
+/// engine — the escape hatch, mirroring `EGM_EVENT_QUEUE=heap`.
+///
+/// # Panics
+///
+/// Panics on an unparseable value — silently falling back would turn a
+/// scaling A/B into two identical runs.
+pub fn shards_from_env() -> Option<usize> {
+    match std::env::var("EGM_SHARDS") {
+        Err(_) => None,
+        Ok(v) => Some(v.parse().unwrap_or_else(|_| {
+            panic!("unrecognized EGM_SHARDS {v:?}: use 0 (sequential) or a shard count")
+        })),
+    }
+}
+
+/// How a run's shard count was resolved (see
+/// [`SimConfig::shard_choice`]): a forced count (scenario or `EGM_SHARDS`)
+/// selects the sharded engine even at `W = 1` (and the sequential engine
+/// at `0`), while the size-based default only engages the sharded engine
+/// when it picks `W > 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardChoice {
+    /// Explicitly requested by configuration or environment.
+    Forced(usize),
+    /// The size-based default ([`auto_shards_for`]).
+    Auto(usize),
+}
+
+impl ShardChoice {
+    /// The shard count to run with (`0` meaning the sequential engine).
+    pub fn count(self) -> usize {
+        match self {
+            ShardChoice::Forced(w) => w,
+            ShardChoice::Auto(w) => w,
+        }
+    }
+
+    /// Whether the run should use [`ShardedSim`] rather than the
+    /// sequential [`Sim`](crate::Sim).
+    pub fn use_sharded(self) -> bool {
+        match self {
+            ShardChoice::Forced(w) => w >= 1,
+            ShardChoice::Auto(w) => w > 1,
+        }
+    }
+}
+
+/// A contiguous-range partition of the node id space over worker shards.
+///
+/// Shard `s` owns the ids `[floor(s·n/W), floor((s+1)·n/W))`: ranges are
+/// non-empty, near-equal, and cover every id exactly once (property-
+/// tested in `shard_equivalence`). Contiguity matters for the lookahead:
+/// the transit–stub generator lays clients out domain-by-domain, so range
+/// boundaries cut few stub domains and the minimum cross-shard latency —
+/// the window length — stays close to the inter-domain latency floor.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// `starts[s]..starts[s + 1]` is shard `s`'s id range.
+    starts: Vec<u32>,
+    /// Shard per node — O(1) lookup on the per-send routing path.
+    assign: Vec<u32>,
+}
+
+impl Partition {
+    /// Splits `0..n` into `shards` contiguous near-equal ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds `n`.
+    pub fn contiguous(n: usize, shards: usize) -> Partition {
+        assert!(shards > 0, "need at least one shard");
+        assert!(shards <= n, "more shards than nodes");
+        let starts: Vec<u32> = (0..=shards).map(|s| (s * n / shards) as u32).collect();
+        let mut assign = vec![0u32; n];
+        for s in 0..shards {
+            for slot in &mut assign[starts[s] as usize..starts[s + 1] as usize] {
+                *slot = s as u32;
+            }
+        }
+        Partition { starts, assign }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Number of nodes partitioned.
+    pub fn node_count(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// The shard owning `node`.
+    #[inline]
+    pub fn shard_of(&self, node: usize) -> usize {
+        self.assign[node] as usize
+    }
+
+    /// The id range owned by `shard`.
+    pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
+        self.starts[shard] as usize..self.starts[shard + 1] as usize
+    }
+
+    /// The per-node shard assignment (for lookahead derivation).
+    pub fn assignment(&self) -> &[u32] {
+        &self.assign
+    }
+}
+
+/// A destination shard's inbox for cross-shard events published by the
+/// threaded window driver.
+type Mailbox<M> = Mutex<Vec<Scheduled<EventKind<M>>>>;
+
+/// Window-loop counters of a sharded run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of worker shards.
+    pub shards: usize,
+    /// Conservative window length in microseconds (0 when a single shard
+    /// runs windowless).
+    pub lookahead_us: u64,
+    /// Windows executed (each is one parallel phase plus one barrier).
+    pub windows: u64,
+    /// Events that crossed shards through the lanes.
+    pub lane_events: u64,
+}
+
+/// The deterministic sharded discrete-event simulator: the partitioned
+/// twin of [`crate::Sim`]. See the module documentation for the
+/// synchronization scheme; the public surface mirrors `Sim` (harness
+/// scheduling, bounded runs, node access, traffic) with two deltas —
+/// [`ShardedSim::send_external`] is pre-run only, and
+/// [`ShardedSim::traffic`] requires [`ShardedSim::seal_traffic`] first
+/// (the per-shard tables are merged at seal time).
+#[derive(Debug)]
+pub struct ShardedSim<P: Protocol> {
+    shards: Vec<EngineState<P>>,
+    partition: Arc<Partition>,
+    /// Conservative window length; `None` collapses the run to a single
+    /// window (single shard).
+    lookahead: Option<SimDuration>,
+    now: SimTime,
+    harness_seq: u64,
+    spill_threshold: usize,
+    merged: Option<Traffic>,
+    threaded: bool,
+    windows: u64,
+    lane_events: u64,
+}
+
+impl<P: Protocol + Send> ShardedSim<P>
+where
+    P::Msg: Send,
+{
+    /// Creates a sharded simulation of `nodes` over the configured
+    /// network, partitioned across `shards` workers (clamped to the node
+    /// count). `seed` produces exactly the RNG tree of
+    /// [`crate::Sim::new`], so the run is byte-identical to the
+    /// sequential engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count mismatches the network configuration or
+    /// `shards` is zero.
+    pub fn new(config: SimConfig, seed: u64, nodes: Vec<P>, shards: usize) -> Self {
+        let n = nodes.len();
+        assert_eq!(
+            n,
+            config.node_count(),
+            "node vector must match network size"
+        );
+        assert!(n <= MAX_NODES, "too many nodes for event keys");
+        assert!(shards > 0, "need at least one shard");
+        let w = shards.min(n);
+        let partition = Arc::new(Partition::contiguous(n, w));
+        let lookahead = config.conservative_lookahead(partition.assignment());
+        assert!(
+            w == 1 || lookahead.is_some(),
+            "multi-shard runs must have a cross-shard latency floor"
+        );
+        let spill_threshold = config.link_spill_threshold();
+        // A single shard's local record order *is* the global order, so
+        // the spill rule needs no keys there (and the W = 1 hot path
+        // stays probe-free, like the sequential engine's).
+        let track_first_keys = spill_threshold != usize::MAX && w > 1;
+        let (node_rngs, net_rngs) = fork_streams(seed, n);
+        let mut nodes = nodes.into_iter();
+        let mut node_rngs = node_rngs.into_iter();
+        let mut net_rngs = net_rngs.into_iter();
+        let mut states = Vec::with_capacity(w);
+        for s in 0..w {
+            let count = partition.range(s).len();
+            let route = ShardRoute::new(
+                partition.clone(),
+                s,
+                w,
+                track_first_keys.then(FastHashMap::default),
+            );
+            let core = SimCore::new(
+                config.clone(),
+                node_rngs.by_ref().take(count).collect(),
+                net_rngs.by_ref().take(count).collect(),
+                partition.range(s).start,
+                Some(route),
+            );
+            states.push(EngineState::new(core, nodes.by_ref().take(count).collect()));
+        }
+        ShardedSim {
+            shards: states,
+            partition,
+            lookahead,
+            now: SimTime::ZERO,
+            harness_seq: 0,
+            spill_threshold,
+            merged: None,
+            threaded: shard_threads_enabled(),
+            windows: 0,
+            lane_events: 0,
+        }
+    }
+
+    /// Forces the window driver onto one thread (`false`) or worker
+    /// threads (`true`). Both drivers produce identical results; the
+    /// default follows available parallelism and the
+    /// `EGM_SHARD_THREADS` variable (`0` disables threads).
+    pub fn set_threaded(&mut self, on: bool) {
+        self.threaded = on;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.partition.node_count()
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The node partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Window-loop counters.
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.shards.len(),
+            lookahead_us: self.lookahead.map_or(0, |l| l.as_micros()),
+            windows: self.windows,
+            lane_events: self.lane_events,
+        }
+    }
+
+    /// Total events processed across all shards; identical to the
+    /// sequential engine's count (replicated fault events are counted
+    /// once, by the shard owning the affected node).
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_processed).sum()
+    }
+
+    /// Timers cancelled across all shards.
+    pub fn timers_cancelled(&self) -> u64 {
+        self.shards.iter().map(|s| s.core.timers_cancelled()).sum()
+    }
+
+    /// Stale timer events dropped at pop time across all shards.
+    pub fn stale_timer_drops(&self) -> u64 {
+        self.shards.iter().map(|s| s.core.stale_timer_drops()).sum()
+    }
+
+    /// Event-queue counters aggregated over the per-shard queues: sums
+    /// for activity counters (`pushes`, `pops`, `resizes`, `year_scans`)
+    /// and `bucket_count`, with `max_len` the sum of per-shard peaks (an
+    /// upper bound on global concurrency) and `bucket_width_us` the
+    /// maximum across shards.
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut agg = QueueStats::default();
+        for s in &self.shards {
+            let q = s.core.queue.stats();
+            agg.pushes += q.pushes;
+            agg.pops += q.pops;
+            agg.max_len += q.max_len;
+            agg.resizes += q.resizes;
+            agg.bucket_count += q.bucket_count;
+            agg.bucket_width_us = agg.bucket_width_us.max(q.bucket_width_us);
+            agg.year_scans += q.year_scans;
+        }
+        agg
+    }
+
+    /// Immutable access to a protocol node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &P {
+        let s = self.partition.shard_of(id.index());
+        let base = self.partition.range(s).start;
+        &self.shards[s].nodes[id.index() - base]
+    }
+
+    /// Mutable access to a protocol node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        let s = self.partition.shard_of(id.index());
+        let base = self.partition.range(s).start;
+        &mut self.shards[s].nodes[id.index() - base]
+    }
+
+    /// Iterates over all nodes with their ids, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.shards.iter().flat_map(|sh| {
+            let base = sh.core.base;
+            sh.nodes
+                .iter()
+                .enumerate()
+                .map(move |(i, n)| (NodeId(base + i), n))
+        })
+    }
+
+    /// Merges the per-shard traffic tables into the sealed global view
+    /// (idempotent). Must be called before [`ShardedSim::traffic`]; the
+    /// simulation must not send any further messages afterwards.
+    pub fn seal_traffic(&mut self) {
+        if self.merged.is_some() {
+            return;
+        }
+        let parts: Vec<Traffic> = self
+            .shards
+            .iter_mut()
+            .map(|sh| std::mem::take(&mut sh.core.traffic))
+            .collect();
+        let raw: Vec<_> = self
+            .shards
+            .iter_mut()
+            .map(|sh| sh.core.take_first_keys())
+            .collect();
+        let keys = resolve_first_keys(raw);
+        self.merged = Some(Traffic::merge_shards(parts, keys, self.spill_threshold));
+    }
+
+    /// The merged transport-level traffic accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`ShardedSim::seal_traffic`] ran first — per-shard
+    /// tables are merged at seal time.
+    pub fn traffic(&self) -> &Traffic {
+        self.merged
+            .as_ref()
+            .expect("call ShardedSim::seal_traffic() before traffic()")
+    }
+
+    /// Reserves the next harness event key (shared by every shard so
+    /// harness events order exactly as in the sequential engine).
+    fn next_harness_seq(&mut self) -> u64 {
+        let seq = pack_seq(0, self.harness_seq);
+        self.harness_seq += 1;
+        seq
+    }
+
+    /// Schedules a harness command for `node` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, value: u64) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        let seq = self.next_harness_seq();
+        let s = self.partition.shard_of(node.index());
+        self.shards[s].core.enqueue(Scheduled {
+            time: at,
+            seq,
+            item: EventKind::Command { node, value },
+        });
+    }
+
+    /// Schedules node silencing at time `at`. The event is replicated to
+    /// every shard (each holds its own fault view) under one shared key,
+    /// so all shards apply it at the same point of the global order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_silence(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        let seq = self.next_harness_seq();
+        for sh in &mut self.shards {
+            sh.core.enqueue(Scheduled {
+                time: at,
+                seq,
+                item: EventKind::Silence(node),
+            });
+        }
+    }
+
+    /// Schedules node revival at time `at` (see
+    /// [`ShardedSim::schedule_silence`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_revive(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        let seq = self.next_harness_seq();
+        for sh in &mut self.shards {
+            sh.core.enqueue(Scheduled {
+                time: at,
+                seq,
+                item: EventKind::Revive(node),
+            });
+        }
+    }
+
+    /// Injects a message from outside the simulation, delivered after the
+    /// usual network delay. Pre-run only under sharding: mid-run
+    /// injection would race the window pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics once the simulation has started.
+    pub fn send_external(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        assert!(
+            !self.shards.iter().any(|s| s.started),
+            "ShardedSim::send_external is pre-run only"
+        );
+        let seq = self.next_harness_seq();
+        let src = self.partition.shard_of(from.index());
+        let bytes = msg.wire_bytes();
+        self.shards[src].core.begin_harness(seq);
+        let now = self.now;
+        if let Some(delay) =
+            self.shards[src]
+                .core
+                .harness_send(now, from, to, bytes, msg.is_payload())
+        {
+            let time = now + delay;
+            let dest = self.partition.shard_of(to.index());
+            self.shards[dest].core.enqueue(Scheduled {
+                time,
+                seq,
+                item: EventKind::Deliver { to, from, msg },
+            });
+        }
+    }
+
+    /// Runs until every queue is exhausted or virtual time would pass
+    /// `deadline`; the clock finishes at `deadline` if it was reached.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_windows(Some(deadline));
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        for sh in &mut self.shards {
+            if sh.now < deadline {
+                sh.now = deadline;
+            }
+        }
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until every queue and lane is fully drained (beware periodic
+    /// timers: protocols that always re-arm will never drain).
+    pub fn run_to_idle(&mut self) {
+        self.run_windows(None);
+    }
+
+    /// The window loop. Windows are planned from the global minimum
+    /// pending event time `M`: everything in `[M, M + L)` is safe to run
+    /// in parallel, so the bound handed to each shard is `M + L - 1 µs`
+    /// (inclusive). Planning from `M` rather than marching fixed windows
+    /// lets the loop leap over idle stretches of virtual time.
+    fn run_windows(&mut self, deadline: Option<SimTime>) {
+        let Some(lookahead) = self.lookahead else {
+            // Single shard: no cross-shard events can exist, so the one
+            // queue drains straight to the deadline — one "window", no
+            // lanes, no barriers. This is the W = 1 configuration whose
+            // per-window overhead the acceptance bar caps.
+            debug_assert_eq!(self.shards.len(), 1);
+            self.shards[0].run_bounded(deadline);
+            self.windows += 1;
+            self.now = self.now.max(self.shards[0].now);
+            return;
+        };
+        if self.threaded {
+            self.run_windows_threaded(deadline, lookahead);
+        } else {
+            self.run_windows_sequential(deadline, lookahead);
+        }
+    }
+
+    /// Single-threaded window driver: identical schedule to the threaded
+    /// driver, useful on one core and as the determinism reference.
+    fn run_windows_sequential(&mut self, deadline: Option<SimTime>, lookahead: SimDuration) {
+        for sh in &mut self.shards {
+            sh.ensure_started();
+        }
+        loop {
+            self.exchange_lanes();
+            let min_t = self
+                .shards
+                .iter()
+                .filter_map(|sh| sh.core.next_time())
+                .min();
+            let Some(min_t) = min_t else { break };
+            if deadline.is_some_and(|d| min_t > d) {
+                break;
+            }
+            let bound = window_bound(min_t, lookahead, deadline);
+            for sh in &mut self.shards {
+                sh.run_bounded(Some(bound));
+            }
+            self.windows += 1;
+        }
+        // Like the threaded driver (and the sequential `Sim`), the clock
+        // finishes at the latest dispatched event; `run_until` then pads
+        // it to the deadline.
+        if let Some(max_now) = self.shards.iter().map(|sh| sh.now).max() {
+            self.now = self.now.max(max_now);
+        }
+    }
+
+    /// Moves every pending cross-shard lane into its destination queue.
+    fn exchange_lanes(&mut self) {
+        let w = self.shards.len();
+        for src in 0..w {
+            if !self.shards[src].core.lanes_pending() {
+                continue;
+            }
+            for dst in 0..w {
+                if dst == src {
+                    continue;
+                }
+                let mut lane = self.shards[src].core.take_lane(dst);
+                self.lane_events += lane.len() as u64;
+                for ev in lane.drain(..) {
+                    self.shards[dst].core.enqueue(ev);
+                }
+                self.shards[src].core.put_lane(dst, lane);
+            }
+        }
+    }
+
+    /// Multi-threaded window driver: one persistent worker per shard,
+    /// three barrier phases per window (publish lanes → merge + report →
+    /// plan). Lane hand-off goes through per-destination mailboxes; a
+    /// worker may publish into a mailbox while its owner still processes
+    /// the previous window — merged-early events simply wait in the
+    /// queue, which is harmless (only merging *late* would be a bug, and
+    /// the publish-before-report barrier order rules it out).
+    fn run_windows_threaded(&mut self, deadline: Option<SimTime>, lookahead: SimDuration) {
+        /// Sentinel bound: stop the loop.
+        const STOP: u64 = u64::MAX;
+        let w = self.shards.len();
+        let barrier = Barrier::new(w);
+        let next_times: Vec<AtomicU64> = (0..w).map(|_| AtomicU64::new(0)).collect();
+        let bound_cell = AtomicU64::new(0);
+        let windows = AtomicU64::new(0);
+        let lane_events = AtomicU64::new(0);
+        let mailboxes: Vec<Mailbox<P::Msg>> = (0..w).map(|_| Mutex::new(Vec::new())).collect();
+        let deadline_us = deadline.map(|d| d.as_micros());
+        let lookahead_us = lookahead.as_micros();
+        // `Barrier` does not poison: a worker that panicked and left the
+        // protocol would deadlock its peers. Panics are therefore caught
+        // per work segment; a poisoned worker keeps walking the barrier
+        // sequence (doing no work, reporting "empty"), the abort flag
+        // makes the leader plan a stop for everyone, and the payload is
+        // re-raised once the scope is ready to join.
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for (i, sh) in self.shards.iter_mut().enumerate() {
+                let barrier = &barrier;
+                let next_times = &next_times;
+                let bound_cell = &bound_cell;
+                let windows = &windows;
+                let lane_events = &lane_events;
+                let mailboxes = &mailboxes;
+                let abort = &abort;
+                scope.spawn(move || {
+                    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+                    let mut poison = None;
+                    let guard = |p: &mut Option<_>, f: &mut dyn FnMut()| {
+                        if p.is_none() {
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                                *p = Some(payload);
+                                abort.store(true, Ordering::SeqCst);
+                            }
+                        }
+                    };
+                    guard(&mut poison, &mut || sh.ensure_started());
+                    loop {
+                        // Phase 1: publish this shard's outgoing lanes.
+                        guard(&mut poison, &mut || {
+                            for (dst, mailbox) in mailboxes.iter().enumerate() {
+                                if dst == i {
+                                    continue;
+                                }
+                                let mut lane = sh.core.take_lane(dst);
+                                if !lane.is_empty() {
+                                    lane_events.fetch_add(lane.len() as u64, Ordering::Relaxed);
+                                    mailbox.lock().unwrap().append(&mut lane);
+                                }
+                                sh.core.put_lane(dst, lane);
+                            }
+                        });
+                        barrier.wait();
+                        // Phase 2: merge incoming events, report the
+                        // earliest pending time.
+                        let mut t = u64::MAX;
+                        guard(&mut poison, &mut || {
+                            {
+                                let mut mb = mailboxes[i].lock().unwrap();
+                                for ev in mb.drain(..) {
+                                    sh.core.enqueue(ev);
+                                }
+                            }
+                            t = sh.core.next_time().map_or(u64::MAX, |t| t.as_micros());
+                        });
+                        next_times[i].store(t, Ordering::SeqCst);
+                        let turn = barrier.wait();
+                        // Phase 3: one leader plans the window for all.
+                        if turn.is_leader() {
+                            let min_t = next_times
+                                .iter()
+                                .map(|t| t.load(Ordering::SeqCst))
+                                .min()
+                                .expect("at least one shard");
+                            let stop = abort.load(Ordering::SeqCst)
+                                || min_t == u64::MAX
+                                || deadline_us.is_some_and(|d| min_t > d);
+                            let plan = if stop {
+                                STOP
+                            } else {
+                                windows.fetch_add(1, Ordering::Relaxed);
+                                let mut b = min_t + lookahead_us - 1;
+                                if let Some(d) = deadline_us {
+                                    b = b.min(d);
+                                }
+                                b
+                            };
+                            bound_cell.store(plan, Ordering::SeqCst);
+                        }
+                        barrier.wait();
+                        let bound = bound_cell.load(Ordering::SeqCst);
+                        if bound == STOP {
+                            break;
+                        }
+                        guard(&mut poison, &mut || {
+                            sh.run_bounded(Some(SimTime::from_micros(bound)));
+                        });
+                    }
+                    if let Some(payload) = poison {
+                        resume_unwind(payload);
+                    }
+                });
+            }
+        });
+        self.windows += windows.into_inner();
+        self.lane_events += lane_events.into_inner();
+        let max_now = self.shards.iter().map(|sh| sh.now).max();
+        if let Some(t) = max_now {
+            self.now = self.now.max(t);
+        }
+    }
+}
+
+/// Rewrites per-shard first-appearance keys into one globally comparable
+/// order, reproducing the *sequential execution* order of the record
+/// stream.
+///
+/// Pre-run and `on_start` keys are already global (harness counter /
+/// node id). Dispatch-phase keys rank by `(tick, local execution
+/// position)`, which is only comparable within one shard: when several
+/// shards hold first appearances in the *same* microsecond tick, their
+/// interleaving must be replayed. The sequential engine's within-tick
+/// order is the greedy head-merge of the shards' local execution
+/// sequences by intrinsic event key — at every step the event the
+/// sequential queue would pop next is the smallest-keyed *head* (local
+/// predecessors must dispatch first, because a same-tick child only
+/// enters the queue when its parent runs; shards not holding first
+/// appearances in the tick cannot reorder the others and are skipped).
+/// The replay assigns each involved event its cross-shard slot, and the
+/// keys are rewritten to `(tick, slot)`.
+#[allow(clippy::type_complexity)]
+fn resolve_first_keys(
+    raw: Vec<Option<(FastHashMap<u64, u128>, FastHashMap<u64, Vec<u64>>)>>,
+) -> Vec<Option<FastHashMap<u64, u128>>> {
+    use crate::sim::{key_mid, key_phase, key_tick, key_with_mid, PHASE_DISPATCH};
+    // Ticks holding dispatch-phase first appearances, per shard.
+    let mut tick_shards: FastHashMap<u64, Vec<usize>> = FastHashMap::default();
+    for (s, entry) in raw.iter().enumerate() {
+        if let Some((keys, _)) = entry {
+            for &key in keys.values() {
+                if key_phase(key) == PHASE_DISPATCH {
+                    let shards = tick_shards.entry(key_tick(key)).or_default();
+                    if shards.last() != Some(&s) && !shards.contains(&s) {
+                        shards.push(s);
+                    }
+                }
+            }
+        }
+    }
+    // Replay every contended tick: cross-shard slot per (tick, shard,
+    // local position).
+    let mut slots: FastHashMap<(u64, usize, u64), u64> = FastHashMap::default();
+    for (&tick, shards) in &tick_shards {
+        if shards.len() < 2 {
+            continue;
+        }
+        let seqs: Vec<&[u64]> = shards
+            .iter()
+            .map(|&s| {
+                raw[s]
+                    .as_ref()
+                    .and_then(|(_, log)| log.get(&tick))
+                    .expect("a shard with first appearances retained the tick")
+                    .as_slice()
+            })
+            .collect();
+        let mut heads = vec![0usize; seqs.len()];
+        let mut slot = 0u64;
+        loop {
+            let next = (0..seqs.len())
+                .filter(|&i| heads[i] < seqs[i].len())
+                .min_by_key(|&i| seqs[i][heads[i]]);
+            let Some(i) = next else { break };
+            slots.insert((tick, shards[i], heads[i] as u64), slot);
+            heads[i] += 1;
+            slot += 1;
+        }
+    }
+    raw.into_iter()
+        .enumerate()
+        .map(|(s, entry)| {
+            entry.map(|(mut keys, _)| {
+                for key in keys.values_mut() {
+                    if key_phase(*key) == PHASE_DISPATCH {
+                        let tick = key_tick(*key);
+                        if tick_shards.get(&tick).is_some_and(|v| v.len() >= 2) {
+                            // The mid field holds the local execution
+                            // position (the record index lives in the
+                            // low bits, untouched by the rewrite).
+                            let pos = key_mid(*key);
+                            let slot = slots[&(tick, s, pos)];
+                            *key = key_with_mid(*key, slot);
+                        }
+                    }
+                }
+                keys
+            })
+        })
+        .collect()
+}
+
+/// The inclusive bound of the window starting at the earliest pending
+/// event: everything strictly earlier than `min_t + lookahead` may run,
+/// clamped to the deadline.
+fn window_bound(min_t: SimTime, lookahead: SimDuration, deadline: Option<SimTime>) -> SimTime {
+    let b = SimTime::from_micros(min_t.as_micros() + lookahead.as_micros() - 1);
+    match deadline {
+        Some(d) => b.min(d),
+        None => b,
+    }
+}
+
+/// Whether the window driver should use worker threads: yes when the
+/// machine has more than one core, overridable with `EGM_SHARD_THREADS`
+/// (`0` forces the single-threaded driver, anything else forces
+/// threads).
+fn shard_threads_enabled() -> bool {
+    match std::env::var("EGM_SHARD_THREADS") {
+        Ok(v) => v != "0",
+        Err(_) => std::thread::available_parallelism()
+            .map(|c| c.get() > 1)
+            .unwrap_or(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{auto_shards_for, Partition, ShardChoice};
+
+    #[test]
+    fn contiguous_partition_covers_every_node_once() {
+        for (n, w) in [(1, 1), (7, 3), (10, 4), (1000, 8), (17, 17)] {
+            let p = Partition::contiguous(n, w);
+            assert_eq!(p.shard_count(), w);
+            assert_eq!(p.node_count(), n);
+            let mut seen = 0usize;
+            for s in 0..w {
+                let r = p.range(s);
+                assert!(!r.is_empty(), "shard {s} empty for n={n}, w={w}");
+                for i in r {
+                    assert_eq!(p.shard_of(i), s);
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, n, "ranges must cover 0..n exactly once");
+        }
+    }
+
+    #[test]
+    fn partition_ranges_are_near_equal() {
+        let p = Partition::contiguous(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|s| p.range(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards than nodes")]
+    fn partition_rejects_oversharding() {
+        let _ = Partition::contiguous(3, 4);
+    }
+
+    #[test]
+    fn auto_default_is_sequential_below_the_floor() {
+        assert_eq!(auto_shards_for(100), 1);
+        assert_eq!(auto_shards_for(999), 1);
+        assert!(auto_shards_for(1000) >= 1);
+        assert!(auto_shards_for(10_000) <= super::MAX_AUTO_SHARDS);
+    }
+
+    #[test]
+    fn shard_choice_engine_selection() {
+        assert!(ShardChoice::Forced(1).use_sharded());
+        assert!(ShardChoice::Forced(4).use_sharded());
+        assert!(!ShardChoice::Forced(0).use_sharded());
+        assert!(!ShardChoice::Auto(1).use_sharded());
+        assert!(ShardChoice::Auto(2).use_sharded());
+    }
+}

@@ -1,16 +1,67 @@
 //! The simulation engine: event loop, protocol trait, and node context.
+//!
+//! # Event ordering: intrinsic `(time, origin, origin-seq)` keys
+//!
+//! Events dispatch in `(time, seq)` order, where `seq` packs the event's
+//! *origin* (the node whose callback scheduled it, or the harness) and a
+//! per-origin counter (`pack_seq`). The key is therefore an intrinsic
+//! property of the schedule — a function of the originating node's own
+//! event history, never of the global interleaving in which pushes
+//! happened to execute. That is what lets the sharded engine
+//! ([`crate::ShardedSim`]) process disjoint node ranges concurrently and
+//! still dispatch every event at exactly the position the sequential
+//! [`Sim`] would: both engines compute identical keys without
+//! coordination.
+//!
+//! For the same reason the network randomness (loss, jitter) is one
+//! stream *per sender* rather than one global stream: a sender's draws
+//! depend only on its own send order, which both engines reproduce.
 
 use crate::event::{EventKind, QueueImpl, QueueStats, Scheduled};
 use crate::net::{Network, SimConfig};
+use crate::shard::Partition;
 use crate::stats::Traffic;
 use crate::time::{SimDuration, SimTime};
 use crate::wire::Wire;
 use crate::NodeId;
+use egm_rng::hash::FastHashMap;
 use egm_rng::Rng;
+use std::sync::Arc;
 
 /// Tag identifying a protocol timer; meaning is private to the node that
 /// set it.
 pub type TimerTag = u64;
+
+/// Bits of [`Scheduled::seq`] carrying the per-origin counter; the top
+/// bits carry the origin rank (0 = harness, node `i` = `i + 1`).
+const LOCAL_SEQ_BITS: u32 = 40;
+
+/// Maximum number of protocol nodes the event-key encoding supports
+/// (24 bits of origin rank, minus the harness rank).
+pub(crate) const MAX_NODES: usize = (1 << (64 - LOCAL_SEQ_BITS)) - 1;
+
+/// Packs an origin rank and its per-origin counter into the
+/// [`Scheduled::seq`] tie-breaker. Keys are unique (each origin counts
+/// its own pushes) and independent of execution interleaving, so the
+/// sequential and sharded engines order same-tick events identically.
+#[inline]
+pub(crate) fn pack_seq(origin_rank: u32, local: u64) -> u64 {
+    debug_assert!((origin_rank as usize) <= MAX_NODES, "origin out of range");
+    debug_assert!(local < (1 << LOCAL_SEQ_BITS), "per-origin counter overflow");
+    ((origin_rank as u64) << LOCAL_SEQ_BITS) | local
+}
+
+/// Forks the deterministic RNG streams exactly as every engine must: one
+/// protocol stream per node in id order, then one network (loss/jitter)
+/// stream per *sender* in id order. The sharded engine slices these
+/// vectors by partition range, so a node's streams are identical no
+/// matter which shard — or engine — drives it.
+pub(crate) fn fork_streams(seed: u64, n: usize) -> (Vec<Rng>, Vec<Rng>) {
+    let mut root = Rng::seed_from_u64(seed);
+    let node_rngs: Vec<Rng> = (0..n).map(|_| root.fork()).collect();
+    let net_rngs: Vec<Rng> = (0..n).map(|_| root.fork()).collect();
+    (node_rngs, net_rngs)
+}
 
 /// Handle to a cancellable timer armed with
 /// [`Context::set_cancellable_timer`].
@@ -87,7 +138,8 @@ impl TimerTable {
 /// All callbacks receive a [`Context`] giving access to the virtual clock,
 /// the node's own id and RNG stream, message sending and timers. Nodes are
 /// single-threaded and run to completion per event (the actor model), so no
-/// synchronization is ever needed.
+/// synchronization is ever needed — including under the sharded engine,
+/// which never runs two events of the same node concurrently.
 ///
 /// # Examples
 ///
@@ -114,6 +166,370 @@ pub trait Protocol {
     /// now" from the traffic generator.
     fn on_command(&mut self, ctx: &mut Context<'_, Self::Msg>, value: u64) {
         let _ = (ctx, value);
+    }
+}
+
+/// Cross-shard routing state carried by a worker shard's core; absent in
+/// the sequential engine.
+#[derive(Debug)]
+pub(crate) struct ShardRoute<M> {
+    /// The node partition, shared by all shards of one run.
+    pub(crate) partition: Arc<Partition>,
+    /// This shard's index.
+    pub(crate) me: usize,
+    /// Outgoing cross-shard deliveries, one lane per destination shard;
+    /// moved into the destination's queue at the next window boundary.
+    pub(crate) lanes: Vec<Vec<Scheduled<EventKind<M>>>>,
+    /// First-appearance order key per directed link, maintained only when
+    /// the merged traffic view will need the global first-appearance
+    /// order (finite spill threshold) — see [`Traffic::merge_shards`].
+    ///
+    /// Within one microsecond tick, *execution* order is not key order:
+    /// a callback may push a same-tick event with a smaller intrinsic
+    /// key (a zero-delay timer from a lower-ranked origin), which the
+    /// engine dispatches *after* its parent. Dispatch-phase keys
+    /// therefore rank events by `(tick, local execution position)`, and
+    /// the seal-time merge replays the cross-shard interleaving of any
+    /// tick holding first appearances from several shards (see
+    /// `crate::shard::resolve_first_keys`) — reproducing the sequential
+    /// record stream exactly.
+    pub(crate) first_keys: Option<FastHashMap<u64, u128>>,
+    /// Order key of the event currently dispatching (low bits left for
+    /// the per-event record index).
+    cur_key: u128,
+    /// Traffic records emitted by the current event so far.
+    cur_idx: u32,
+    /// The tick (µs) the execution buffer below describes.
+    tick_us: u64,
+    /// Intrinsic keys of the protocol events dispatched at `tick_us`, in
+    /// local execution order (fault events and stale timer drops are
+    /// excluded — they emit no records and push nothing, so they are
+    /// transparent to the record order).
+    tick_buf: Vec<u64>,
+    /// First appearances recorded during `tick_us` so far.
+    tick_firsts: u32,
+    /// Retained execution sequences for every tick that held a first
+    /// appearance — the data the seal-time replay needs.
+    tick_log: FastHashMap<u64, Vec<u64>>,
+}
+
+impl<M> ShardRoute<M> {
+    /// Closes the buffered tick: sequences of ticks that held a first
+    /// appearance are retained for the seal-time replay, the rest are
+    /// discarded.
+    fn flush_tick(&mut self) {
+        if self.tick_firsts > 0 {
+            self.tick_log.insert(self.tick_us, self.tick_buf.clone());
+        }
+        self.tick_buf.clear();
+        self.tick_firsts = 0;
+    }
+}
+
+impl<M> ShardRoute<M> {
+    /// Builds the routing state for shard `me` of `shard_count`.
+    pub(crate) fn new(
+        partition: Arc<Partition>,
+        me: usize,
+        shard_count: usize,
+        first_keys: Option<FastHashMap<u64, u128>>,
+    ) -> Self {
+        ShardRoute {
+            partition,
+            me,
+            lanes: (0..shard_count).map(|_| Vec::new()).collect(),
+            first_keys,
+            cur_key: 0,
+            cur_idx: 0,
+            // Sentinel: the first dispatched tick (even tick 0) opens a
+            // fresh buffer.
+            tick_us: u64::MAX,
+            tick_buf: Vec::new(),
+            tick_firsts: 0,
+            tick_log: FastHashMap::default(),
+        }
+    }
+}
+
+/// Phase component of a traffic-record order key: pre-run harness
+/// injections come first, then `on_start` callbacks in node order, then
+/// dispatched events in `(time, seq)` order — exactly the record order of
+/// a sequential run.
+const PHASE_PRERUN: u8 = 0;
+/// See [`PHASE_PRERUN`].
+const PHASE_START: u8 = 1;
+/// See [`PHASE_PRERUN`].
+pub(crate) const PHASE_DISPATCH: u8 = 2;
+
+/// Builds a 128-bit global order key for traffic records:
+/// `phase(2) | time_us(48) | mid(64) | record_idx(14)`. The `mid` field
+/// is the harness counter (phase 0), the node id (phase 1), or the
+/// event's *local execution position within its tick* (phase 2) — the
+/// latter rewritten to a cross-shard slot by the seal-time replay.
+#[inline]
+fn order_key(phase: u8, time_us: u64, mid: u64) -> u128 {
+    debug_assert!(time_us < (1 << 48), "virtual time exceeds key range");
+    ((phase as u128) << 126) | ((time_us as u128) << 78) | ((mid as u128) << 14)
+}
+
+/// Field accessors for the order keys above (merge-time replay).
+pub(crate) fn key_phase(key: u128) -> u8 {
+    (key >> 126) as u8
+}
+
+/// The tick (µs) field of an order key.
+pub(crate) fn key_tick(key: u128) -> u64 {
+    ((key >> 78) & ((1u128 << 48) - 1)) as u64
+}
+
+/// The `mid` field of an order key.
+pub(crate) fn key_mid(key: u128) -> u64 {
+    ((key >> 14) & ((1u128 << 64) - 1)) as u64
+}
+
+/// Replaces the `mid` field of an order key.
+pub(crate) fn key_with_mid(key: u128, mid: u64) -> u128 {
+    (key & !(((1u128 << 64) - 1) << 14)) | ((mid as u128) << 14)
+}
+
+/// Shared mutable simulation state of one engine (the whole run for
+/// [`Sim`], one shard's slice for [`crate::ShardedSim`]): everything but
+/// the protocol nodes themselves.
+#[derive(Debug)]
+pub(crate) struct SimCore<M> {
+    pub(crate) queue: QueueImpl<EventKind<M>>,
+    /// Per-owned-node push counters — the per-origin component of the
+    /// event key — indexed by local node index.
+    node_seqs: Vec<u64>,
+    network: Network,
+    pub(crate) traffic: Traffic,
+    timers: TimerTable,
+    node_rngs: Vec<Rng>,
+    /// Per-sender network RNG streams (loss/jitter/egress draws).
+    net_rngs: Vec<Rng>,
+    /// First node id owned by this core (0 for the sequential engine).
+    pub(crate) base: usize,
+    /// Cross-shard routing; `None` for the sequential engine.
+    pub(crate) route: Option<ShardRoute<M>>,
+}
+
+impl<M: Wire> SimCore<M> {
+    /// Builds the core for one engine. `node_rngs`/`net_rngs` are the
+    /// owned slices of the [`fork_streams`] vectors; `base` is the first
+    /// owned node id.
+    pub(crate) fn new(
+        config: SimConfig,
+        node_rngs: Vec<Rng>,
+        net_rngs: Vec<Rng>,
+        base: usize,
+        route: Option<ShardRoute<M>>,
+    ) -> Self {
+        // A worker shard of a multi-shard run records traffic with an
+        // unbounded local threshold: the spill rule is applied globally
+        // at merge time so it matches the sequential first-appearance
+        // order (see `Traffic::merge_shards`). A single-shard run's
+        // local order *is* the global order, so it keeps the configured
+        // threshold like the sequential engine.
+        let spill = match &route {
+            Some(r) if r.partition.shard_count() > 1 => usize::MAX,
+            _ => config.link_spill_threshold(),
+        };
+        let owned = node_rngs.len();
+        SimCore {
+            // Pre-size the event queue: a gossip burst schedules
+            // ~fanout events per node, so even modest runs reach
+            // hundreds of in-flight events within the first round.
+            queue: config.event_queue().build(1024),
+            node_seqs: vec![0; owned],
+            traffic: Traffic::with_spill_threshold(spill),
+            network: Network::new(config),
+            timers: TimerTable::default(),
+            node_rngs,
+            net_rngs,
+            base,
+            route,
+        }
+    }
+
+    /// Number of nodes owned by this core.
+    pub(crate) fn owned(&self) -> usize {
+        self.node_seqs.len()
+    }
+
+    /// Whether this core owns `node`.
+    fn owns(&self, node: NodeId) -> bool {
+        let i = node.index();
+        i >= self.base && i < self.base + self.node_seqs.len()
+    }
+
+    /// Pushes an event originated by owned node `origin`, assigning its
+    /// intrinsic `(origin, counter)` key and routing it to this core's
+    /// queue or, for a cross-shard delivery, the destination lane.
+    fn push_from(&mut self, origin: NodeId, time: SimTime, kind: EventKind<M>) {
+        let li = origin.index() - self.base;
+        let seq = pack_seq(origin.index() as u32 + 1, self.node_seqs[li]);
+        self.node_seqs[li] += 1;
+        let ev = Scheduled {
+            time,
+            seq,
+            item: kind,
+        };
+        if let Some(route) = &mut self.route {
+            // Only deliveries can cross shards: timers and commands
+            // always target the originating shard's own nodes.
+            if let EventKind::Deliver { to, .. } = &ev.item {
+                let dest = route.partition.shard_of(to.index());
+                if dest != route.me {
+                    route.lanes[dest].push(ev);
+                    return;
+                }
+            }
+        }
+        self.queue.push(ev);
+    }
+
+    /// Pushes a pre-keyed event straight into this core's queue (harness
+    /// scheduling and window-boundary lane merging).
+    pub(crate) fn enqueue(&mut self, ev: Scheduled<EventKind<M>>) {
+        self.queue.push(ev);
+    }
+
+    /// Takes (and empties) the outgoing lane toward `dest`.
+    pub(crate) fn take_lane(&mut self, dest: usize) -> Vec<Scheduled<EventKind<M>>> {
+        std::mem::take(&mut self.route.as_mut().expect("sharded core").lanes[dest])
+    }
+
+    /// Returns a drained lane buffer so its capacity is reused.
+    pub(crate) fn put_lane(&mut self, dest: usize, lane: Vec<Scheduled<EventKind<M>>>) {
+        debug_assert!(lane.is_empty());
+        self.route.as_mut().expect("sharded core").lanes[dest] = lane;
+    }
+
+    /// Whether any outgoing lane holds events.
+    pub(crate) fn lanes_pending(&self) -> bool {
+        self.route
+            .as_ref()
+            .is_some_and(|r| r.lanes.iter().any(|l| !l.is_empty()))
+    }
+
+    /// Earliest queued event time, if any.
+    pub(crate) fn next_time(&self) -> Option<SimTime> {
+        self.queue.next_time()
+    }
+
+    /// Records one transmission and decides its network fate, drawing
+    /// from the *sender's* network stream.
+    fn send_message(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u32,
+        payload: bool,
+    ) -> Option<SimDuration> {
+        self.traffic.record(from, to, bytes, payload);
+        if let Some(route) = &mut self.route {
+            if let Some(map) = &mut route.first_keys {
+                debug_assert!(route.cur_idx < (1 << 14), "record index overflow");
+                let link = ((from.index() as u64) << 32) | to.index() as u64;
+                let pos = route.cur_key | route.cur_idx as u128;
+                if let std::collections::hash_map::Entry::Vacant(e) = map.entry(link) {
+                    e.insert(pos);
+                    // A dispatch-phase first appearance makes the tick's
+                    // execution sequence worth retaining for the replay.
+                    if key_phase(pos) == PHASE_DISPATCH {
+                        route.tick_firsts += 1;
+                    }
+                }
+                route.cur_idx += 1;
+            }
+        }
+        let rng = &mut self.net_rngs[from.index() - self.base];
+        self.network.transmit(rng, now, from, to, bytes)
+    }
+
+    /// Marks the start of one dispatched protocol event so the traffic
+    /// records it emits can be globally ordered (no-op unless
+    /// first-appearance keys are being tracked). The event's intrinsic
+    /// key enters the tick's execution buffer; its *position* there —
+    /// not the key itself — orders its records, because within a tick
+    /// execution order is the priority order over a growing queue, which
+    /// key comparison alone cannot reproduce.
+    fn begin_dispatch(&mut self, time: SimTime, seq: u64) {
+        if let Some(route) = &mut self.route {
+            if route.first_keys.is_some() {
+                let t = time.as_micros();
+                if t != route.tick_us {
+                    route.flush_tick();
+                    route.tick_us = t;
+                }
+                route.tick_buf.push(seq);
+                route.cur_key = order_key(PHASE_DISPATCH, t, (route.tick_buf.len() - 1) as u64);
+                route.cur_idx = 0;
+            }
+        }
+    }
+
+    /// Marks the start of one `on_start` callback (ordered by node id,
+    /// after all pre-run harness records, before all dispatch records).
+    fn begin_start(&mut self, node: NodeId) {
+        if let Some(route) = &mut self.route {
+            if route.first_keys.is_some() {
+                route.cur_key = order_key(PHASE_START, 0, node.index() as u64);
+                route.cur_idx = 0;
+            }
+        }
+    }
+
+    /// Marks the start of one pre-run harness injection (ordered by the
+    /// harness counter, before everything else).
+    pub(crate) fn begin_harness(&mut self, harness_seq: u64) {
+        if let Some(route) = &mut self.route {
+            if route.first_keys.is_some() {
+                route.cur_key = order_key(PHASE_PRERUN, 0, harness_seq);
+                route.cur_idx = 0;
+            }
+        }
+    }
+
+    /// Surrenders the per-link first-appearance keys and the retained
+    /// tick execution sequences for the traffic merge.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn take_first_keys(
+        &mut self,
+    ) -> Option<(FastHashMap<u64, u128>, FastHashMap<u64, Vec<u64>>)> {
+        let route = self.route.as_mut()?;
+        route.flush_tick();
+        let keys = route.first_keys.take()?;
+        Some((keys, std::mem::take(&mut route.tick_log)))
+    }
+
+    /// [`SimCore::send_message`] for harness-side injections (pre-keyed
+    /// by the caller through [`SimCore::begin_harness`]).
+    pub(crate) fn harness_send(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u32,
+        payload: bool,
+    ) -> Option<SimDuration> {
+        self.send_message(now, from, to, bytes, payload)
+    }
+
+    /// See [`Sim::timers_cancelled`].
+    pub(crate) fn timers_cancelled(&self) -> u64 {
+        self.timers.cancelled
+    }
+
+    /// See [`Sim::stale_timer_drops`].
+    pub(crate) fn stale_timer_drops(&self) -> u64 {
+        self.timers.stale_drops
+    }
+
+    /// The network instance (this core's copy, under sharding).
+    pub(crate) fn network(&self) -> &Network {
+        &self.network
     }
 }
 
@@ -145,7 +561,7 @@ impl<M: Wire> Context<'_, M> {
 
     /// This node's private deterministic RNG stream.
     pub fn rng(&mut self) -> &mut Rng {
-        &mut self.core.node_rngs[self.id.index()]
+        &mut self.core.node_rngs[self.id.index() - self.core.base]
     }
 
     /// Sends `msg` to `to` over the virtual network.
@@ -157,14 +573,13 @@ impl<M: Wire> Context<'_, M> {
     pub fn send(&mut self, to: NodeId, msg: M) {
         let from = self.id;
         let bytes = msg.wire_bytes();
-        self.core.traffic.record(from, to, bytes, msg.is_payload());
-        if let Some(delay) =
-            self.core
-                .network
-                .transmit(&mut self.core.net_rng, self.now, from, to, bytes)
+        if let Some(delay) = self
+            .core
+            .send_message(self.now, from, to, bytes, msg.is_payload())
         {
             let time = self.now + delay;
-            self.core.push(time, EventKind::Deliver { to, from, msg });
+            self.core
+                .push_from(from, time, EventKind::Deliver { to, from, msg });
         }
     }
 
@@ -178,7 +593,8 @@ impl<M: Wire> Context<'_, M> {
     pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
         let time = self.now + delay;
         let node = self.id;
-        self.core.push(time, EventKind::Timer { node, tag });
+        self.core
+            .push_from(node, time, EventKind::Timer { node, tag });
     }
 
     /// Schedules [`Protocol::on_timer`] for this node after `delay`,
@@ -191,7 +607,7 @@ impl<M: Wire> Context<'_, M> {
         let time = self.now + delay;
         let node = self.id;
         self.core
-            .push(time, EventKind::CancellableTimer { node, tag, token });
+            .push_from(node, time, EventKind::CancellableTimer { node, tag, token });
         token
     }
 
@@ -204,47 +620,144 @@ impl<M: Wire> Context<'_, M> {
     }
 }
 
-/// Shared mutable simulation state (everything but the nodes themselves).
+/// One engine's execution state: its core plus the protocol nodes it
+/// owns. The sequential [`Sim`] holds exactly one (owning every node);
+/// [`crate::ShardedSim`] holds one per worker shard. Both drive events
+/// through the same dispatch path, which is what makes "W shards" a
+/// performance knob rather than a behavioural one.
 #[derive(Debug)]
-struct SimCore<M> {
-    queue: QueueImpl<EventKind<M>>,
-    seq: u64,
-    network: Network,
-    traffic: Traffic,
-    timers: TimerTable,
-    node_rngs: Vec<Rng>,
-    net_rng: Rng,
+pub(crate) struct EngineState<P: Protocol> {
+    pub(crate) core: SimCore<P::Msg>,
+    pub(crate) nodes: Vec<P>,
+    pub(crate) now: SimTime,
+    pub(crate) started: bool,
+    pub(crate) events_processed: u64,
 }
 
-impl<M> SimCore<M> {
-    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
-        self.queue.push(Scheduled {
-            time,
-            seq: self.seq,
-            item: kind,
-        });
-        self.seq += 1;
+impl<P: Protocol> EngineState<P> {
+    pub(crate) fn new(core: SimCore<P::Msg>, nodes: Vec<P>) -> Self {
+        assert_eq!(core.owned(), nodes.len(), "one RNG stream per node");
+        EngineState {
+            core,
+            nodes,
+            now: SimTime::ZERO,
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Runs [`Protocol::on_start`] on every owned node (in id order) if
+    /// not yet done.
+    pub(crate) fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(self.core.base + i);
+            self.core.begin_start(id);
+            let mut ctx = Context {
+                id,
+                now: self.now,
+                core: &mut self.core,
+            };
+            self.nodes[i].on_start(&mut ctx);
+        }
+    }
+
+    /// Dispatches one popped event (or drops it, if it is a stale
+    /// cancelled timer).
+    pub(crate) fn dispatch(&mut self, ev: Scheduled<EventKind<P::Msg>>) {
+        debug_assert!(ev.time >= self.now, "time must be monotonic");
+        if let EventKind::CancellableTimer { token, .. } = &ev.item {
+            if !self.core.timers.fire(*token) {
+                return; // stale: dropped before dispatch
+            }
+        }
+        self.now = ev.time;
+        // Fault events stay out of the record-order bookkeeping: they
+        // emit no records and push no events, and they are replicated
+        // per shard (their non-unique keys would corrupt the replay).
+        if !matches!(ev.item, EventKind::Silence(_) | EventKind::Revive(_)) {
+            self.core.begin_dispatch(ev.time, ev.seq);
+        }
+        let base = self.core.base;
+        match ev.item {
+            EventKind::Deliver { to, from, msg } => {
+                self.events_processed += 1;
+                let mut ctx = Context {
+                    id: to,
+                    now: self.now,
+                    core: &mut self.core,
+                };
+                self.nodes[to.index() - base].on_receive(&mut ctx, from, msg);
+            }
+            EventKind::Timer { node, tag } | EventKind::CancellableTimer { node, tag, .. } => {
+                self.events_processed += 1;
+                let mut ctx = Context {
+                    id: node,
+                    now: self.now,
+                    core: &mut self.core,
+                };
+                self.nodes[node.index() - base].on_timer(&mut ctx, tag);
+            }
+            EventKind::Command { node, value } => {
+                self.events_processed += 1;
+                let mut ctx = Context {
+                    id: node,
+                    now: self.now,
+                    core: &mut self.core,
+                };
+                self.nodes[node.index() - base].on_command(&mut ctx, value);
+            }
+            // Fault events are replicated to every shard (each keeps its
+            // own fault view); the event is *counted* once, by the shard
+            // owning the affected node, so `events_processed` sums to the
+            // sequential engine's count.
+            EventKind::Silence(node) => {
+                if self.core.owns(node) {
+                    self.events_processed += 1;
+                }
+                self.core.network.silence(node);
+            }
+            EventKind::Revive(node) => {
+                if self.core.owns(node) {
+                    self.events_processed += 1;
+                }
+                self.core.network.revive(node);
+            }
+        }
+    }
+
+    /// Dispatches every queued event with time `<= bound` (all of them
+    /// when `bound` is `None`).
+    pub(crate) fn run_bounded(&mut self, bound: Option<SimTime>) {
+        self.ensure_started();
+        while let Some(ev) = self.core.queue.pop_next(bound) {
+            self.dispatch(ev);
+        }
     }
 }
 
-/// The discrete-event simulator driving a set of [`Protocol`] nodes.
+/// The sequential discrete-event simulator driving a set of [`Protocol`]
+/// nodes on one thread. [`crate::ShardedSim`] is the partitioned
+/// equivalent for large runs; both produce byte-identical results.
 ///
 /// See the crate-level documentation for an end-to-end example.
 #[derive(Debug)]
 pub struct Sim<P: Protocol> {
-    core: SimCore<P::Msg>,
-    nodes: Vec<P>,
-    now: SimTime,
-    started: bool,
-    events_processed: u64,
+    eng: EngineState<P>,
+    /// Counter behind harness-originated event keys (commands, faults,
+    /// external sends), mirrored by the sharded engine.
+    harness_seq: u64,
 }
 
 impl<P: Protocol> Sim<P> {
     /// Creates a simulation of `nodes` over the configured network.
     ///
     /// `seed` determines every random choice in the run: node RNG streams
-    /// are forked from it in id order, plus one stream for the network
-    /// (loss/jitter).
+    /// are forked from it in id order, followed by one network stream
+    /// (loss/jitter) per sender.
     ///
     /// # Panics
     ///
@@ -256,74 +769,59 @@ impl<P: Protocol> Sim<P> {
             config.node_count(),
             "node vector must match network size"
         );
-        let mut root = Rng::seed_from_u64(seed);
-        let node_rngs: Vec<Rng> = (0..nodes.len()).map(|_| root.fork()).collect();
-        let net_rng = root.fork();
-        let queue_kind = config.event_queue();
+        assert!(nodes.len() <= MAX_NODES, "too many nodes for event keys");
+        let (node_rngs, net_rngs) = fork_streams(seed, nodes.len());
+        let core = SimCore::new(config, node_rngs, net_rngs, 0, None);
         Sim {
-            core: SimCore {
-                // Pre-size the event queue: a gossip burst schedules
-                // ~fanout events per node, so even modest runs reach
-                // hundreds of in-flight events within the first round.
-                queue: queue_kind.build(1024),
-                seq: 0,
-                traffic: Traffic::with_spill_threshold(config.link_spill_threshold()),
-                network: Network::new(config),
-                timers: TimerTable::default(),
-                node_rngs,
-                net_rng,
-            },
-            nodes,
-            now: SimTime::ZERO,
-            started: false,
-            events_processed: 0,
+            eng: EngineState::new(core, nodes),
+            harness_seq: 0,
         }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.eng.now
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.eng.nodes.len()
     }
 
     /// Total events processed so far. Stale cancellable-timer events that
     /// are dropped at pop time are *not* counted — they never dispatch.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.eng.events_processed
     }
 
     /// Number of timers cancelled through [`Context::cancel_timer`].
     pub fn timers_cancelled(&self) -> u64 {
-        self.core.timers.cancelled
+        self.eng.core.timers_cancelled()
     }
 
     /// Number of stale (cancelled) timer events dropped at pop time
     /// before dispatch.
     pub fn stale_timer_drops(&self) -> u64 {
-        self.core.timers.stale_drops
+        self.eng.core.stale_timer_drops()
     }
 
     /// Transport-level traffic accounting.
     pub fn traffic(&self) -> &Traffic {
-        &self.core.traffic
+        &self.eng.core.traffic
     }
 
     /// Seals the traffic log so repeated per-link queries are O(1) (see
     /// [`Traffic::seal`]). Call once measurement is over: the simulation
     /// must not send any further messages afterwards.
     pub fn seal_traffic(&mut self) {
-        self.core.traffic.seal();
+        self.eng.core.traffic.seal();
     }
 
     /// Event-queue counters (pushes/pops plus, for the calendar queue,
     /// bucket geometry and resize activity). See
     /// [`crate::event::QueueStats`].
     pub fn queue_stats(&self) -> QueueStats {
-        self.core.queue.stats()
+        self.eng.core.queue.stats()
     }
 
     /// Immutable access to a protocol node (e.g. to read final state).
@@ -332,7 +830,7 @@ impl<P: Protocol> Sim<P> {
     ///
     /// Panics if the id is out of range.
     pub fn node(&self, id: NodeId) -> &P {
-        &self.nodes[id.index()]
+        &self.eng.nodes[id.index()]
     }
 
     /// Mutable access to a protocol node (e.g. for harness-side setup).
@@ -341,31 +839,48 @@ impl<P: Protocol> Sim<P> {
     ///
     /// Panics if the id is out of range.
     pub fn node_mut(&mut self, id: NodeId) -> &mut P {
-        &mut self.nodes[id.index()]
+        &mut self.eng.nodes[id.index()]
     }
 
     /// Iterates over all nodes with their ids.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+        self.eng
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i), n))
     }
 
     /// The virtual network (to inspect fault state).
     pub fn network(&self) -> &Network {
-        &self.core.network
+        self.eng.core.network()
     }
 
-    /// Injects a message from outside the simulation (no traffic tally),
-    /// delivered after the usual network delay. Useful in tests.
+    /// Reserves the next harness event key.
+    fn next_harness_seq(&mut self) -> u64 {
+        let seq = pack_seq(0, self.harness_seq);
+        self.harness_seq += 1;
+        seq
+    }
+
+    /// Injects a message from outside the simulation, delivered after the
+    /// usual network delay. Useful in tests.
     pub fn send_external(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        let seq = self.next_harness_seq();
         let bytes = msg.wire_bytes();
-        self.core.traffic.record(from, to, bytes, msg.is_payload());
-        if let Some(delay) =
-            self.core
-                .network
-                .transmit(&mut self.core.net_rng, self.now, from, to, bytes)
+        self.eng.core.begin_harness(seq);
+        let now = self.eng.now;
+        if let Some(delay) = self
+            .eng
+            .core
+            .send_message(now, from, to, bytes, msg.is_payload())
         {
-            let time = self.now + delay;
-            self.core.push(time, EventKind::Deliver { to, from, msg });
+            let time = now + delay;
+            self.eng.core.enqueue(Scheduled {
+                time,
+                seq,
+                item: EventKind::Deliver { to, from, msg },
+            });
         }
     }
 
@@ -375,8 +890,13 @@ impl<P: Protocol> Sim<P> {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_command(&mut self, at: SimTime, node: NodeId, value: u64) {
-        assert!(at >= self.now, "cannot schedule in the past");
-        self.core.push(at, EventKind::Command { node, value });
+        assert!(at >= self.eng.now, "cannot schedule in the past");
+        let seq = self.next_harness_seq();
+        self.eng.core.enqueue(Scheduled {
+            time: at,
+            seq,
+            item: EventKind::Command { node, value },
+        });
     }
 
     /// Schedules node silencing (fault injection, §6.3) at time `at`.
@@ -385,8 +905,13 @@ impl<P: Protocol> Sim<P> {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_silence(&mut self, at: SimTime, node: NodeId) {
-        assert!(at >= self.now, "cannot schedule in the past");
-        self.core.push(at, EventKind::Silence(node));
+        assert!(at >= self.eng.now, "cannot schedule in the past");
+        let seq = self.next_harness_seq();
+        self.eng.core.enqueue(Scheduled {
+            time: at,
+            seq,
+            item: EventKind::Silence(node),
+        });
     }
 
     /// Schedules node revival at time `at`.
@@ -395,24 +920,13 @@ impl<P: Protocol> Sim<P> {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_revive(&mut self, at: SimTime, node: NodeId) {
-        assert!(at >= self.now, "cannot schedule in the past");
-        self.core.push(at, EventKind::Revive(node));
-    }
-
-    /// Runs [`Protocol::on_start`] on every node if not yet done.
-    fn ensure_started(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
-        for i in 0..self.nodes.len() {
-            let mut ctx = Context {
-                id: NodeId(i),
-                now: self.now,
-                core: &mut self.core,
-            };
-            self.nodes[i].on_start(&mut ctx);
-        }
+        assert!(at >= self.eng.now, "cannot schedule in the past");
+        let seq = self.next_harness_seq();
+        self.eng.core.enqueue(Scheduled {
+            time: at,
+            seq,
+            item: EventKind::Revive(node),
+        });
     }
 
     /// Processes the next event, if any. Returns `false` when the queue is
@@ -423,70 +937,26 @@ impl<P: Protocol> Sim<P> {
     /// protocol is never called, and [`Sim::events_processed`] does not
     /// count it (see [`Sim::stale_timer_drops`]).
     pub fn step(&mut self) -> bool {
-        self.ensure_started();
-        let Some(ev) = self.core.queue.pop_next(None) else {
+        self.eng.ensure_started();
+        let Some(ev) = self.eng.core.queue.pop_next(None) else {
             return false;
         };
-        self.dispatch(ev);
+        self.eng.dispatch(ev);
         true
-    }
-
-    /// Dispatches one popped event (or drops it, if it is a stale
-    /// cancelled timer).
-    fn dispatch(&mut self, ev: Scheduled<EventKind<P::Msg>>) {
-        debug_assert!(ev.time >= self.now, "time must be monotonic");
-        if let EventKind::CancellableTimer { token, .. } = &ev.item {
-            if !self.core.timers.fire(*token) {
-                return; // stale: dropped before dispatch
-            }
-        }
-        self.now = ev.time;
-        self.events_processed += 1;
-        match ev.item {
-            EventKind::Deliver { to, from, msg } => {
-                let mut ctx = Context {
-                    id: to,
-                    now: self.now,
-                    core: &mut self.core,
-                };
-                self.nodes[to.index()].on_receive(&mut ctx, from, msg);
-            }
-            EventKind::Timer { node, tag } | EventKind::CancellableTimer { node, tag, .. } => {
-                let mut ctx = Context {
-                    id: node,
-                    now: self.now,
-                    core: &mut self.core,
-                };
-                self.nodes[node.index()].on_timer(&mut ctx, tag);
-            }
-            EventKind::Command { node, value } => {
-                let mut ctx = Context {
-                    id: node,
-                    now: self.now,
-                    core: &mut self.core,
-                };
-                self.nodes[node.index()].on_command(&mut ctx, value);
-            }
-            EventKind::Silence(node) => self.core.network.silence(node),
-            EventKind::Revive(node) => self.core.network.revive(node),
-        }
     }
 
     /// Runs until the event queue is exhausted or virtual time would pass
     /// `deadline`; the clock finishes at `deadline` if it was reached.
     pub fn run_until(&mut self, deadline: SimTime) {
-        self.ensure_started();
-        while let Some(ev) = self.core.queue.pop_next(Some(deadline)) {
-            self.dispatch(ev);
-        }
-        if self.now < deadline {
-            self.now = deadline;
+        self.eng.run_bounded(Some(deadline));
+        if self.eng.now < deadline {
+            self.eng.now = deadline;
         }
     }
 
     /// Runs for `d` of virtual time from now.
     pub fn run_for(&mut self, d: SimDuration) {
-        let deadline = self.now + d;
+        let deadline = self.eng.now + d;
         self.run_until(deadline);
     }
 
@@ -496,7 +966,6 @@ impl<P: Protocol> Sim<P> {
         while self.step() {}
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::{Context, Protocol, Sim};

@@ -345,6 +345,92 @@ impl Traffic {
         }
     }
 
+    /// Merges per-shard traffic tables into the sealed view a sequential
+    /// run would produce.
+    ///
+    /// Each part must still be recording (unsealed) and must have used an
+    /// *unbounded* spill threshold, so no link was folded away shard-
+    /// locally. Totals, per-node payload counters and per-link tallies
+    /// are plain sums (links are disjoint across sender-partitioned
+    /// shards, but equal keys merge defensively). The first-appearance
+    /// spill rule needs the *global* record order, which shard-local
+    /// positions cannot provide — `first_keys` supplies it: per shard, a
+    /// map from the packed directed link (`from << 32 | to`) to the
+    /// 128-bit order key of the link's first record (see
+    /// `SimCore::begin_dispatch`). Ranking links by that key reproduces
+    /// the sequential engine's spill selection exactly; the keys are only
+    /// required when the merged distinct-link count actually exceeds
+    /// `spill_threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a part was already sealed, or if the spill rule needs
+    /// first-appearance keys that were not tracked.
+    pub(crate) fn merge_shards(
+        parts: Vec<Traffic>,
+        first_keys: Vec<Option<egm_rng::hash::FastHashMap<u64, u128>>>,
+        spill_threshold: usize,
+    ) -> Traffic {
+        let single = parts.len() == 1;
+        let mut total = LinkTally::default();
+        let mut node_payloads: Vec<u64> = Vec::new();
+        let mut records_seen = 0u64;
+        let mut flat: Vec<LinkAcc> = Vec::new();
+        for mut part in parts {
+            assert!(part.sealed.is_none(), "cannot merge sealed traffic");
+            total.messages += part.total.messages;
+            total.bytes += part.total.bytes;
+            total.payloads += part.total.payloads;
+            records_seen += part.records_seen;
+            if node_payloads.len() < part.node_payloads.len() {
+                node_payloads.resize(part.node_payloads.len(), 0);
+            }
+            for (i, v) in part.node_payloads.iter().enumerate() {
+                node_payloads[i] += v;
+            }
+            part.compact();
+            flat = Self::merge(flat, std::mem::take(&mut part.folded));
+        }
+        // A single part's local record positions already are the global
+        // order — the spill rule can use them directly, no keys needed.
+        if flat.len() > spill_threshold && !single {
+            // Rank links by their global first-appearance key; the ranks
+            // replace the (shard-local, incomparable) first positions.
+            let mut keyed: Vec<(u128, u32)> = Vec::with_capacity(flat.len());
+            for (idx, link) in flat.iter().enumerate() {
+                let packed = (u64::from(link.from) << 32) | u64::from(link.to);
+                let key = first_keys
+                    .iter()
+                    .flatten()
+                    .filter_map(|m| m.get(&packed))
+                    .min()
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "link ({}, {}) has no first-appearance key: the sharded \
+                             engine must track keys whenever the spill threshold is \
+                             finite",
+                            link.from, link.to
+                        )
+                    });
+                keyed.push((*key, idx as u32));
+            }
+            keyed.sort_unstable();
+            for (rank, &(_, idx)) in keyed.iter().enumerate() {
+                flat[idx as usize].first_pos = rank as u64;
+            }
+        }
+        let sealed = Self::finish(flat, spill_threshold);
+        Traffic {
+            log: Vec::new(),
+            folded: Vec::new(),
+            records_seen,
+            sealed: Some(sealed),
+            total,
+            node_payloads,
+            spill_threshold,
+        }
+    }
+
     /// Runs `f` over the per-link view — the sealed one if available,
     /// otherwise a freshly aggregated snapshot of the folded state plus
     /// the log so far.

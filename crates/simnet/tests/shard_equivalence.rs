@@ -1,0 +1,630 @@
+//! Equivalence suite for the sharded event loop.
+//!
+//! The sharded engine is only allowed to exist because it is
+//! indistinguishable from the sequential one: identical per-node dispatch
+//! traces, identical counters, identical sealed traffic (including the
+//! first-appearance spill order) for every shard count and both window
+//! drivers. Layers:
+//!
+//! 1. **Partitioner properties** — every node lands in exactly one
+//!    contiguous shard range, for arbitrary `(n, W)`.
+//! 2. **Lookahead exactness** — the window lookahead's latency floor
+//!    equals the true minimum cross-shard latency (brute-forced over all
+//!    pairs) on dense and routed models.
+//! 3. **Full-simulation lockstep** — a chaos protocol (bursty sends,
+//!    same-tick ties, cancellable timers armed and cancelled from the
+//!    node RNG streams, fault injection) runs once sequentially and once
+//!    per shard width; all observable outputs must match byte for byte.
+//!
+//! The CI `shard-equivalence` job runs this suite with a fixed case
+//! count (`PROPTEST_CASES`).
+
+use egm_simnet::{
+    Context, LinkTally, NodeId, Partition, Protocol, ShardedSim, Sim, SimConfig, SimDuration,
+    SimTime, TimerToken, Wire,
+};
+use egm_topology::{RoutedModel, TransitStubConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Probe(u64);
+
+impl Wire for Probe {
+    fn wire_bytes(&self) -> u32 {
+        24
+    }
+    fn is_payload(&self) -> bool {
+        true
+    }
+}
+
+/// A `Send` chaos node: every dispatch appends to the node's *own* trace
+/// (kind, virtual time, detail), so comparing per-node traces compares
+/// the complete global dispatch behaviour without shared state.
+struct Chaos {
+    trace: Vec<(u8, u64, u64)>,
+    tokens: Vec<TimerToken>,
+    budget: u32,
+}
+
+impl Chaos {
+    fn new(budget: u32) -> Self {
+        Chaos {
+            trace: Vec::new(),
+            tokens: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Drives send/schedule/cancel decisions from the node's
+    /// deterministic RNG stream; both engines see identical streams, so
+    /// any trace divergence is the engine's fault.
+    fn act(&mut self, ctx: &mut Context<'_, Probe>) {
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        let n = ctx.node_count();
+        for _ in 0..2 {
+            match ctx.rng().range_usize(0, 6) {
+                0 => {
+                    let delay = SimDuration::from_micros(ctx.rng().range_usize(0, 5_000) as u64);
+                    ctx.set_timer(delay, 1);
+                }
+                1 => {
+                    let delay = SimDuration::from_micros(ctx.rng().range_usize(0, 9_000) as u64);
+                    let token = ctx.set_cancellable_timer(delay, 2);
+                    self.tokens.push(token);
+                }
+                2 => {
+                    if !self.tokens.is_empty() {
+                        let i = ctx.rng().range_usize(0, self.tokens.len());
+                        let token = self.tokens.swap_remove(i);
+                        ctx.cancel_timer(token);
+                    }
+                }
+                3 | 4 => {
+                    let to = NodeId(ctx.rng().range_usize(0, n));
+                    let stamp = ctx.now().as_micros();
+                    ctx.send(to, Probe(stamp));
+                }
+                _ => {
+                    // Same-tick tie: a zero-delay self-timer.
+                    ctx.set_timer(SimDuration::ZERO, 3);
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for Chaos {
+    type Msg = Probe;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Probe>) {
+        self.trace.push((0, 0, 0));
+        let first = SimDuration::from_micros(ctx.rng().range_usize(0, 500) as u64);
+        ctx.set_timer(first, 0);
+    }
+
+    fn on_receive(&mut self, ctx: &mut Context<'_, Probe>, from: NodeId, msg: Probe) {
+        self.trace.push((
+            1,
+            ctx.now().as_micros(),
+            ((from.index() as u64) << 32) | msg.0 & 0xFFFF_FFFF,
+        ));
+        self.act(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Probe>, tag: u64) {
+        self.trace.push((2, ctx.now().as_micros(), tag));
+        self.act(ctx);
+    }
+
+    fn on_command(&mut self, ctx: &mut Context<'_, Probe>, value: u64) {
+        self.trace.push((3, ctx.now().as_micros(), value));
+        // A multicast-like burst, including same-tick fan-out.
+        let n = ctx.node_count();
+        for k in 0..3 {
+            let to = NodeId((value as usize + k * 7 + 1) % n);
+            ctx.send(to, Probe(value));
+        }
+        self.act(ctx);
+    }
+}
+
+/// Everything observable about one finished run.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    traces: Vec<Vec<(u8, u64, u64)>>,
+    events: u64,
+    cancelled: u64,
+    stale_drops: u64,
+    total_messages: u64,
+    total_bytes: u64,
+    total_payloads: u64,
+    links: Vec<((NodeId, NodeId), LinkTally)>,
+    spilled: LinkTally,
+    link_count: usize,
+    payloads_per_node: Vec<u64>,
+    now_us: u64,
+}
+
+/// One scripted workload: harness commands plus fault injection.
+#[derive(Debug, Clone)]
+struct Script {
+    n: usize,
+    seed: u64,
+    budget: u32,
+    commands: Vec<(u64, usize, u64)>,
+    faults: Vec<(u64, usize, u64)>,
+    deadline_us: u64,
+}
+
+enum Engine {
+    Seq(Box<Sim<Chaos>>),
+    Sharded(Box<ShardedSim<Chaos>>),
+}
+
+fn run_script(config: SimConfig, script: &Script, shards: Option<(usize, bool)>) -> Snapshot {
+    let nodes: Vec<Chaos> = (0..script.n).map(|_| Chaos::new(script.budget)).collect();
+    let mut engine = match shards {
+        None => Engine::Seq(Box::new(Sim::new(config, script.seed, nodes))),
+        Some((w, threaded)) => {
+            let mut sim = ShardedSim::new(config, script.seed, nodes, w);
+            sim.set_threaded(threaded);
+            Engine::Sharded(Box::new(sim))
+        }
+    };
+    for &(at, node, value) in &script.commands {
+        let (at, node) = (SimTime::from_micros(at), NodeId(node % script.n));
+        match &mut engine {
+            Engine::Seq(s) => s.schedule_command(at, node, value),
+            Engine::Sharded(s) => s.schedule_command(at, node, value),
+        }
+    }
+    for &(at, node, down_us) in &script.faults {
+        let node = NodeId(node % script.n);
+        let (down, up) = (SimTime::from_micros(at), SimTime::from_micros(at + down_us));
+        match &mut engine {
+            Engine::Seq(s) => {
+                s.schedule_silence(down, node);
+                s.schedule_revive(up, node);
+            }
+            Engine::Sharded(s) => {
+                s.schedule_silence(down, node);
+                s.schedule_revive(up, node);
+            }
+        }
+    }
+    let deadline = SimTime::from_micros(script.deadline_us);
+    match engine {
+        Engine::Seq(mut s) => {
+            s.run_until(deadline);
+            s.seal_traffic();
+            let t = s.traffic();
+            Snapshot {
+                traces: s.nodes().map(|(_, n)| n.trace.clone()).collect(),
+                events: s.events_processed(),
+                cancelled: s.timers_cancelled(),
+                stale_drops: s.stale_timer_drops(),
+                total_messages: t.total_messages(),
+                total_bytes: t.total_bytes(),
+                total_payloads: t.total_payloads(),
+                links: t.links(),
+                spilled: t.spilled(),
+                link_count: t.link_count(),
+                payloads_per_node: t.payloads_sent_per_node(script.n),
+                now_us: s.now().as_micros(),
+            }
+        }
+        Engine::Sharded(mut s) => {
+            s.run_until(deadline);
+            s.seal_traffic();
+            let t = s.traffic();
+            Snapshot {
+                traces: s.nodes().map(|(_, n)| n.trace.clone()).collect(),
+                events: s.events_processed(),
+                cancelled: s.timers_cancelled(),
+                stale_drops: s.stale_timer_drops(),
+                total_messages: t.total_messages(),
+                total_bytes: t.total_bytes(),
+                total_payloads: t.total_payloads(),
+                links: t.links(),
+                spilled: t.spilled(),
+                link_count: t.link_count(),
+                payloads_per_node: t.payloads_sent_per_node(script.n),
+                now_us: s.now().as_micros(),
+            }
+        }
+    }
+}
+
+fn default_script(n: usize, seed: u64) -> Script {
+    Script {
+        n,
+        seed,
+        budget: 40,
+        commands: (0..8)
+            .map(|k| (1_000 + k * 3_700, (seed as usize + k as usize) % n, k))
+            .collect(),
+        faults: vec![(9_000, seed as usize % n, 15_000)],
+        deadline_us: 80_000,
+    }
+}
+
+// --- fixed-scenario lockstep ----------------------------------------------
+
+#[test]
+fn sharded_matches_sequential_on_uniform_network() {
+    let script = default_script(12, 7);
+    let config = || SimConfig::uniform(12, 3.0);
+    let seq = run_script(config(), &script, None);
+    for w in [1, 2, 3, 4] {
+        for threaded in [false, true] {
+            let sharded = run_script(config(), &script, Some((w, threaded)));
+            assert_eq!(seq, sharded, "divergence at W={w}, threaded={threaded}");
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_sequential_with_loss_jitter_and_spill() {
+    let script = default_script(10, 21);
+    let config = || {
+        SimConfig::uniform(10, 2.5)
+            .with_loss(0.2)
+            .with_jitter(0.15)
+            .with_link_spill_threshold(12)
+    };
+    let seq = run_script(config(), &script, None);
+    assert!(
+        seq.spilled.messages > 0,
+        "the scenario must actually exercise the spill rule"
+    );
+    for w in [2, 4] {
+        for threaded in [false, true] {
+            let sharded = run_script(config(), &script, Some((w, threaded)));
+            assert_eq!(seq, sharded, "divergence at W={w}, threaded={threaded}");
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_sequential_on_routed_model() {
+    let model = TransitStubConfig::small().with_clients(40).build();
+    let script = default_script(40, 3);
+    let config = || SimConfig::from_model(model.clone()).with_egress_bandwidth(200_000.0);
+    let seq = run_script(config(), &script, None);
+    for w in [2, 4] {
+        let sharded = run_script(config(), &script, Some((w, true)));
+        assert_eq!(seq, sharded, "divergence at W={w}");
+    }
+}
+
+#[test]
+fn single_shard_is_bit_identical_to_the_plain_sim() {
+    // W = 1 runs the sharded engine windowless; it must still be the
+    // sequential engine, observable bit for bit.
+    for seed in [1, 11, 99] {
+        let script = default_script(9, seed);
+        let config = || SimConfig::uniform(9, 4.0).with_jitter(0.1);
+        let seq = run_script(config(), &script, None);
+        let sharded = run_script(config(), &script, Some((1, false)));
+        assert_eq!(seq, sharded, "W=1 diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn window_drivers_agree() {
+    // The threaded and single-threaded window drivers plan identical
+    // windows; equality to `seq` transitively covers this, but pinning
+    // it directly localizes a failure.
+    let script = default_script(14, 5);
+    let config = || SimConfig::uniform(14, 2.0);
+    let st = run_script(config(), &script, Some((4, false)));
+    let mt = run_script(config(), &script, Some((4, true)));
+    assert_eq!(st, mt);
+}
+
+/// A protocol engineered to invert key order against execution order
+/// within one microsecond tick: node 2, on receiving from node 3, sends
+/// on a fresh link *and* arms a zero-delay timer whose event key (origin
+/// rank 3) is smaller than the triggering delivery's (origin rank 4);
+/// the timer then sends on another fresh link. The sequential record
+/// stream sees the delivery's link first, execution order — not key
+/// order — and the sharded spill reconstruction must reproduce that.
+struct Inversion;
+
+impl Protocol for Inversion {
+    type Msg = Probe;
+
+    fn on_receive(&mut self, ctx: &mut Context<'_, Probe>, from: NodeId, _msg: Probe) {
+        if ctx.id() == NodeId(2) && from == NodeId(3) {
+            ctx.send(NodeId(0), Probe(2));
+            ctx.set_timer(SimDuration::ZERO, 7);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Probe>, tag: u64) {
+        if tag == 7 {
+            ctx.send(NodeId(1), Probe(3));
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Context<'_, Probe>, value: u64) {
+        match value {
+            0 => ctx.send(NodeId(1), Probe(0)),
+            _ => ctx.send(NodeId(2), Probe(1)),
+        }
+    }
+}
+
+#[test]
+fn spill_order_survives_same_tick_key_inversion() {
+    // Four distinct links appear in the order 0→1, 3→2, 2→0, 2→1; a
+    // threshold of 3 puts the cutoff exactly between the same-tick
+    // inverted pair, so ranking by event key instead of execution order
+    // would track 2→1 and spill 2→0.
+    let config = || SimConfig::uniform(4, 5.0).with_link_spill_threshold(3);
+    let run = |shards: Option<(usize, bool)>| {
+        let nodes: Vec<Inversion> = (0..4).map(|_| Inversion).collect();
+        let deadline = SimTime::from_micros(50_000);
+        match shards {
+            None => {
+                let mut s = Sim::new(config(), 1, nodes);
+                s.schedule_command(SimTime::from_micros(1_000), NodeId(0), 0);
+                s.schedule_command(SimTime::from_micros(2_000), NodeId(3), 1);
+                s.run_until(deadline);
+                s.seal_traffic();
+                (s.traffic().links(), s.traffic().spilled())
+            }
+            Some((w, threaded)) => {
+                let mut s = ShardedSim::new(config(), 1, nodes, w);
+                s.set_threaded(threaded);
+                s.schedule_command(SimTime::from_micros(1_000), NodeId(0), 0);
+                s.schedule_command(SimTime::from_micros(2_000), NodeId(3), 1);
+                s.run_until(deadline);
+                s.seal_traffic();
+                (s.traffic().links(), s.traffic().spilled())
+            }
+        }
+    };
+    let (seq_links, seq_spill) = run(None);
+    assert_eq!(seq_links.len(), 3, "three tracked links");
+    assert!(
+        seq_links
+            .iter()
+            .any(|&((f, t), _)| f == NodeId(2) && t == NodeId(0)),
+        "sequential tracks the delivery's link (2→0): {seq_links:?}"
+    );
+    assert_eq!(seq_spill.messages, 1, "the timer's link (2→1) spills");
+    for w in [2usize, 4] {
+        for threaded in [false, true] {
+            let (links, spill) = run(Some((w, threaded)));
+            assert_eq!(
+                links, seq_links,
+                "tracked set diverged at W={w}, threaded={threaded}"
+            );
+            assert_eq!(spill, seq_spill);
+        }
+    }
+}
+
+/// Arms one timer on node 3 and panics when it fires.
+struct Bomb;
+
+impl Protocol for Bomb {
+    type Msg = Probe;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Probe>) {
+        if ctx.id() == NodeId(3) {
+            ctx.set_timer(SimDuration::from_micros(5_000), 99);
+        }
+    }
+
+    fn on_receive(&mut self, _ctx: &mut Context<'_, Probe>, _from: NodeId, _msg: Probe) {}
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Probe>, tag: u64) {
+        if tag == 99 {
+            panic!("protocol bomb");
+        }
+    }
+}
+
+#[test]
+fn threaded_driver_propagates_worker_panics() {
+    // `Barrier` does not poison: without the per-segment panic guards a
+    // panicking worker would strand its peers forever. The panic must
+    // surface to the caller instead of deadlocking.
+    let result = std::panic::catch_unwind(|| {
+        let nodes: Vec<Bomb> = (0..4).map(|_| Bomb).collect();
+        let mut sim = ShardedSim::new(SimConfig::uniform(4, 1.0), 1, nodes, 2);
+        sim.set_threaded(true);
+        sim.run_until(SimTime::from_micros(20_000));
+    });
+    assert!(result.is_err(), "the worker panic must propagate");
+}
+
+#[test]
+fn run_to_idle_clock_agrees_across_engines_and_drivers() {
+    // `run_until` clamps the clock to the deadline, which would mask a
+    // driver-dependent finish time; drain to idle instead and require
+    // every engine/driver to stop at the same (last-event) instant.
+    let n = 10;
+    let config = || SimConfig::uniform(n, 3.0);
+    let build = || -> Vec<Chaos> { (0..n).map(|_| Chaos::new(25)).collect() };
+    let schedule = |f: &mut dyn FnMut(SimTime, NodeId, u64)| {
+        for k in 0..5u64 {
+            f(SimTime::from_micros(500 + k * 2_100), NodeId(k as usize), k);
+        }
+    };
+    let mut seq = Sim::new(config(), 9, build());
+    schedule(&mut |at, node, v| seq.schedule_command(at, node, v));
+    seq.run_to_idle();
+    for w in [1usize, 3] {
+        for threaded in [false, true] {
+            let mut sharded = ShardedSim::new(config(), 9, build(), w);
+            sharded.set_threaded(threaded);
+            schedule(&mut |at, node, v| sharded.schedule_command(at, node, v));
+            sharded.run_to_idle();
+            assert_eq!(
+                sharded.now(),
+                seq.now(),
+                "finish time diverged at W={w}, threaded={threaded}"
+            );
+            assert_eq!(sharded.events_processed(), seq.events_processed());
+        }
+    }
+}
+
+// --- lookahead exactness --------------------------------------------------
+
+/// Brute-force minimum cross-shard latency over all pairs.
+fn brute_min_cross(model: &RoutedModel, assignment: &[u32]) -> Option<f64> {
+    let n = model.client_count();
+    let mut best: Option<f64> = None;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if assignment[a] != assignment[b] {
+                let l = model.latency_ms(a, b);
+                if best.map_or(true, |x| l < x) {
+                    best = Some(l);
+                }
+            }
+        }
+    }
+    best
+}
+
+fn assert_lookahead_exact(model: &RoutedModel, w: usize) {
+    let partition = Partition::contiguous(model.client_count(), w);
+    let derived = model.min_cross_partition_latency_ms(partition.assignment());
+    let brute = brute_min_cross(model, partition.assignment());
+    match (derived, brute) {
+        (Some(d), Some(b)) => {
+            // Equal up to float-summation order; the derivation may only
+            // ever sit *below* the pairwise scan (the safe direction).
+            assert!(
+                (d - b).abs() <= 1e-9 * b.max(1.0) && d <= b + 1e-12,
+                "derived {d} vs brute {b} (W={w})"
+            );
+            // And the sim-level window never exceeds the true floor.
+            let config = SimConfig::from_model(model.clone());
+            let lookahead = config
+                .conservative_lookahead(partition.assignment())
+                .expect("cross pairs exist");
+            assert!(
+                lookahead <= SimDuration::from_ms(b),
+                "lookahead {lookahead} above the latency floor {b} ms"
+            );
+        }
+        (None, None) => {}
+        (d, b) => panic!("derivation disagrees on existence: {d:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn lookahead_is_exact_on_routed_models() {
+    for clients in [13, 40, 81] {
+        let model = TransitStubConfig::small().with_clients(clients).build();
+        assert_eq!(
+            model.memory_shape().dense_cells,
+            0,
+            "transit-stub must build the routed layout"
+        );
+        for w in [2, 3, 4, 7] {
+            if w <= clients {
+                assert_lookahead_exact(&model, w);
+            }
+        }
+    }
+}
+
+#[test]
+fn lookahead_is_exact_on_dense_models() {
+    for seed in [1, 5, 9] {
+        let model = RoutedModel::uniform_synthetic(30, 5.0, 40.0, seed);
+        for w in [2, 3, 5] {
+            assert_lookahead_exact(&model, w);
+        }
+    }
+}
+
+#[test]
+fn lookahead_respects_jitter_and_min_delay() {
+    let model = RoutedModel::uniform_synthetic(16, 10.0, 20.0, 3);
+    let partition = Partition::contiguous(16, 4);
+    let base = SimConfig::from_model(model.clone())
+        .conservative_lookahead(partition.assignment())
+        .expect("cross pairs");
+    let jittered = SimConfig::from_model(model.clone())
+        .with_jitter(0.5)
+        .conservative_lookahead(partition.assignment())
+        .expect("cross pairs");
+    assert!(
+        jittered.as_micros() <= base.as_micros() / 2 + 1,
+        "jitter must shrink the window: {jittered} vs {base}"
+    );
+    // A single shard has no cross pairs: no window needed.
+    let one = Partition::contiguous(16, 1);
+    assert_eq!(
+        SimConfig::from_model(model).conservative_lookahead(one.assignment()),
+        None
+    );
+}
+
+// --- property layer -------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary small workloads (uniform delays, optional loss/jitter,
+    /// tight spill thresholds, faults) run identically at every width.
+    #[test]
+    fn sharded_runs_match_sequential(
+        n in 2usize..16,
+        seed in 0u64..1_000,
+        w in 2usize..5,
+        delay_ms in 1u32..20,
+        lossy in proptest::bool::ANY,
+        spill in proptest::bool::ANY,
+        threaded in proptest::bool::ANY,
+    ) {
+        let script = default_script(n, seed);
+        let config = || {
+            let mut c = SimConfig::uniform(n, delay_ms as f64);
+            if lossy {
+                c = c.with_loss(0.15).with_jitter(0.1);
+            }
+            if spill {
+                c = c.with_link_spill_threshold(n);
+            }
+            c
+        };
+        let seq = run_script(config(), &script, None);
+        let sharded = run_script(config(), &script, Some((w.min(n), threaded)));
+        prop_assert_eq!(&seq, &sharded);
+    }
+
+    /// Every node lands in exactly one shard, ranges are contiguous and
+    /// non-empty, and the O(1) lookup agrees with the ranges.
+    #[test]
+    fn partition_covers_exactly_once(n in 1usize..3000, w in 1usize..17) {
+        let w = w.min(n);
+        let p = Partition::contiguous(n, w);
+        prop_assert_eq!(p.shard_count(), w);
+        let mut covered = vec![0u32; n];
+        for s in 0..w {
+            let r = p.range(s);
+            prop_assert!(!r.is_empty());
+            if s > 0 {
+                prop_assert!(p.range(s - 1).end == r.start, "ranges must abut");
+            }
+            for i in r {
+                covered[i] += 1;
+                prop_assert_eq!(p.shard_of(i), s);
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "each node exactly once");
+    }
+}

@@ -229,6 +229,127 @@ struct PairParts {
     hops: u32,
 }
 
+/// The two smallest values offered under *distinct* keys: `best` is the
+/// global minimum, `second` the minimum among offers whose key differs
+/// from `best`'s. Used to find the cheapest cross-domain client pair
+/// within one (transit router, shard) group without enumerating clients.
+#[derive(Debug, Clone, Copy)]
+struct TwoMinByKey {
+    best: f64,
+    best_key: u32,
+    second: f64,
+}
+
+impl TwoMinByKey {
+    fn new() -> Self {
+        TwoMinByKey {
+            best: f64::INFINITY,
+            best_key: u32::MAX,
+            second: f64::INFINITY,
+        }
+    }
+
+    fn offer(&mut self, value: f64, key: u32) {
+        if key == self.best_key {
+            if value < self.best {
+                self.best = value;
+            }
+        } else if value < self.best {
+            // The displaced best is the minimum among keys != `key`
+            // (it was the global minimum and its key differs).
+            self.second = self.best;
+            self.best = value;
+            self.best_key = key;
+        } else if value < self.second {
+            self.second = value;
+        }
+    }
+}
+
+/// Folds a candidate into an optional running minimum.
+fn min_opt(best: Option<f64>, candidate: f64) -> Option<f64> {
+    match best {
+        Some(b) if b <= candidate => Some(b),
+        _ => Some(candidate),
+    }
+}
+
+impl TwoLevelModel {
+    /// See [`RoutedModel::min_cross_partition_latency_ms`]. Exact without
+    /// enumerating client pairs: same-domain candidates come from the
+    /// (member, shard) combinations present in each stub domain's table,
+    /// cross-domain candidates from per-(transit router, shard) minima of
+    /// the client up-link latencies (tracking the two smallest from
+    /// distinct domains, since a same-domain pair must use the domain
+    /// table instead of the core path).
+    fn min_cross_partition_latency_ms(&self, assignment: &[u32]) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        // (member, shard) combinations per domain; (transit, shard)
+        // up-latency minima across domains.
+        let mut domain_groups: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.domains.len()];
+        let mut core_groups: std::collections::BTreeMap<(u32, u32), TwoMinByKey> =
+            std::collections::BTreeMap::new();
+        for (i, col) in self.cols.iter().enumerate() {
+            let shard = assignment[i];
+            let dg = &mut domain_groups[col.domain as usize];
+            if !dg.contains(&(col.member, shard)) {
+                dg.push((col.member, shard));
+            }
+            core_groups
+                .entry((col.core, shard))
+                .or_insert_with(TwoMinByKey::new)
+                .offer(col.up_ms, col.domain);
+        }
+        // Same-domain, cross-shard pairs (including two clients on the
+        // same stub router split across shards: table diagonal is zero,
+        // leaving just the two access links).
+        for (d_idx, groups) in domain_groups.iter().enumerate() {
+            let d = &self.domains[d_idx];
+            let w = d.members as usize + 1;
+            for (i, &(m1, s1)) in groups.iter().enumerate() {
+                for &(m2, s2) in &groups[i..] {
+                    if s1 == s2 {
+                        continue;
+                    }
+                    let v = 2.0 * self.access_ms + d.latency_ms[m1 as usize * w + m2 as usize];
+                    best = min_opt(best, v);
+                }
+            }
+        }
+        // Cross-domain, cross-shard pairs.
+        let groups: Vec<((u32, u32), TwoMinByKey)> = core_groups.into_iter().collect();
+        for (i, &((r1, s1), t1)) in groups.iter().enumerate() {
+            for &((r2, s2), t2) in &groups[i..] {
+                if s1 == s2 {
+                    continue;
+                }
+                let core = self.core_latency_ms[r1 as usize * self.core_n + r2 as usize];
+                let mut pairs: [Option<(f64, f64)>; 2] = [None, None];
+                if t1.best_key != t2.best_key {
+                    pairs[0] = Some((t1.best, t2.best));
+                } else {
+                    pairs[0] = Some((t1.best, t2.second));
+                    pairs[1] = Some((t1.second, t2.best));
+                }
+                for (u1, u2) in pairs.into_iter().flatten() {
+                    if !u1.is_finite() || !u2.is_finite() {
+                        continue;
+                    }
+                    // `parts()` sums in ascending-client-index order,
+                    // which group minima cannot recover; evaluating both
+                    // orders and keeping the smaller can undershoot the
+                    // true pair latency by at most float-rounding, never
+                    // overshoot — the safe direction for a lookahead.
+                    let a = 2.0 * self.access_ms + (u1 + core + u2);
+                    let b = 2.0 * self.access_ms + (u2 + core + u1);
+                    best = min_opt(best, a.min(b));
+                }
+            }
+        }
+        best
+    }
+}
+
 impl RoutedModel {
     /// Builds a model from dense matrices.
     ///
@@ -481,6 +602,40 @@ impl RoutedModel {
                     .sum(),
                 client_entries: tl.cols.len(),
             },
+        }
+    }
+
+    /// Minimum one-way latency over all client pairs assigned to
+    /// *different* shards, or `None` when every client shares one shard.
+    ///
+    /// `assignment[c]` is client `c`'s shard. This is the lookahead bound
+    /// of the sharded simulator's conservative windows: no message between
+    /// shards can arrive sooner than this. Dense layouts scan their
+    /// matrix; the two-level routed layout computes the exact minimum
+    /// from domain tables and per-(transit, shard) up-link minima without
+    /// touching client pairs, so a 10k-node derivation stays sub-
+    /// millisecond. The result can differ from the pairwise scan by
+    /// float-summation order only, and then only *downward* — never above
+    /// the true minimum (the safe direction for a lookahead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not cover every client.
+    pub fn min_cross_partition_latency_ms(&self, assignment: &[u32]) -> Option<f64> {
+        assert_eq!(assignment.len(), self.n, "one shard per client");
+        match &self.repr {
+            ModelRepr::Dense { latency_ms, .. } => {
+                let mut best: Option<f64> = None;
+                for a in 0..self.n {
+                    for b in (a + 1)..self.n {
+                        if assignment[a] != assignment[b] {
+                            best = min_opt(best, latency_ms[a * self.n + b]);
+                        }
+                    }
+                }
+                best
+            }
+            ModelRepr::Routed(tl) => tl.min_cross_partition_latency_ms(assignment),
         }
     }
 

@@ -18,7 +18,9 @@ use egm_core::{BestSet, EgmNode, SchedulerStats};
 use egm_membership::PartialView;
 use egm_metrics::{link, DeliveryLog, RunReport};
 use egm_rng::Rng;
-use egm_simnet::{NodeId, QueueStats, Sim, SimConfig, SimDuration, SimTime};
+use egm_simnet::{
+    NodeId, QueueStats, ShardStats, ShardedSim, Sim, SimConfig, SimDuration, SimTime, Traffic,
+};
 use egm_topology::RoutedModel;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -58,9 +60,130 @@ pub struct RunOutcome {
     /// Cancelled timer events dropped at pop time without dispatch.
     pub stale_timer_drops: u64,
     /// Event-queue counters (pushes/pops plus calendar-queue geometry).
+    /// Under sharding these aggregate the per-shard queues, so they are
+    /// comparable across runs of one width but not across widths
+    /// (replicated fault events are queued once per shard).
     pub queue: QueueStats,
+    /// Sharded-engine counters: worker count, window lookahead, windows
+    /// executed, cross-shard lane events. A sequential run reports one
+    /// shard and zero windows.
+    pub shard_stats: ShardStats,
     /// The network model the run used.
     pub model: Arc<RoutedModel>,
+}
+
+/// The engine one run executes on — the sequential simulator or the
+/// deterministic sharded loop, selected by
+/// [`SimConfig::shard_choice`] (scenario override, then `EGM_SHARDS`,
+/// then the size-based default). Both engines produce byte-identical
+/// outputs (`shard_determinism` asserts it), so the choice only affects
+/// wall-clock time.
+enum Engine {
+    Seq(Box<Sim<EgmNode>>),
+    Sharded(Box<ShardedSim<EgmNode>>),
+}
+
+impl Engine {
+    fn schedule_command(&mut self, at: SimTime, node: NodeId, value: u64) {
+        match self {
+            Engine::Seq(s) => s.schedule_command(at, node, value),
+            Engine::Sharded(s) => s.schedule_command(at, node, value),
+        }
+    }
+
+    fn schedule_silence(&mut self, at: SimTime, node: NodeId) {
+        match self {
+            Engine::Seq(s) => s.schedule_silence(at, node),
+            Engine::Sharded(s) => s.schedule_silence(at, node),
+        }
+    }
+
+    fn schedule_revive(&mut self, at: SimTime, node: NodeId) {
+        match self {
+            Engine::Seq(s) => s.schedule_revive(at, node),
+            Engine::Sharded(s) => s.schedule_revive(at, node),
+        }
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        match self {
+            Engine::Seq(s) => s.run_until(deadline),
+            Engine::Sharded(s) => s.run_until(deadline),
+        }
+    }
+
+    fn seal_traffic(&mut self) {
+        match self {
+            Engine::Seq(s) => s.seal_traffic(),
+            Engine::Sharded(s) => s.seal_traffic(),
+        }
+    }
+
+    fn traffic(&self) -> &Traffic {
+        match self {
+            Engine::Seq(s) => s.traffic(),
+            Engine::Sharded(s) => s.traffic(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            Engine::Seq(s) => s.now(),
+            Engine::Sharded(s) => s.now(),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            Engine::Seq(s) => s.node_count(),
+            Engine::Sharded(s) => s.node_count(),
+        }
+    }
+
+    fn nodes(&self) -> Box<dyn Iterator<Item = (NodeId, &EgmNode)> + '_> {
+        match self {
+            Engine::Seq(s) => Box::new(s.nodes()),
+            Engine::Sharded(s) => Box::new(s.nodes()),
+        }
+    }
+
+    fn events_processed(&self) -> u64 {
+        match self {
+            Engine::Seq(s) => s.events_processed(),
+            Engine::Sharded(s) => s.events_processed(),
+        }
+    }
+
+    fn timers_cancelled(&self) -> u64 {
+        match self {
+            Engine::Seq(s) => s.timers_cancelled(),
+            Engine::Sharded(s) => s.timers_cancelled(),
+        }
+    }
+
+    fn stale_timer_drops(&self) -> u64 {
+        match self {
+            Engine::Seq(s) => s.stale_timer_drops(),
+            Engine::Sharded(s) => s.stale_timer_drops(),
+        }
+    }
+
+    fn queue_stats(&self) -> QueueStats {
+        match self {
+            Engine::Seq(s) => s.queue_stats(),
+            Engine::Sharded(s) => s.queue_stats(),
+        }
+    }
+
+    fn shard_stats(&self) -> ShardStats {
+        match self {
+            Engine::Seq(_) => ShardStats {
+                shards: 1,
+                ..ShardStats::default()
+            },
+            Engine::Sharded(s) => s.shard_stats(),
+        }
+    }
 }
 
 /// Runs a scenario (see [`Scenario::run`]); `model` overrides topology
@@ -348,7 +471,20 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
     if let Some(queue) = scenario.event_queue {
         sim_config = sim_config.with_event_queue(queue);
     }
-    let mut sim = Sim::new(sim_config, scenario.seed, nodes);
+    if let Some(shards) = scenario.shards {
+        sim_config = sim_config.with_shards(shards);
+    }
+    let choice = sim_config.shard_choice();
+    let mut sim = if choice.use_sharded() {
+        Engine::Sharded(Box::new(ShardedSim::new(
+            sim_config,
+            scenario.seed,
+            nodes,
+            choice.count(),
+        )))
+    } else {
+        Engine::Seq(Box::new(Sim::new(sim_config, scenario.seed, nodes)))
+    };
 
     // Fault injection at the end of warm-up, immediately before traffic
     // starts (§6.3).
@@ -402,7 +538,7 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
 /// Gathers node-side and network-side records into the outcome.
 fn collect(
     scenario: &Scenario,
-    mut sim: Sim<EgmNode>,
+    mut sim: Engine,
     model: Arc<RoutedModel>,
     victims: Vec<NodeId>,
     best_ids: Vec<NodeId>,
@@ -518,6 +654,7 @@ fn collect(
         timers_cancelled: sim.timers_cancelled(),
         stale_timer_drops: sim.stale_timer_drops(),
         queue: sim.queue_stats(),
+        shard_stats: sim.shard_stats(),
         model,
     }
 }

@@ -139,6 +139,16 @@ pub struct Scenario {
     /// traffic randomness — and oracle runs stay byte-identical to
     /// pre-`RankSource` builds.
     pub rank_source: RankSource,
+    /// How many worker shards partition the run (`None` = the simulator's
+    /// default resolution: `EGM_SHARDS`, then size-based selection —
+    /// sequential below 1k nodes, available parallelism capped at 8
+    /// above). `Some(0)` forces the sequential engine, `Some(w)` forces
+    /// the sharded engine with `w` shards (1 = a single windowless
+    /// shard). Every choice is byte-identical — the `shard_determinism`
+    /// test runs the same scenario at several widths and asserts equal
+    /// outputs — so this is purely a performance knob. See
+    /// [`egm_simnet::ShardedSim`].
+    pub shards: Option<usize>,
     /// Overrides the best-node set computed from the strategy spec (used
     /// to plug in externally computed / estimated rankings, e.g. the
     /// `rank_quality` experiment's degraded estimators).
@@ -169,6 +179,7 @@ impl Scenario {
             egress_bandwidth: None,
             link_spill_threshold: None,
             event_queue: None,
+            shards: None,
             rank_source: RankSource::Oracle,
             best_override: None,
             seed: 42,
@@ -266,6 +277,12 @@ impl Scenario {
     /// Forces an event-queue implementation (builder style).
     pub fn with_event_queue(mut self, queue: Option<QueueKind>) -> Self {
         self.event_queue = queue;
+        self
+    }
+
+    /// Forces a shard count (builder style); see [`Scenario::shards`].
+    pub fn with_shards(mut self, shards: Option<usize>) -> Self {
+        self.shards = shards;
         self
     }
 

@@ -1,0 +1,103 @@
+//! End-to-end shard A/B regression: the sharded event loop must be a
+//! real performance knob, never a behavioural one.
+//!
+//! The `N1k` scale preset runs once sequentially and once per shard
+//! width over a shared topology; every observable output — the full
+//! `DeliveryLog`, the per-link traffic tables (whose first-appearance
+//! spill order the sharded engine reconstructs at merge time), per-node
+//! payload counts, scheduler counters and the simulator event count —
+//! must be byte-identical. Together with `egm_simnet`'s
+//! `shard_equivalence` proptest suite this pins the property the whole
+//! scale axis relies on: sharding one run across cores cannot change its
+//! results.
+
+use egm_simnet::shard::auto_shards_for;
+use egm_workload::experiments::scale::ScalePreset;
+use egm_workload::runner::{run_detailed, RunOutcome};
+use std::sync::Arc;
+
+fn assert_outcomes_match(a: &RunOutcome, b: &RunOutcome, label: &str) {
+    assert_eq!(a.log, b.log, "delivery logs diverged ({label})");
+    assert_eq!(
+        a.payload_links, b.payload_links,
+        "link tables diverged ({label})"
+    );
+    assert_eq!(
+        a.payloads_per_node, b.payloads_per_node,
+        "per-node payloads diverged ({label})"
+    );
+    assert_eq!(a.report, b.report, "reports diverged ({label})");
+    assert_eq!(
+        a.scheduler, b.scheduler,
+        "scheduler stats diverged ({label})"
+    );
+    assert_eq!(a.events, b.events, "event counts diverged ({label})");
+    assert_eq!(a.timers_cancelled, b.timers_cancelled, "({label})");
+    assert_eq!(a.stale_timer_drops, b.stale_timer_drops, "({label})");
+    assert_eq!(a.victims, b.victims, "({label})");
+    assert_eq!(a.best_ids, b.best_ids, "({label})");
+}
+
+#[test]
+fn one_k_preset_is_byte_identical_across_shard_widths() {
+    let scenario = ScalePreset::N1k.scenario(4, 11);
+    // Share the model so the comparison is purely about the event loop.
+    let model = Arc::new(scenario.build_model());
+
+    // The reference: the plain sequential engine, forced explicitly so
+    // the test is immune to `EGM_SHARDS` or multi-core auto defaults.
+    let seq = run_detailed(&scenario.clone().with_shards(Some(0)), Some(model.clone()));
+    assert_eq!(seq.shard_stats.shards, 1);
+    assert_eq!(seq.shard_stats.windows, 0, "sequential runs no windows");
+
+    for w in [1usize, 2, 4] {
+        let sharded = run_detailed(&scenario.clone().with_shards(Some(w)), Some(model.clone()));
+        assert_outcomes_match(&seq, &sharded, &format!("W={w}"));
+        assert_eq!(sharded.shard_stats.shards, w);
+        if w == 1 {
+            assert_eq!(
+                sharded.shard_stats.windows, 1,
+                "W=1 must collapse to a single windowless pass"
+            );
+            assert_eq!(sharded.shard_stats.lane_events, 0);
+        } else {
+            assert!(
+                sharded.shard_stats.windows > 1,
+                "W={w} must run conservative windows"
+            );
+            assert!(
+                sharded.shard_stats.lane_events > 0,
+                "W={w} must exchange cross-shard traffic"
+            );
+            assert!(sharded.shard_stats.lookahead_us > 0);
+        }
+    }
+}
+
+/// The 10k twin of the 1k A/B, for the nightly heavy pass:
+/// `cargo test --release -p egm_workload --test shard_determinism -- --ignored`.
+#[test]
+#[ignore = "10k nodes: minutes of wall time; run explicitly"]
+fn ten_k_preset_is_byte_identical_across_shard_widths() {
+    let scenario = ScalePreset::N10k.scenario(4, 11);
+    let model = Arc::new(scenario.build_model());
+    let seq = run_detailed(&scenario.clone().with_shards(Some(0)), Some(model.clone()));
+    for w in [2usize, 8] {
+        let sharded = run_detailed(&scenario.clone().with_shards(Some(w)), Some(model.clone()));
+        assert_outcomes_match(&seq, &sharded, &format!("W={w}"));
+        assert!(sharded.shard_stats.lane_events > 0);
+    }
+}
+
+#[test]
+fn shard_selection_defaults() {
+    // The size-based default engages sharding only at scale; below the
+    // floor the sequential engine keeps its zero-overhead path.
+    assert_eq!(auto_shards_for(100), 1);
+    assert_eq!(auto_shards_for(999), 1);
+    let at_scale = auto_shards_for(1_000);
+    assert!(
+        (1..=egm_simnet::shard::MAX_AUTO_SHARDS).contains(&at_scale),
+        "auto default follows available parallelism, capped: {at_scale}"
+    );
+}
