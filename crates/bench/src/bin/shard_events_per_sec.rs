@@ -1,14 +1,15 @@
-//! Sharded event-loop throughput bench: events/s vs worker count on the
-//! scale presets.
+//! Sharded event-loop throughput bench: events/s vs worker count and
+//! partition strategy on the scale presets.
 //!
-//! Runs one scale preset through the sequential engine and through the
-//! sharded engine at W ∈ {1, 2, 4}, asserting byte-identical results at
-//! every width (the determinism bar), and records per-width wall clock,
-//! events/s, window counts and lane traffic in the
-//! `shard_events_per_sec_<preset>` bin of `BENCH_events_per_sec.json`
-//! (schema in `egm_bench`'s crate docs). On a multi-core machine the
-//! wide configurations should scale >1×; on a single core the W=1 row
-//! doubles as the window-overhead assertion (`EGM_SHARD_OVERHEAD_MAX`).
+//! Runs one scale preset through the sequential engine, through the
+//! sharded engine at W = 1 (the window-overhead row), and then through
+//! every [`PartitionStrategy`] at each wider width, asserting
+//! byte-identical results for every (width, strategy) pair — the
+//! determinism bar. Per-run wall clock, events/s, window counts, lane
+//! traffic (events, batched flushes, skipped exchanges), configured and
+//! realized lookahead and the per-shard event balance are recorded in
+//! the `shard_events_per_sec_<preset>` bin of
+//! `BENCH_events_per_sec.json` (schema in `egm_bench`'s crate docs).
 //!
 //! ```sh
 //! EGM_SCALE_PRESET=10k cargo run --release -p egm_bench --bin shard_events_per_sec
@@ -23,10 +24,15 @@
 //! * `EGM_SHARD_OVERHEAD_MAX` — when set (e.g. `1.10`), assert that the
 //!   W=1 sharded run takes at most this factor of the sequential wall
 //!   time — the per-window overhead budget.
+//! * `EGM_SHARD_MAX_WINDOWS` — when set, assert that every run whose
+//!   *effective* strategy is domain-aligned (or rate-balanced) executes
+//!   at most this many windows — the topology-aware partitioning win,
+//!   gated.
 //! * `EGM_SCALE_RSS_BUDGET_MB` — when set, assert peak RSS stays under
 //!   this budget across all widths.
 
 use egm_bench::{env_usize, record};
+use egm_simnet::PartitionStrategy;
 use egm_workload::experiments::scale::ScalePreset;
 use egm_workload::runner::{prepare, run_prepared, RunOutcome};
 use std::fmt::Write as _;
@@ -68,6 +74,11 @@ fn main() {
             panic!("unrecognized EGM_SHARD_OVERHEAD_MAX {v:?}: use a factor like 1.10")
         })
     });
+    let max_windows = std::env::var("EGM_SHARD_MAX_WINDOWS").ok().map(|v| {
+        v.parse::<u64>().unwrap_or_else(|_| {
+            panic!("unrecognized EGM_SHARD_MAX_WINDOWS {v:?}: use a window count like 1297")
+        })
+    });
     let rss_budget_mb = std::env::var("EGM_SCALE_RSS_BUDGET_MB").ok().map(|v| {
         v.parse::<f64>()
             .unwrap_or_else(|_| panic!("unrecognized EGM_SCALE_RSS_BUDGET_MB {v:?}: use MB"))
@@ -99,45 +110,104 @@ fn main() {
 
     let mut width_fields = String::new();
     for &w in &widths {
-        let scenario = base.clone().with_shards(Some(w));
-        let (out, best) = time_runs(runs, &scenario, &setup);
-        // The determinism bar: every width reproduces the sequential
-        // run's outputs exactly.
-        assert_eq!(out.events, events, "W={w} changed the event count");
-        assert_eq!(out.report, seq_out.report, "W={w} changed the report");
-        assert_eq!(out.log, seq_out.log, "W={w} changed the delivery log");
-        assert_eq!(
-            out.payload_links, seq_out.payload_links,
-            "W={w} changed the link tables"
-        );
-        let eps = events as f64 / best * 1000.0;
-        let speedup = seq_best / best;
-        let stats = out.shard_stats;
-        println!(
-            "W={w}: {best:.1} ms wall ({eps:.0} events/sec, {speedup:.2}x seq), \
-             {} windows, {} lane events, lookahead {} us",
-            stats.windows, stats.lane_events, stats.lookahead_us
-        );
-        if w == 1 {
-            if let Some(max) = overhead_max {
-                assert!(
-                    best <= seq_best * max,
-                    "W=1 overhead {best:.1} ms exceeds {max:.2}x of sequential {seq_best:.1} ms"
-                );
-                println!(
-                    "W=1 window overhead within budget ({:.3}x)",
-                    best / seq_best
-                );
+        // W=1 runs windowless regardless of strategy; wider widths A/B
+        // every partition strategy over the same prepared setup.
+        let strategies: &[PartitionStrategy] = if w <= 1 {
+            &[PartitionStrategy::Contiguous]
+        } else {
+            &[
+                PartitionStrategy::Contiguous,
+                PartitionStrategy::DomainAligned,
+                PartitionStrategy::RateBalanced,
+            ]
+        };
+        for &strategy in strategies {
+            let scenario = base
+                .clone()
+                .with_shards(Some(w))
+                .with_partition(Some(strategy));
+            let (out, best) = time_runs(runs, &scenario, &setup);
+            // The determinism bar: every (width, strategy) reproduces
+            // the sequential run's outputs exactly.
+            let tag = format!("W={w}/{strategy}");
+            assert_eq!(out.events, events, "{tag} changed the event count");
+            assert_eq!(out.report, seq_out.report, "{tag} changed the report");
+            assert_eq!(out.log, seq_out.log, "{tag} changed the delivery log");
+            assert_eq!(
+                out.payload_links, seq_out.payload_links,
+                "{tag} changed the link tables"
+            );
+            let eps = events as f64 / best * 1000.0;
+            let speedup = seq_best / best;
+            let stats = out.shard_stats;
+            let balance = stats
+                .per_shard_events
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("/");
+            println!(
+                "{tag} (effective {eff}): {best:.1} ms wall ({eps:.0} events/sec, \
+                 {speedup:.2}x seq), {windows} windows ({skipped} exchange-free), \
+                 {lane} lane events in {flushes} flushes, lookahead {la} us \
+                 (realized {rla} us), per-shard events {balance}",
+                eff = stats.strategy,
+                windows = stats.windows,
+                skipped = stats.exchanges_skipped,
+                lane = stats.lane_events,
+                flushes = stats.lane_flushes,
+                la = stats.lookahead_us,
+                rla = stats.realized_lookahead_us,
+            );
+            if w == 1 {
+                if let Some(max) = overhead_max {
+                    assert!(
+                        best <= seq_best * max,
+                        "W=1 overhead {best:.1} ms exceeds {max:.2}x of sequential {seq_best:.1} ms"
+                    );
+                    println!(
+                        "W=1 window overhead within budget ({:.3}x)",
+                        best / seq_best
+                    );
+                }
             }
+            if w > 1 && stats.strategy != PartitionStrategy::Contiguous {
+                if let Some(max) = max_windows {
+                    assert!(
+                        stats.windows <= max,
+                        "{tag} ran {} windows, exceeding the EGM_SHARD_MAX_WINDOWS budget of {max}",
+                        stats.windows
+                    );
+                }
+            }
+            let key = if w <= 1 {
+                "w1".to_string()
+            } else {
+                format!("w{w}_{}", strategy.name().replace('-', "_"))
+            };
+            let shard_events = stats
+                .per_shard_events
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            write!(
+                width_fields,
+                ",\n  \"{key}\": {{ \"strategy\": \"{eff}\", \"best_wall_ms\": {best:.3}, \
+                 \"events_per_sec\": {eps:.0}, \"speedup_vs_seq\": {speedup:.3}, \
+                 \"windows\": {}, \"lane_events\": {}, \"lane_flushes\": {}, \
+                 \"exchanges_skipped\": {}, \"lookahead_us\": {}, \
+                 \"realized_lookahead_us\": {}, \"per_shard_events\": [{shard_events}] }}",
+                stats.windows,
+                stats.lane_events,
+                stats.lane_flushes,
+                stats.exchanges_skipped,
+                stats.lookahead_us,
+                stats.realized_lookahead_us,
+                eff = stats.strategy,
+            )
+            .expect("write to String");
         }
-        write!(
-            width_fields,
-            ",\n  \"w{w}\": {{ \"best_wall_ms\": {best:.3}, \"events_per_sec\": {eps:.0}, \
-             \"speedup_vs_seq\": {speedup:.3}, \"windows\": {}, \"lane_events\": {}, \
-             \"lookahead_us\": {} }}",
-            stats.windows, stats.lane_events, stats.lookahead_us
-        )
-        .expect("write to String");
     }
 
     let peak_rss = record::peak_rss_mb();

@@ -85,17 +85,25 @@
 //!   require ≥ 0.8).
 //! * `shard_events_per_sec_<preset>` — the sharded-event-loop A/B
 //!   (`cargo run --release -p egm_bench --bin shard_events_per_sec`):
-//!   the preset once through the sequential engine (`seq` sub-object)
-//!   and once per shard width (`w1`/`w2`/`w4`/… sub-objects, widths from
-//!   `EGM_SHARD_WIDTHS`), each with `best_wall_ms`, `events_per_sec`,
-//!   `speedup_vs_seq`, and the window-loop counters (`windows`,
-//!   `lane_events`, `lookahead_us`). The bench *asserts* byte-identical
-//!   results at every width (report, delivery log, link tables, event
-//!   count) — the determinism record behind parallelizing one run —
-//!   and `EGM_SHARD_OVERHEAD_MAX` turns the W=1 window overhead into a
-//!   budget assertion. On a single core the wide rows show the window
-//!   pipeline's overhead (~0.75×); each worker runs on its own thread,
-//!   so multi-core machines show >1× scaling.
+//!   the preset once through the sequential engine (`seq` sub-object),
+//!   once through the windowless W=1 sharded engine (`w1`), and then
+//!   once per (width, partition strategy) pair at every wider width
+//!   from `EGM_SHARD_WIDTHS` — `w2_contiguous` / `w2_domain_aligned` /
+//!   `w2_rate_balanced` / `w4_…` sub-objects. Each records the
+//!   *effective* `strategy` (a planned strategy falls back to
+//!   contiguous on structureless topologies), `best_wall_ms`,
+//!   `events_per_sec`, `speedup_vs_seq`, and the window-loop counters:
+//!   `windows`, `lane_events`, the batched `lane_flushes`, the
+//!   `exchanges_skipped` by the adaptive barrier, the configured
+//!   `lookahead_us`, the `realized_lookahead_us` actually advanced per
+//!   window, and the `per_shard_events` balance. The bench *asserts*
+//!   byte-identical results for every pair (report, delivery log, link
+//!   tables, event count) — the determinism record behind parallelizing
+//!   one run. `EGM_SHARD_OVERHEAD_MAX` turns the W=1 window overhead
+//!   into a budget assertion, and `EGM_SHARD_MAX_WINDOWS` caps the
+//!   window count of every domain-aligned/rate-balanced run — the gated
+//!   record that topology-aware cuts keep the conservative windows an
+//!   order of magnitude coarser than contiguous ones.
 //! * `queue_events_per_sec_<preset>` — the event-queue A/B comparison
 //!   (`cargo run --release -p egm_bench --bin queue_events_per_sec`):
 //!   one scale preset run per queue implementation over a shared

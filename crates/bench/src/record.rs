@@ -96,36 +96,89 @@ fn parse_legacy(text: &str) -> Vec<(String, String)> {
 
 /// Renders bins (sorted by name for deterministic files) as the
 /// trajectory JSON document.
+///
+/// Every bin body is re-indented through `reindent`, so the file has
+/// one canonical layout no matter how a bench binary formatted the body
+/// it handed to [`upsert_bin`] — repeated parse/render round trips are
+/// byte-stable, and bins with nested sub-objects (the A/B benches) get
+/// the same two-space-per-level indentation as flat ones.
 pub fn render_bins(bins: &[(String, String)]) -> String {
     let mut sorted: Vec<&(String, String)> = bins.iter().collect();
     sorted.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = String::from("{\n");
     for (i, (name, body)) in sorted.iter().enumerate() {
-        // Flat bodies (the schema's normal case) are normalized to a
-        // canonical indentation so repeated parse/render round trips are
-        // stable. Bodies with nested objects are preserved verbatim —
-        // line-based normalization would corrupt them.
-        let flat = body.matches('{').count() <= 1;
-        let rendered = if flat {
-            let mut norm = String::from("{\n");
-            for line in body.lines().map(str::trim).filter(|l| !l.is_empty()) {
-                let line = line.trim_start_matches('{').trim_end_matches('}').trim();
-                if line.is_empty() {
-                    continue;
-                }
-                norm.push_str("    ");
-                norm.push_str(line);
-                norm.push('\n');
-            }
-            norm.push_str("  }");
-            norm
-        } else {
-            body.to_string()
-        };
-        out.push_str(&format!("  \"{name}\": {rendered}"));
+        out.push_str(&format!("  \"{name}\": {}", reindent(body)));
         out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
     }
     out.push_str("}\n");
+    out
+}
+
+/// Pretty-prints one bin body in the canonical layout: objects break
+/// onto one line per member at two spaces of indentation per nesting
+/// level (the bin itself sits one level inside the document), arrays
+/// stay inline. Existing whitespace outside strings is discarded and
+/// re-derived, so any syntactically valid input yields the same output.
+fn reindent(body: &str) -> String {
+    let mut out = String::with_capacity(body.len() * 2);
+    // The bin object is one level inside the trajectory document.
+    let mut depth = 1usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut arrays = 0usize;
+    let indent = |out: &mut String, depth: usize| {
+        for _ in 0..depth * 2 {
+            out.push(' ');
+        }
+    };
+    for c in body.chars() {
+        if in_string {
+            out.push(c);
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            c if c.is_whitespace() => {}
+            '[' => {
+                arrays += 1;
+                out.push('[');
+            }
+            ']' => {
+                arrays = arrays.saturating_sub(1);
+                out.push(']');
+            }
+            '{' if arrays == 0 => {
+                depth += 1;
+                out.push('{');
+                out.push('\n');
+                indent(&mut out, depth);
+            }
+            '}' if arrays == 0 => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                indent(&mut out, depth);
+                out.push('}');
+            }
+            ',' if arrays == 0 => {
+                out.push(',');
+                out.push('\n');
+                indent(&mut out, depth);
+            }
+            ':' if arrays == 0 => out.push_str(": "),
+            ',' => out.push_str(", "),
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
     out
 }
 
@@ -175,6 +228,22 @@ mod tests {
         assert_eq!(parsed[1].0, "beta");
         assert!(parsed[0].1.contains("\"x\": 1"));
         assert!(parsed[1].1.contains("s{}"), "braces in strings survive");
+    }
+
+    #[test]
+    fn nested_bins_render_canonically_and_stably() {
+        // A sloppily formatted nested body (the A/B bench shape) gets
+        // two-space-per-level indentation, inline arrays, and is a fixed
+        // point of parse/render.
+        let body = "{ \"preset\":\"1k\",\n\"seq\":{\"ms\": 1.5,\"eps\": 2},\n  \
+                    \"per_shard_events\": [ 1,2 , 3 ] }";
+        let text = render_bins(&[("shard".to_string(), body.to_string())]);
+        let expected = "{\n  \"shard\": {\n    \"preset\": \"1k\",\n    \"seq\": {\n      \
+                        \"ms\": 1.5,\n      \"eps\": 2\n    },\n    \
+                        \"per_shard_events\": [1, 2, 3]\n  }\n}\n";
+        assert_eq!(text, expected);
+        let again = render_bins(&parse_bins(&text));
+        assert_eq!(again, text, "render is a fixed point");
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod wire;
 
 pub use event::{CalendarQueue, EventQueue, HeapQueue, QueueKind, QueueStats, Scheduled};
 pub use net::{Network, SimConfig};
-pub use shard::{Partition, ShardChoice, ShardStats, ShardedSim};
+pub use shard::{Partition, PartitionStrategy, ShardChoice, ShardStats, ShardedSim};
 pub use sim::{Context, Protocol, Sim, TimerTag, TimerToken};
 pub use stats::{LinkTally, Traffic};
 pub use time::{SimDuration, SimTime};

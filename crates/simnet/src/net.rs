@@ -1,10 +1,11 @@
 //! The virtual network: delays, loss, jitter, and fault injection.
 
 use crate::event::QueueKind;
+use crate::shard::PartitionStrategy;
 use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
 use egm_rng::Rng;
-use egm_topology::RoutedModel;
+use egm_topology::{PlanBalance, RoutedModel};
 
 /// Configuration of the virtual network between `n` protocol nodes.
 ///
@@ -50,6 +51,14 @@ pub struct SimConfig {
     /// ([`crate::shard::auto_shards_for`]). `Some(0)` forces the
     /// sequential engine.
     shards: Option<usize>,
+    /// How a sharded run maps nodes to shards; `None` resolves via
+    /// `EGM_PARTITION`, then the auto default (domain-aligned when the
+    /// delay source yields a plan, contiguous otherwise).
+    partition: Option<PartitionStrategy>,
+    /// `(fanout, view degree)` hint for the rate-balanced partition
+    /// planner's per-domain event-rate estimate; `None` falls back to a
+    /// uniform per-client rate.
+    rate_hint: Option<(usize, usize)>,
 }
 
 #[derive(Debug, Clone)]
@@ -78,6 +87,8 @@ impl SimConfig {
             link_spill_threshold: usize::MAX,
             event_queue: QueueKind::from_env(),
             shards: None,
+            partition: None,
+            rate_hint: None,
         }
     }
 
@@ -93,6 +104,8 @@ impl SimConfig {
             link_spill_threshold: usize::MAX,
             event_queue: QueueKind::from_env(),
             shards: None,
+            partition: None,
+            rate_hint: None,
         }
     }
 
@@ -192,6 +205,56 @@ impl SimConfig {
             return ShardChoice::Forced(w.min(n));
         }
         ShardChoice::Auto(crate::shard::auto_shards_for(n))
+    }
+
+    /// Selects the partition strategy of a sharded run (builder style),
+    /// overriding both the `EGM_PARTITION` variable and the auto
+    /// default. Every strategy produces byte-identical results — this is
+    /// a performance knob, never a behavioural one.
+    pub fn with_partition(mut self, strategy: PartitionStrategy) -> Self {
+        self.partition = Some(strategy);
+        self
+    }
+
+    /// Supplies the `(fanout, view_degree)` workload hint the
+    /// rate-balanced partition planner weighs domains by. Without a hint
+    /// the planner assumes a uniform per-client event rate (equivalent
+    /// to balancing by node count).
+    pub fn with_rate_hint(mut self, fanout: usize, view_degree: usize) -> Self {
+        self.rate_hint = Some((fanout, view_degree));
+        self
+    }
+
+    /// The partition strategy this configuration resolves to: an
+    /// explicit [`SimConfig::with_partition`] choice wins, then the
+    /// `EGM_PARTITION` environment override; `None` means *auto* — the
+    /// engine plans a domain-aligned partition when the delay source
+    /// supports one and falls back to contiguous otherwise (see
+    /// [`crate::ShardStats::strategy`] for what took effect).
+    pub fn partition_strategy(&self) -> Option<PartitionStrategy> {
+        self.partition.or_else(crate::shard::partition_from_env)
+    }
+
+    /// Plans a domain-aligned node→shard assignment over the routed
+    /// delay model: `None` when the delay source has no domain structure
+    /// (uniform or dense) or fewer populated domains than shards. With
+    /// `rate_balanced`, shards are balanced by the per-domain event-rate
+    /// estimate seeded from [`SimConfig::with_rate_hint`].
+    pub fn planned_assignment(&self, shards: usize, rate_balanced: bool) -> Option<Vec<u32>> {
+        let DelaySource::Model(m) = &self.delay else {
+            return None;
+        };
+        let balance = if rate_balanced {
+            let (fanout, view_degree) = self.rate_hint.unwrap_or((1, 1));
+            PlanBalance::Rate {
+                fanout,
+                view_degree,
+            }
+        } else {
+            PlanBalance::Nodes
+        };
+        m.partition_plan(shards, balance)
+            .map(|p| p.assignment().to_vec())
     }
 
     /// A conservative lower bound on the delivery delay of any message

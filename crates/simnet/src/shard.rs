@@ -1,19 +1,25 @@
 //! Deterministic sharded event loop: one large run partitioned across
 //! worker shards synchronized by conservative time windows.
 //!
-//! [`ShardedSim`] splits the node id space into `W` contiguous ranges
-//! ([`Partition::contiguous`]); each shard owns its nodes, their RNG
-//! streams, an [`EventQueue`](crate::EventQueue), a [`Traffic`] table and
-//! a copy of the fault view, and dispatches its own events through the
-//! *same* per-event path as the sequential [`Sim`](crate::Sim). Shards
-//! synchronize at window boundaries: a window's length is the
-//! **lookahead** — a
+//! [`ShardedSim`] splits the node id space into `W` disjoint shards
+//! under a [`PartitionStrategy`] — contiguous id ranges, or
+//! topology-aware domain-aligned cuts planned from the routed model
+//! ([`egm_topology::RoutedModel::partition_plan`]); each shard owns its
+//! nodes, their RNG streams, an [`EventQueue`](crate::EventQueue), a
+//! [`Traffic`] table and a copy of the fault view, and dispatches its
+//! own events through the *same* per-event path as the sequential
+//! [`Sim`](crate::Sim). Shards synchronize at window boundaries: a
+//! window's length is the **lookahead** — a
 //! conservative lower bound on the delivery delay of any cross-shard
 //! message ([`SimConfig::conservative_lookahead`]), derived from the
-//! routed topology's minimum cross-shard link latency. Within a window
+//! minimum latency crossing the chosen partition. Within a window
 //! `[T, T + L)`, no shard can receive an event it has not already been
 //! handed (anything generated in the window arrives at `>= T + L`), so
-//! every shard may run its window independently — in parallel.
+//! every shard may run its window independently — in parallel. Because
+//! the lookahead is the minimum *cross-shard* latency, the partition
+//! directly sets the window economics: domain-aligned cuts push the
+//! floor from the stub-access latency up to the inter-core latency of
+//! the planned clusters, collapsing the window count.
 //!
 //! Cross-shard sends are buffered in per-`(source, destination)` *lanes*
 //! and moved into the destination queue at the window boundary. Order
@@ -84,6 +90,72 @@ pub fn shards_from_env() -> Option<usize> {
     }
 }
 
+/// How nodes are mapped to shards (see [`Partition`]). Every strategy
+/// produces byte-identical simulation outputs — the strategy only moves
+/// the cross-shard latency floor (the window lookahead) and the lane
+/// traffic volume, i.e. how fast the run completes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Near-equal contiguous id ranges (the PR 5 baseline). Cuts slice
+    /// through stub domains, so the lookahead collapses to the
+    /// stub-access floor.
+    #[default]
+    Contiguous,
+    /// Topology-aware cuts on stub-domain boundaries, planned by
+    /// clustering populated core routers to maximize the inter-shard
+    /// latency floor; shards balanced by node count.
+    DomainAligned,
+    /// Domain-aligned cuts balanced by the per-domain event-rate
+    /// estimate (fanout × view degree × traffic share) instead of raw
+    /// node count.
+    RateBalanced,
+}
+
+impl PartitionStrategy {
+    /// Parses a strategy name as used by `EGM_PARTITION`.
+    pub fn parse(s: &str) -> Option<PartitionStrategy> {
+        match s {
+            "contiguous" => Some(PartitionStrategy::Contiguous),
+            "domain-aligned" | "domain" => Some(PartitionStrategy::DomainAligned),
+            "rate-balanced" | "rate" => Some(PartitionStrategy::RateBalanced),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (inverse of [`PartitionStrategy::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Contiguous => "contiguous",
+            PartitionStrategy::DomainAligned => "domain-aligned",
+            PartitionStrategy::RateBalanced => "rate-balanced",
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reads the `EGM_PARTITION` override from the environment; `None` when
+/// unset (the scenario choice or the auto default applies).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — silently falling back would turn a
+/// partitioning A/B into two identical runs.
+pub fn partition_from_env() -> Option<PartitionStrategy> {
+    match std::env::var("EGM_PARTITION") {
+        Err(_) => None,
+        Ok(v) => Some(PartitionStrategy::parse(&v).unwrap_or_else(|| {
+            panic!(
+                "unrecognized EGM_PARTITION {v:?}: use contiguous, domain-aligned or rate-balanced"
+            )
+        })),
+    }
+}
+
 /// How a run's shard count was resolved (see
 /// [`SimConfig::shard_choice`]): a forced count (scenario or `EGM_SHARDS`)
 /// selects the sharded engine even at `W = 1` (and the sequential engine
@@ -116,24 +188,35 @@ impl ShardChoice {
     }
 }
 
-/// A contiguous-range partition of the node id space over worker shards.
+/// A partition of the node id space over worker shards: an arbitrary
+/// node→shard map with O(1) shard and local-index lookup.
 ///
-/// Shard `s` owns the ids `[floor(s·n/W), floor((s+1)·n/W))`: ranges are
-/// non-empty, near-equal, and cover every id exactly once (property-
-/// tested in `shard_equivalence`). Contiguity matters for the lookahead:
-/// the transit–stub generator lays clients out domain-by-domain, so range
-/// boundaries cut few stub domains and the minimum cross-shard latency —
-/// the window length — stays close to the inter-domain latency floor.
+/// Shards are non-empty and cover every id exactly once (property-
+/// tested in `shard_equivalence` and the partition proptests). Within a
+/// shard, nodes are ordered by ascending global id — that invariant is
+/// what lets the engine hand each shard its slice of the global RNG
+/// stream vectors and run `on_start` callbacks in a per-shard order
+/// consistent with the sequential engine.
+///
+/// The map itself comes from a [`PartitionStrategy`]:
+/// [`Partition::contiguous`] builds the near-equal range baseline, and
+/// [`Partition::from_assignment`] accepts the domain-aligned plans of
+/// [`egm_topology::RoutedModel::partition_plan`].
 #[derive(Debug, Clone)]
 pub struct Partition {
-    /// `starts[s]..starts[s + 1]` is shard `s`'s id range.
-    starts: Vec<u32>,
     /// Shard per node — O(1) lookup on the per-send routing path.
     assign: Vec<u32>,
+    /// Local index of each node within its shard (position in the
+    /// shard's ascending-id member list) — O(1) lookup on the dispatch
+    /// path.
+    local: Vec<u32>,
+    /// Global ids owned by each shard, ascending.
+    members: Vec<Vec<u32>>,
 }
 
 impl Partition {
-    /// Splits `0..n` into `shards` contiguous near-equal ranges.
+    /// Splits `0..n` into `shards` contiguous near-equal ranges: shard
+    /// `s` owns `[floor(s·n/W), floor((s+1)·n/W))`.
     ///
     /// # Panics
     ///
@@ -141,19 +224,47 @@ impl Partition {
     pub fn contiguous(n: usize, shards: usize) -> Partition {
         assert!(shards > 0, "need at least one shard");
         assert!(shards <= n, "more shards than nodes");
-        let starts: Vec<u32> = (0..=shards).map(|s| (s * n / shards) as u32).collect();
         let mut assign = vec![0u32; n];
-        for s in 0..shards {
-            for slot in &mut assign[starts[s] as usize..starts[s + 1] as usize] {
-                *slot = s as u32;
-            }
+        for (i, slot) in assign.iter_mut().enumerate() {
+            *slot = ((i * shards) / n) as u32;
         }
-        Partition { starts, assign }
+        Partition::from_assignment(assign, shards)
+    }
+
+    /// Builds a partition from an explicit node→shard assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds the node count, if an
+    /// assignment references a shard out of range, or if any shard would
+    /// own no nodes.
+    pub fn from_assignment(assign: Vec<u32>, shards: usize) -> Partition {
+        assert!(shards > 0, "need at least one shard");
+        assert!(shards <= assign.len(), "more shards than nodes");
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        let mut local = vec![0u32; assign.len()];
+        for (i, &s) in assign.iter().enumerate() {
+            assert!(
+                (s as usize) < shards,
+                "assignment references shard {s} out of range"
+            );
+            local[i] = members[s as usize].len() as u32;
+            members[s as usize].push(i as u32);
+        }
+        assert!(
+            members.iter().all(|m| !m.is_empty()),
+            "every shard must own at least one node"
+        );
+        Partition {
+            assign,
+            local,
+            members,
+        }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.starts.len() - 1
+        self.members.len()
     }
 
     /// Number of nodes partitioned.
@@ -167,9 +278,28 @@ impl Partition {
         self.assign[node] as usize
     }
 
-    /// The id range owned by `shard`.
+    /// The position of `node` in its shard's ascending member list.
+    #[inline]
+    pub fn local_of(&self, node: usize) -> usize {
+        self.local[node] as usize
+    }
+
+    /// The global ids owned by `shard`, ascending.
+    pub fn members(&self, shard: usize) -> &[u32] {
+        &self.members[shard]
+    }
+
+    /// The id range owned by `shard` — contiguous partitions only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard's membership is not one contiguous id run.
     pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
-        self.starts[shard] as usize..self.starts[shard + 1] as usize
+        let m = &self.members[shard];
+        let start = m[0] as usize;
+        let end = m[m.len() - 1] as usize + 1;
+        assert_eq!(end - start, m.len(), "range() requires a contiguous shard");
+        start..end
     }
 
     /// The per-node shard assignment (for lookahead derivation).
@@ -183,17 +313,35 @@ impl Partition {
 type Mailbox<M> = Mutex<Vec<Scheduled<EventKind<M>>>>;
 
 /// Window-loop counters of a sharded run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardStats {
     /// Number of worker shards.
     pub shards: usize,
+    /// The partition strategy that actually took effect (a planned
+    /// strategy falls back to [`PartitionStrategy::Contiguous`] when the
+    /// delay source yields no domain structure to align with).
+    pub strategy: PartitionStrategy,
     /// Conservative window length in microseconds (0 when a single shard
     /// runs windowless).
     pub lookahead_us: u64,
+    /// Average virtual time advanced per executed window, in
+    /// microseconds — the *realized* lookahead. At least `lookahead_us`
+    /// (planning windows from the earliest pending event leaps over idle
+    /// stretches); 0 before any window ran.
+    pub realized_lookahead_us: u64,
     /// Windows executed (each is one parallel phase plus one barrier).
     pub windows: u64,
     /// Events that crossed shards through the lanes.
     pub lane_events: u64,
+    /// Batched lane merges: one per (window, destination shard) that
+    /// actually received events.
+    pub lane_flushes: u64,
+    /// Window boundaries at which the lane exchange was skipped because
+    /// no shard had cross-shard sends pending.
+    pub exchanges_skipped: u64,
+    /// Events dispatched by each shard — the observable partition
+    /// balance (sums to the sequential engine's event count).
+    pub per_shard_events: Vec<u64>,
 }
 
 /// The deterministic sharded discrete-event simulator: the partitioned
@@ -207,6 +355,8 @@ pub struct ShardStats {
 pub struct ShardedSim<P: Protocol> {
     shards: Vec<EngineState<P>>,
     partition: Arc<Partition>,
+    /// The strategy the partition was actually built with.
+    strategy: PartitionStrategy,
     /// Conservative window length; `None` collapses the run to a single
     /// window (single shard).
     lookahead: Option<SimDuration>,
@@ -217,6 +367,11 @@ pub struct ShardedSim<P: Protocol> {
     threaded: bool,
     windows: u64,
     lane_events: u64,
+    lane_flushes: u64,
+    exchanges_skipped: u64,
+    /// Reusable scratch buffer for the per-destination lane merge of the
+    /// single-threaded window driver.
+    lane_gather: Vec<Scheduled<EventKind<P::Msg>>>,
 }
 
 impl<P: Protocol + Send> ShardedSim<P>
@@ -227,7 +382,17 @@ where
     /// network, partitioned across `shards` workers (clamped to the node
     /// count). `seed` produces exactly the RNG tree of
     /// [`crate::Sim::new`], so the run is byte-identical to the
-    /// sequential engine.
+    /// sequential engine — under every [`PartitionStrategy`]: each node
+    /// receives the RNG streams of its *global* id regardless of which
+    /// shard owns it.
+    ///
+    /// The strategy resolves in precedence order: `Scenario` /
+    /// [`SimConfig::with_partition`], then `EGM_PARTITION`, then auto
+    /// (domain-aligned when the delay source yields a plan, contiguous
+    /// otherwise). A planned strategy falls back to contiguous when no
+    /// plan is available (uniform delays, or fewer populated domains
+    /// than shards); the effective strategy is reported in
+    /// [`ShardStats::strategy`].
     ///
     /// # Panics
     ///
@@ -243,7 +408,8 @@ where
         assert!(n <= MAX_NODES, "too many nodes for event keys");
         assert!(shards > 0, "need at least one shard");
         let w = shards.min(n);
-        let partition = Arc::new(Partition::contiguous(n, w));
+        let (partition, strategy) = resolve_partition(&config, n, w);
+        let partition = Arc::new(partition);
         let lookahead = config.conservative_lookahead(partition.assignment());
         assert!(
             w == 1 || lookahead.is_some(),
@@ -255,30 +421,43 @@ where
         // stays probe-free, like the sequential engine's).
         let track_first_keys = spill_threshold != usize::MAX && w > 1;
         let (node_rngs, net_rngs) = fork_streams(seed, n);
-        let mut nodes = nodes.into_iter();
-        let mut node_rngs = node_rngs.into_iter();
-        let mut net_rngs = net_rngs.into_iter();
+        // Distribute nodes and streams by *global* id: shard `s` gets,
+        // in ascending id order, exactly the entries of its members —
+        // for contiguous partitions this degenerates to slicing.
+        let mut nodes: Vec<Option<P>> = nodes.into_iter().map(Some).collect();
+        let mut node_rngs: Vec<Option<_>> = node_rngs.into_iter().map(Some).collect();
+        let mut net_rngs: Vec<Option<_>> = net_rngs.into_iter().map(Some).collect();
         let mut states = Vec::with_capacity(w);
         for s in 0..w {
-            let count = partition.range(s).len();
+            let members = partition.members(s);
             let route = ShardRoute::new(
                 partition.clone(),
                 s,
                 w,
                 track_first_keys.then(FastHashMap::default),
             );
+            let take = |v: &mut Vec<Option<_>>| -> Vec<_> {
+                members
+                    .iter()
+                    .map(|&i| v[i as usize].take().expect("each node owned once"))
+                    .collect()
+            };
             let core = SimCore::new(
                 config.clone(),
-                node_rngs.by_ref().take(count).collect(),
-                net_rngs.by_ref().take(count).collect(),
-                partition.range(s).start,
+                take(&mut node_rngs),
+                take(&mut net_rngs),
                 Some(route),
             );
-            states.push(EngineState::new(core, nodes.by_ref().take(count).collect()));
+            let owned: Vec<P> = members
+                .iter()
+                .map(|&i| nodes[i as usize].take().expect("each node owned once"))
+                .collect();
+            states.push(EngineState::new(core, owned));
         }
         ShardedSim {
             shards: states,
             partition,
+            strategy,
             lookahead,
             now: SimTime::ZERO,
             harness_seq: 0,
@@ -287,6 +466,9 @@ where
             threaded: shard_threads_enabled(),
             windows: 0,
             lane_events: 0,
+            lane_flushes: 0,
+            exchanges_skipped: 0,
+            lane_gather: Vec::new(),
         }
     }
 
@@ -318,13 +500,23 @@ where
         &self.partition
     }
 
+    /// The partition strategy that actually took effect.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
     /// Window-loop counters.
     pub fn shard_stats(&self) -> ShardStats {
         ShardStats {
             shards: self.shards.len(),
+            strategy: self.strategy,
             lookahead_us: self.lookahead.map_or(0, |l| l.as_micros()),
+            realized_lookahead_us: self.now.as_micros().checked_div(self.windows).unwrap_or(0),
             windows: self.windows,
             lane_events: self.lane_events,
+            lane_flushes: self.lane_flushes,
+            exchanges_skipped: self.exchanges_skipped,
+            per_shard_events: self.shards.iter().map(|s| s.events_processed).collect(),
         }
     }
 
@@ -372,8 +564,7 @@ where
     /// Panics if the id is out of range.
     pub fn node(&self, id: NodeId) -> &P {
         let s = self.partition.shard_of(id.index());
-        let base = self.partition.range(s).start;
-        &self.shards[s].nodes[id.index() - base]
+        &self.shards[s].nodes[self.partition.local_of(id.index())]
     }
 
     /// Mutable access to a protocol node.
@@ -383,19 +574,13 @@ where
     /// Panics if the id is out of range.
     pub fn node_mut(&mut self, id: NodeId) -> &mut P {
         let s = self.partition.shard_of(id.index());
-        let base = self.partition.range(s).start;
-        &mut self.shards[s].nodes[id.index() - base]
+        &mut self.shards[s].nodes[self.partition.local_of(id.index())]
     }
 
-    /// Iterates over all nodes with their ids, in id order.
+    /// Iterates over all nodes with their ids, in id order — regardless
+    /// of which shard owns which id.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
-        self.shards.iter().flat_map(|sh| {
-            let base = sh.core.base;
-            sh.nodes
-                .iter()
-                .enumerate()
-                .map(move |(i, n)| (NodeId(base + i), n))
-        })
+        (0..self.partition.node_count()).map(|i| (NodeId(i), self.node(NodeId(i))))
     }
 
     /// Merges the per-shard traffic tables into the sealed global view
@@ -606,24 +791,43 @@ where
     }
 
     /// Moves every pending cross-shard lane into its destination queue.
+    ///
+    /// Adaptive: when no shard has cross-shard sends pending, the whole
+    /// exchange is one boolean check. Otherwise the per-`(src, dst)`
+    /// lanes are coalesced into **one sorted merge per destination**: all
+    /// source lanes gather into a reusable scratch buffer, sort by the
+    /// intrinsic `(time, seq)` key, and enter the destination queue in
+    /// ascending order — one batched flush instead of `W - 1` per-lane
+    /// event streams. Push order never affects dispatch order (the queue
+    /// orders by key), so batching is purely a throughput change.
     fn exchange_lanes(&mut self) {
+        if !self.shards.iter().any(|sh| sh.core.lanes_pending()) {
+            self.exchanges_skipped += 1;
+            return;
+        }
         let w = self.shards.len();
-        for src in 0..w {
-            if !self.shards[src].core.lanes_pending() {
-                continue;
-            }
-            for dst in 0..w {
+        let mut gather = std::mem::take(&mut self.lane_gather);
+        for dst in 0..w {
+            debug_assert!(gather.is_empty());
+            for src in 0..w {
                 if dst == src {
                     continue;
                 }
                 let mut lane = self.shards[src].core.take_lane(dst);
                 self.lane_events += lane.len() as u64;
-                for ev in lane.drain(..) {
-                    self.shards[dst].core.enqueue(ev);
-                }
+                gather.append(&mut lane);
                 self.shards[src].core.put_lane(dst, lane);
             }
+            if gather.is_empty() {
+                continue;
+            }
+            gather.sort_unstable_by_key(|ev| (ev.time, ev.seq));
+            self.lane_flushes += 1;
+            for ev in gather.drain(..) {
+                self.shards[dst].core.enqueue(ev);
+            }
         }
+        self.lane_gather = gather;
     }
 
     /// Multi-threaded window driver: one persistent worker per shard,
@@ -642,6 +846,12 @@ where
         let bound_cell = AtomicU64::new(0);
         let windows = AtomicU64::new(0);
         let lane_events = AtomicU64::new(0);
+        let lane_flushes = AtomicU64::new(0);
+        let exchanges_skipped = AtomicU64::new(0);
+        // Events published into mailboxes during the current boundary;
+        // 0 lets every worker skip its mailbox entirely (adaptive
+        // exchange). Reset by the leader while planning the window.
+        let published = AtomicU64::new(0);
         let mailboxes: Vec<Mailbox<P::Msg>> = (0..w).map(|_| Mutex::new(Vec::new())).collect();
         let deadline_us = deadline.map(|d| d.as_micros());
         let lookahead_us = lookahead.as_micros();
@@ -659,6 +869,9 @@ where
                 let bound_cell = &bound_cell;
                 let windows = &windows;
                 let lane_events = &lane_events;
+                let lane_flushes = &lane_flushes;
+                let exchanges_skipped = &exchanges_skipped;
+                let published = &published;
                 let mailboxes = &mailboxes;
                 let abort = &abort;
                 scope.spawn(move || {
@@ -674,8 +887,12 @@ where
                     };
                     guard(&mut poison, &mut || sh.ensure_started());
                     loop {
-                        // Phase 1: publish this shard's outgoing lanes.
+                        // Phase 1: publish this shard's outgoing lanes
+                        // (skipped outright when it has none pending).
                         guard(&mut poison, &mut || {
+                            if !sh.core.lanes_pending() {
+                                return;
+                            }
                             for (dst, mailbox) in mailboxes.iter().enumerate() {
                                 if dst == i {
                                     continue;
@@ -683,20 +900,33 @@ where
                                 let mut lane = sh.core.take_lane(dst);
                                 if !lane.is_empty() {
                                     lane_events.fetch_add(lane.len() as u64, Ordering::Relaxed);
+                                    published.fetch_add(lane.len() as u64, Ordering::SeqCst);
                                     mailbox.lock().unwrap().append(&mut lane);
                                 }
                                 sh.core.put_lane(dst, lane);
                             }
                         });
                         barrier.wait();
-                        // Phase 2: merge incoming events, report the
-                        // earliest pending time.
+                        // Phase 2: merge incoming events (one sorted
+                        // batch per window — sources appended, the drain
+                        // sorts by intrinsic key and pushes ascending),
+                        // then report the earliest pending time. When
+                        // nothing was published anywhere, every mailbox
+                        // is known empty and the exchange is skipped.
                         let mut t = u64::MAX;
                         guard(&mut poison, &mut || {
-                            {
-                                let mut mb = mailboxes[i].lock().unwrap();
-                                for ev in mb.drain(..) {
-                                    sh.core.enqueue(ev);
+                            if published.load(Ordering::SeqCst) > 0 {
+                                let mut incoming =
+                                    std::mem::take(&mut *mailboxes[i].lock().unwrap());
+                                if !incoming.is_empty() {
+                                    incoming.sort_unstable_by_key(|ev| (ev.time, ev.seq));
+                                    lane_flushes.fetch_add(1, Ordering::Relaxed);
+                                    for ev in incoming.drain(..) {
+                                        sh.core.enqueue(ev);
+                                    }
+                                    // Hand the buffer back so its
+                                    // capacity is reused next window.
+                                    *mailboxes[i].lock().unwrap() = incoming;
                                 }
                             }
                             t = sh.core.next_time().map_or(u64::MAX, |t| t.as_micros());
@@ -705,6 +935,13 @@ where
                         let turn = barrier.wait();
                         // Phase 3: one leader plans the window for all.
                         if turn.is_leader() {
+                            // Reset the publish counter for the next
+                            // boundary (every phase-2 read is behind the
+                            // previous barrier; the next phase-1 adds are
+                            // behind the following one).
+                            if published.swap(0, Ordering::SeqCst) == 0 {
+                                exchanges_skipped.fetch_add(1, Ordering::Relaxed);
+                            }
                             let min_t = next_times
                                 .iter()
                                 .map(|t| t.load(Ordering::SeqCst))
@@ -742,6 +979,8 @@ where
         });
         self.windows += windows.into_inner();
         self.lane_events += lane_events.into_inner();
+        self.lane_flushes += lane_flushes.into_inner();
+        self.exchanges_skipped += exchanges_skipped.into_inner();
         let max_now = self.shards.iter().map(|sh| sh.now).max();
         if let Some(t) = max_now {
             self.now = self.now.max(t);
@@ -835,6 +1074,30 @@ fn resolve_first_keys(
             })
         })
         .collect()
+}
+
+/// Builds the node partition for a `w`-shard run of `n` nodes, applying
+/// the strategy resolution of [`SimConfig::partition_strategy`] and
+/// returning the partition together with the strategy that actually
+/// took effect: a planned strategy (domain-aligned or rate-balanced)
+/// falls back to contiguous when the delay source yields no plan —
+/// uniform delays, a dense model, or fewer populated domains than
+/// shards. Single-shard runs always use the (trivial) contiguous
+/// partition.
+fn resolve_partition(config: &SimConfig, n: usize, w: usize) -> (Partition, PartitionStrategy) {
+    let requested = config.partition_strategy();
+    if w > 1 && requested != Some(PartitionStrategy::Contiguous) {
+        let rate = requested == Some(PartitionStrategy::RateBalanced);
+        if let Some(assign) = config.planned_assignment(w, rate) {
+            let effective = if rate {
+                PartitionStrategy::RateBalanced
+            } else {
+                PartitionStrategy::DomainAligned
+            };
+            return (Partition::from_assignment(assign, w), effective);
+        }
+    }
+    (Partition::contiguous(n, w), PartitionStrategy::Contiguous)
 }
 
 /// The inclusive bound of the window starting at the earliest pending

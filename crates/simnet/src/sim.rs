@@ -53,9 +53,10 @@ pub(crate) fn pack_seq(origin_rank: u32, local: u64) -> u64 {
 
 /// Forks the deterministic RNG streams exactly as every engine must: one
 /// protocol stream per node in id order, then one network (loss/jitter)
-/// stream per *sender* in id order. The sharded engine slices these
-/// vectors by partition range, so a node's streams are identical no
-/// matter which shard — or engine — drives it.
+/// stream per *sender* in id order. The sharded engine distributes these
+/// vectors by *global* node id (whatever the partition shape), so a
+/// node's streams are identical no matter which shard — or engine —
+/// drives it.
 pub(crate) fn fork_streams(seed: u64, n: usize) -> (Vec<Rng>, Vec<Rng>) {
     let mut root = Rng::seed_from_u64(seed);
     let node_rngs: Vec<Rng> = (0..n).map(|_| root.fork()).collect();
@@ -307,21 +308,18 @@ pub(crate) struct SimCore<M> {
     node_rngs: Vec<Rng>,
     /// Per-sender network RNG streams (loss/jitter/egress draws).
     net_rngs: Vec<Rng>,
-    /// First node id owned by this core (0 for the sequential engine).
-    pub(crate) base: usize,
     /// Cross-shard routing; `None` for the sequential engine.
     pub(crate) route: Option<ShardRoute<M>>,
 }
 
 impl<M: Wire> SimCore<M> {
     /// Builds the core for one engine. `node_rngs`/`net_rngs` are the
-    /// owned slices of the [`fork_streams`] vectors; `base` is the first
-    /// owned node id.
+    /// owned entries of the [`fork_streams`] vectors, in ascending
+    /// global-id order (local-index order).
     pub(crate) fn new(
         config: SimConfig,
         node_rngs: Vec<Rng>,
         net_rngs: Vec<Rng>,
-        base: usize,
         route: Option<ShardRoute<M>>,
     ) -> Self {
         // A worker shard of a multi-shard run records traffic with an
@@ -346,7 +344,6 @@ impl<M: Wire> SimCore<M> {
             timers: TimerTable::default(),
             node_rngs,
             net_rngs,
-            base,
             route,
         }
     }
@@ -356,17 +353,41 @@ impl<M: Wire> SimCore<M> {
         self.node_seqs.len()
     }
 
+    /// Local index of an owned node: its position in this core's
+    /// ascending-id member list. The sequential engine owns every node,
+    /// so local index = global id; a shard looks it up in the partition's
+    /// O(1) table.
+    #[inline]
+    pub(crate) fn local_of(&self, node: NodeId) -> usize {
+        match &self.route {
+            Some(r) => r.partition.local_of(node.index()),
+            None => node.index(),
+        }
+    }
+
+    /// Global id of the owned node at local index `i` (inverse of
+    /// [`SimCore::local_of`]).
+    #[inline]
+    fn id_of_local(&self, i: usize) -> NodeId {
+        match &self.route {
+            Some(r) => NodeId(r.partition.members(r.me)[i] as usize),
+            None => NodeId(i),
+        }
+    }
+
     /// Whether this core owns `node`.
     fn owns(&self, node: NodeId) -> bool {
-        let i = node.index();
-        i >= self.base && i < self.base + self.node_seqs.len()
+        match &self.route {
+            Some(r) => r.partition.shard_of(node.index()) == r.me,
+            None => node.index() < self.node_seqs.len(),
+        }
     }
 
     /// Pushes an event originated by owned node `origin`, assigning its
     /// intrinsic `(origin, counter)` key and routing it to this core's
     /// queue or, for a cross-shard delivery, the destination lane.
     fn push_from(&mut self, origin: NodeId, time: SimTime, kind: EventKind<M>) {
-        let li = origin.index() - self.base;
+        let li = self.local_of(origin);
         let seq = pack_seq(origin.index() as u32 + 1, self.node_seqs[li]);
         self.node_seqs[li] += 1;
         let ev = Scheduled {
@@ -444,7 +465,8 @@ impl<M: Wire> SimCore<M> {
                 route.cur_idx += 1;
             }
         }
-        let rng = &mut self.net_rngs[from.index() - self.base];
+        let li = self.local_of(from);
+        let rng = &mut self.net_rngs[li];
         self.network.transmit(rng, now, from, to, bytes)
     }
 
@@ -561,7 +583,8 @@ impl<M: Wire> Context<'_, M> {
 
     /// This node's private deterministic RNG stream.
     pub fn rng(&mut self) -> &mut Rng {
-        &mut self.core.node_rngs[self.id.index() - self.core.base]
+        let li = self.core.local_of(self.id);
+        &mut self.core.node_rngs[li]
     }
 
     /// Sends `msg` to `to` over the virtual network.
@@ -654,7 +677,7 @@ impl<P: Protocol> EngineState<P> {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            let id = NodeId(self.core.base + i);
+            let id = self.core.id_of_local(i);
             self.core.begin_start(id);
             let mut ctx = Context {
                 id,
@@ -681,34 +704,36 @@ impl<P: Protocol> EngineState<P> {
         if !matches!(ev.item, EventKind::Silence(_) | EventKind::Revive(_)) {
             self.core.begin_dispatch(ev.time, ev.seq);
         }
-        let base = self.core.base;
         match ev.item {
             EventKind::Deliver { to, from, msg } => {
                 self.events_processed += 1;
+                let li = self.core.local_of(to);
                 let mut ctx = Context {
                     id: to,
                     now: self.now,
                     core: &mut self.core,
                 };
-                self.nodes[to.index() - base].on_receive(&mut ctx, from, msg);
+                self.nodes[li].on_receive(&mut ctx, from, msg);
             }
             EventKind::Timer { node, tag } | EventKind::CancellableTimer { node, tag, .. } => {
                 self.events_processed += 1;
+                let li = self.core.local_of(node);
                 let mut ctx = Context {
                     id: node,
                     now: self.now,
                     core: &mut self.core,
                 };
-                self.nodes[node.index() - base].on_timer(&mut ctx, tag);
+                self.nodes[li].on_timer(&mut ctx, tag);
             }
             EventKind::Command { node, value } => {
                 self.events_processed += 1;
+                let li = self.core.local_of(node);
                 let mut ctx = Context {
                     id: node,
                     now: self.now,
                     core: &mut self.core,
                 };
-                self.nodes[node.index() - base].on_command(&mut ctx, value);
+                self.nodes[li].on_command(&mut ctx, value);
             }
             // Fault events are replicated to every shard (each keeps its
             // own fault view); the event is *counted* once, by the shard
@@ -771,7 +796,7 @@ impl<P: Protocol> Sim<P> {
         );
         assert!(nodes.len() <= MAX_NODES, "too many nodes for event keys");
         let (node_rngs, net_rngs) = fork_streams(seed, nodes.len());
-        let core = SimCore::new(config, node_rngs, net_rngs, 0, None);
+        let core = SimCore::new(config, node_rngs, net_rngs, None);
         Sim {
             eng: EngineState::new(core, nodes),
             harness_seq: 0,

@@ -274,6 +274,128 @@ fn min_opt(best: Option<f64>, candidate: f64) -> Option<f64> {
     }
 }
 
+/// A topology-aware node→shard assignment produced by
+/// [`RoutedModel::partition_plan`].
+///
+/// The plan's invariant is **domain alignment**: no stub domain is ever
+/// split across shards, so the minimum cross-shard latency — the sharded
+/// simulator's conservative lookahead — is an *inter-domain* path (two
+/// access links plus up-links and a core traversal), never the ~2–3 ms
+/// stub-access floor that arbitrary cuts collapse to. On top of the
+/// invariant the planner clusters whole transit-router subtrees that sit
+/// close on the core, so the realized floor approaches the inter-cluster
+/// core distance rather than the cheapest same-router domain pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    /// Shard per client.
+    assign: Vec<u32>,
+    /// Number of shards (every one of them non-empty).
+    shards: usize,
+    /// Predicted load per shard in the planner's balance unit (client
+    /// count under [`PlanBalance::Nodes`], estimated events per unit time
+    /// under [`PlanBalance::Rate`]).
+    shard_weights: Vec<f64>,
+}
+
+impl PartitionPlan {
+    /// Shard per client, indexed by client id.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assign
+    }
+
+    /// Number of shards; every shard owns at least one client.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Predicted per-shard load in the planner's balance unit.
+    pub fn shard_weights(&self) -> &[f64] {
+        &self.shard_weights
+    }
+}
+
+/// What [`RoutedModel::partition_plan`] balances shards by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanBalance {
+    /// Balance by client count.
+    Nodes,
+    /// Balance by the per-domain event-rate estimate
+    /// ([`RoutedModel::domain_event_rates`]): each client contributes
+    /// `fanout × view_degree` events per unit traffic share, so a
+    /// domain's predicted rate scales with its population times the
+    /// configured gossip intensity.
+    Rate {
+        /// Gossip fanout (eager/lazy targets per relay).
+        fanout: usize,
+        /// Partial-view degree (shuffle and retry traffic scale with it).
+        view_degree: usize,
+    },
+}
+
+/// Weight-capped single-linkage agglomeration: merges the closest pair of
+/// clusters (by min inter-cluster core latency) whose combined weight
+/// stays under the cap, relaxing the cap when no pair qualifies, until
+/// exactly `shards` clusters remain. Single linkage maximizes the
+/// *minimum* spacing between the final clusters — exactly the quantity
+/// the conservative lookahead is derived from.
+struct UnitClusters {
+    /// Cluster id per unit (units are core routers with attached clients).
+    cluster_of: Vec<usize>,
+    /// Live cluster ids.
+    live: Vec<usize>,
+    /// Pairwise min core latency between clusters (indexed by cluster id).
+    dist: Vec<Vec<f64>>,
+    /// Total weight per cluster.
+    weight: Vec<f64>,
+}
+
+impl UnitClusters {
+    fn merge_to(&mut self, shards: usize) {
+        let total: f64 = self.live.iter().map(|&c| self.weight[c]).sum();
+        // 25% headroom over the ideal shard weight; relaxed geometrically
+        // if the cap is infeasible (e.g. one unit heavier than the cap).
+        let mut cap = total / shards as f64 * 1.25;
+        while self.live.len() > shards {
+            let mut best: Option<(f64, usize, usize)> = None;
+            for (i, &a) in self.live.iter().enumerate() {
+                for &b in &self.live[i + 1..] {
+                    if self.weight[a] + self.weight[b] > cap {
+                        continue;
+                    }
+                    let d = self.dist[a][b];
+                    // Deterministic ties: smaller (distance, a, b) wins.
+                    let better = match best {
+                        None => true,
+                        Some((bd, ba, bb)) => (d, a, b) < (bd, ba, bb),
+                    };
+                    if better {
+                        best = Some((d, a, b));
+                    }
+                }
+            }
+            let Some((_, a, b)) = best else {
+                cap *= 1.25;
+                continue;
+            };
+            // Merge b into a: single-linkage distance update.
+            self.weight[a] += self.weight[b];
+            for &c in &self.live {
+                if c != a && c != b {
+                    let d = self.dist[b][c].min(self.dist[a][c]);
+                    self.dist[a][c] = d;
+                    self.dist[c][a] = d;
+                }
+            }
+            for cl in &mut self.cluster_of {
+                if *cl == b {
+                    *cl = a;
+                }
+            }
+            self.live.retain(|&c| c != b);
+        }
+    }
+}
+
 impl TwoLevelModel {
     /// See [`RoutedModel::min_cross_partition_latency_ms`]. Exact without
     /// enumerating client pairs: same-domain candidates come from the
@@ -285,13 +407,21 @@ impl TwoLevelModel {
     fn min_cross_partition_latency_ms(&self, assignment: &[u32]) -> Option<f64> {
         let mut best: Option<f64> = None;
         // (member, shard) combinations per domain; (transit, shard)
-        // up-latency minima across domains.
+        // up-latency minima across domains. `aligned` tracks whether the
+        // cut respects stub-domain boundaries — the invariant every
+        // [`PartitionPlan`] guarantees — in which case no same-domain
+        // cross-shard pair exists and the quadratic per-domain scan below
+        // is skipped outright: the lookahead is the inter-domain floor.
+        let mut aligned = true;
         let mut domain_groups: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.domains.len()];
         let mut core_groups: std::collections::BTreeMap<(u32, u32), TwoMinByKey> =
             std::collections::BTreeMap::new();
         for (i, col) in self.cols.iter().enumerate() {
             let shard = assignment[i];
             let dg = &mut domain_groups[col.domain as usize];
+            if !dg.is_empty() && dg[0].1 != shard {
+                aligned = false;
+            }
             if !dg.contains(&(col.member, shard)) {
                 dg.push((col.member, shard));
             }
@@ -302,17 +432,20 @@ impl TwoLevelModel {
         }
         // Same-domain, cross-shard pairs (including two clients on the
         // same stub router split across shards: table diagonal is zero,
-        // leaving just the two access links).
-        for (d_idx, groups) in domain_groups.iter().enumerate() {
-            let d = &self.domains[d_idx];
-            let w = d.members as usize + 1;
-            for (i, &(m1, s1)) in groups.iter().enumerate() {
-                for &(m2, s2) in &groups[i..] {
-                    if s1 == s2 {
-                        continue;
+        // leaving just the two access links). Domain-aligned cuts have
+        // none, by construction.
+        if !aligned {
+            for (d_idx, groups) in domain_groups.iter().enumerate() {
+                let d = &self.domains[d_idx];
+                let w = d.members as usize + 1;
+                for (i, &(m1, s1)) in groups.iter().enumerate() {
+                    for &(m2, s2) in &groups[i..] {
+                        if s1 == s2 {
+                            continue;
+                        }
+                        let v = 2.0 * self.access_ms + d.latency_ms[m1 as usize * w + m2 as usize];
+                        best = min_opt(best, v);
                     }
-                    let v = 2.0 * self.access_ms + d.latency_ms[m1 as usize * w + m2 as usize];
-                    best = min_opt(best, v);
                 }
             }
         }
@@ -637,6 +770,167 @@ impl RoutedModel {
             }
             ModelRepr::Routed(tl) => tl.min_cross_partition_latency_ms(assignment),
         }
+    }
+
+    /// Stub-domain index of a client, or `None` for dense layouts (which
+    /// carry no domain structure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn client_domain(&self, client: usize) -> Option<u32> {
+        assert!(client < self.n, "client index out of range");
+        match &self.repr {
+            ModelRepr::Dense { .. } => None,
+            ModelRepr::Routed(tl) => Some(tl.cols[client].domain),
+        }
+    }
+
+    /// Per-stub-domain event-rate estimate, indexed by domain id, or
+    /// `None` for dense layouts.
+    ///
+    /// Each client relays to `fanout` gossip targets and maintains
+    /// `view_degree` partial-view peers (shuffle and lazy-retry traffic
+    /// scale with the view), and under the paper's homogeneous workload
+    /// every client carries an expected traffic share of `1/n` of the
+    /// multicast stream. A domain's predicted rate is therefore
+    /// `clients_in_domain × fanout × view_degree / n` — proportional to
+    /// population under homogeneous parameters, but expressed in rate
+    /// units so heterogeneous per-domain gossip intensities slot in
+    /// without an interface change.
+    pub fn domain_event_rates(&self, fanout: usize, view_degree: usize) -> Option<Vec<f64>> {
+        let tl = match &self.repr {
+            ModelRepr::Dense { .. } => return None,
+            ModelRepr::Routed(tl) => tl,
+        };
+        let per_client = fanout as f64 * view_degree as f64 / self.n as f64;
+        let mut rates = vec![0.0; tl.domains.len()];
+        for col in &tl.cols {
+            rates[col.domain as usize] += per_client;
+        }
+        Some(rates)
+    }
+
+    /// Plans a domain-aligned cut of the client set into `shards` shards,
+    /// or `None` when the layout exposes no domain structure (dense
+    /// models) or has too few populated domains to fill every shard.
+    ///
+    /// The plan never splits a stub domain across shards, and it goes
+    /// further than the minimal invariant: populated transit routers are
+    /// clustered by weight-capped single-linkage agglomeration over the
+    /// core latency matrix, so each shard is a spatially coherent region
+    /// of the core and the minimum cross-shard latency — the conservative
+    /// lookahead of the sharded simulator — approaches the *inter-region*
+    /// core floor instead of the cheapest same-router domain pair.
+    /// Balance weights come from `balance`: client count, or the
+    /// [`RoutedModel::domain_event_rates`] estimate.
+    ///
+    /// Deterministic: identical inputs produce identical plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn partition_plan(&self, shards: usize, balance: PlanBalance) -> Option<PartitionPlan> {
+        assert!(shards > 0, "need at least one shard");
+        let tl = match &self.repr {
+            ModelRepr::Dense { .. } => return None,
+            ModelRepr::Routed(tl) => tl,
+        };
+        let per_client = match balance {
+            PlanBalance::Nodes => 1.0,
+            PlanBalance::Rate {
+                fanout,
+                view_degree,
+            } => fanout as f64 * view_degree as f64 / self.n as f64,
+        };
+        if shards == 1 {
+            return Some(PartitionPlan {
+                assign: vec![0; self.n],
+                shards: 1,
+                shard_weights: vec![per_client * self.n as f64],
+            });
+        }
+        // Weight per domain, and the units the planner clusters: populated
+        // core routers when there are enough of them to fill every shard,
+        // else individual populated domains (tiny test models).
+        let mut domain_weight = vec![0.0f64; tl.domains.len()];
+        for col in &tl.cols {
+            domain_weight[col.domain as usize] += per_client;
+        }
+        let populated: Vec<usize> = (0..tl.domains.len())
+            .filter(|&d| domain_weight[d] > 0.0)
+            .collect();
+        let mut core_populated: Vec<u32> = populated
+            .iter()
+            .map(|&d| tl.domains[d].core_index)
+            .collect();
+        core_populated.sort_unstable();
+        core_populated.dedup();
+        // One clustering unit per entry: (core router, domains it carries).
+        let units: Vec<(u32, Vec<usize>)> = if core_populated.len() >= shards {
+            core_populated
+                .iter()
+                .map(|&c| {
+                    let ds: Vec<usize> = populated
+                        .iter()
+                        .copied()
+                        .filter(|&d| tl.domains[d].core_index == c)
+                        .collect();
+                    (c, ds)
+                })
+                .collect()
+        } else if populated.len() >= shards {
+            populated
+                .iter()
+                .map(|&d| (tl.domains[d].core_index, vec![d]))
+                .collect()
+        } else {
+            return None;
+        };
+        let u = units.len();
+        let mut clusters = UnitClusters {
+            cluster_of: (0..u).collect(),
+            live: (0..u).collect(),
+            dist: vec![vec![0.0; u]; u],
+            weight: units
+                .iter()
+                .map(|(_, ds)| ds.iter().map(|&d| domain_weight[d]).sum())
+                .collect(),
+        };
+        for i in 0..u {
+            for j in (i + 1)..u {
+                let (c1, c2) = (units[i].0 as usize, units[j].0 as usize);
+                let d = tl.core_latency_ms[c1 * tl.core_n + c2];
+                clusters.dist[i][j] = d;
+                clusters.dist[j][i] = d;
+            }
+        }
+        clusters.merge_to(shards);
+        // Shard ids in first-unit order, so the numbering is stable.
+        let mut shard_of_cluster = vec![u32::MAX; u];
+        let mut shard_weights = Vec::with_capacity(shards);
+        for (s, &c) in clusters.live.iter().enumerate() {
+            shard_of_cluster[c] = s as u32;
+            shard_weights.push(clusters.weight[c]);
+        }
+        let mut shard_of_domain = vec![u32::MAX; tl.domains.len()];
+        for (unit, (_, ds)) in units.iter().enumerate() {
+            let s = shard_of_cluster[clusters.cluster_of[unit]];
+            for &d in ds {
+                shard_of_domain[d] = s;
+            }
+        }
+        let assign: Vec<u32> = tl
+            .cols
+            .iter()
+            .map(|col| shard_of_domain[col.domain as usize])
+            .collect();
+        debug_assert!(assign.iter().all(|&s| (s as usize) < shards));
+        Some(PartitionPlan {
+            assign,
+            shards,
+            shard_weights,
+        })
     }
 
     /// Aggregate statistics over distinct client pairs (§5.1 of the

@@ -1,7 +1,8 @@
 //! Property-based tests of the topology generator.
 
-use egm_topology::{RoutedModel, TransitStubConfig};
+use egm_topology::{PlanBalance, RoutedModel, TransitStubConfig};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -88,6 +89,46 @@ proptest! {
         prop_assert_eq!(compact.memory_shape().dense_cells, 0);
     }
 
+    /// Every partition plan over a scaled transit-stub model is a total,
+    /// disjoint, **domain-aligned** cover with non-empty shards and
+    /// positive predicted weights, under both balance modes.
+    #[test]
+    fn partition_plans_are_domain_aligned_covers(
+        n in 50usize..500,
+        seed in 0u64..16,
+        w in 2usize..9,
+    ) {
+        let model = TransitStubConfig::scaled(n).with_seed(seed).build();
+        let balances = [
+            PlanBalance::Nodes,
+            PlanBalance::Rate { fanout: 11, view_degree: 15 },
+        ];
+        for balance in balances {
+            // The planner declines (falls back to contiguous at the sim
+            // layer) when the topology has fewer populated units than
+            // shards; a returned plan must uphold every invariant.
+            let Some(plan) = model.partition_plan(w, balance) else { continue };
+            let assign = plan.assignment();
+            prop_assert_eq!(assign.len(), n);
+            prop_assert_eq!(plan.shard_count(), w);
+            let mut population = vec![0usize; w];
+            for &s in assign {
+                prop_assert!((s as usize) < w, "assignment within range");
+                population[s as usize] += 1;
+            }
+            prop_assert!(population.iter().all(|&p| p > 0), "no empty shard");
+            prop_assert_eq!(plan.shard_weights().len(), w);
+            prop_assert!(plan.shard_weights().iter().all(|&x| x > 0.0));
+            // Domain alignment: no stub domain is split across shards.
+            let mut domain_shard: HashMap<u32, u32> = HashMap::new();
+            for (c, &a) in assign.iter().enumerate() {
+                let d = model.client_domain(c).expect("routed client has a domain");
+                let s = *domain_shard.entry(d).or_insert(a);
+                prop_assert!(s == a, "stub domain split across shards");
+            }
+        }
+    }
+
     /// The equivalence also holds at the default (paper-sized) topology
     /// with up to 200 clients — the regime the dense reference is still
     /// comfortable in.
@@ -107,6 +148,28 @@ proptest! {
                 );
                 prop_assert_eq!(dense.hops(a, b), compact.hops(a, b));
             }
+        }
+    }
+}
+
+/// Pins that the planner actually engages on the scale-axis presets —
+/// the property above skips declined plans, so this guards against the
+/// fallback silently becoming the only behaviour.
+#[test]
+fn scale_axis_models_always_yield_plans() {
+    let model = TransitStubConfig::scaled(1000).with_seed(42).build();
+    for w in [2, 4, 8] {
+        for balance in [
+            PlanBalance::Nodes,
+            PlanBalance::Rate {
+                fanout: 11,
+                view_degree: 15,
+            },
+        ] {
+            let plan = model
+                .partition_plan(w, balance)
+                .expect("scaled(1000) must be plannable");
+            assert_eq!(plan.shard_count(), w);
         }
     }
 }

@@ -64,9 +64,11 @@ pub struct RunOutcome {
     /// comparable across runs of one width but not across widths
     /// (replicated fault events are queued once per shard).
     pub queue: QueueStats,
-    /// Sharded-engine counters: worker count, window lookahead, windows
-    /// executed, cross-shard lane events. A sequential run reports one
-    /// shard and zero windows.
+    /// Sharded-engine counters: worker count, effective partition
+    /// strategy, window lookahead (configured and realized), windows
+    /// executed, cross-shard lane events/flushes/skips, and per-shard
+    /// event counts (the observable partition balance). A sequential run
+    /// reports one shard and zero windows.
     pub shard_stats: ShardStats,
     /// The network model the run used.
     pub model: Arc<RoutedModel>,
@@ -474,6 +476,13 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
     if let Some(shards) = scenario.shards {
         sim_config = sim_config.with_shards(shards);
     }
+    if let Some(partition) = scenario.partition {
+        sim_config = sim_config.with_partition(partition);
+    }
+    // Seed the rate-balanced planner's per-domain event-rate estimate
+    // with the workload's actual gossip parameters.
+    sim_config =
+        sim_config.with_rate_hint(scenario.protocol.fanout, scenario.protocol.view.capacity);
     let choice = sim_config.shard_choice();
     let mut sim = if choice.use_sharded() {
         Engine::Sharded(Box::new(ShardedSim::new(

@@ -149,6 +149,14 @@ pub struct Scenario {
     /// outputs — so this is purely a performance knob. See
     /// [`egm_simnet::ShardedSim`].
     pub shards: Option<usize>,
+    /// How a sharded run maps nodes to shards (`None` = the simulator's
+    /// default resolution: `EGM_PARTITION`, then auto — domain-aligned
+    /// when the topology yields a plan, contiguous otherwise). Every
+    /// strategy is byte-identical — the partitioning A/B in
+    /// `shard_events_per_sec` and the `shard_determinism` suite assert
+    /// it — so this is purely a performance knob. See
+    /// [`egm_simnet::PartitionStrategy`].
+    pub partition: Option<egm_simnet::PartitionStrategy>,
     /// Overrides the best-node set computed from the strategy spec (used
     /// to plug in externally computed / estimated rankings, e.g. the
     /// `rank_quality` experiment's degraded estimators).
@@ -180,6 +188,7 @@ impl Scenario {
             link_spill_threshold: None,
             event_queue: None,
             shards: None,
+            partition: None,
             rank_source: RankSource::Oracle,
             best_override: None,
             seed: 42,
@@ -283,6 +292,13 @@ impl Scenario {
     /// Forces a shard count (builder style); see [`Scenario::shards`].
     pub fn with_shards(mut self, shards: Option<usize>) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Forces a partition strategy (builder style); see
+    /// [`Scenario::partition`].
+    pub fn with_partition(mut self, partition: Option<egm_simnet::PartitionStrategy>) -> Self {
+        self.partition = partition;
         self
     }
 
