@@ -1,4 +1,4 @@
-//! Scale-axis event-loop throughput bench: 1k / 4k / 10k-node presets.
+//! Scale-axis event-loop throughput bench: 1k … 1M-node presets.
 //!
 //! Runs a `egm_workload::experiments::scale` preset through the parallel
 //! sweep runner, measures wall clock, simulator events per second and
@@ -10,17 +10,85 @@
 //! ```
 //!
 //! Environment:
-//! * `EGM_SCALE_PRESET` — `1k` (default), `4k` or `10k`.
+//! * `EGM_SCALE_PRESET` — `1k` (default), `4k`, `10k`, `100k` or `1m`.
 //! * `EGM_BENCH_RUNS` — timed runs after one warm-up (default 2).
 //! * `EGM_SCALE_MESSAGES` — multicasts per run (default 30).
 //! * `EGM_BENCH_OUT` — output path (default `BENCH_events_per_sec.json`).
 //! * `EGM_SCALE_RSS_BUDGET_MB` — when set, the bench *asserts* peak RSS
-//!   stays under this budget (exit 1 otherwise); the CI 1k smoke job
-//!   relies on this to catch accidental O(n²) allocations.
+//!   stays under this budget (exit 1 otherwise); the CI smoke jobs rely
+//!   on this to catch accidental O(n²) allocations.
+//!   [`ScalePreset::rss_budget_mb`] is the suggested value per preset.
+//! * `EGM_SCALE_PLATEAU_MAX` — switches to *plateau mode*: instead of
+//!   the timed loop, run the preset at 1× and then 2× the message count
+//!   in the same process and assert the 2× peak RSS stays within this
+//!   factor of the 1× peak (e.g. `1.15`). Peak RSS is process-monotone,
+//!   so the ratio isolates exactly the memory the extra messages added —
+//!   with horizon-based retirement on, total traffic volume must not
+//!   move the plateau.
+//!
+//! Determinism is pinned run-over-run: every timed run must reproduce
+//! the warm-up's full report, not just its event count.
 
 use egm_bench::{env_usize, record};
 use egm_workload::experiments::scale::{run_presets, ScalePreset};
 use std::time::Instant;
+
+/// Plateau mode: the steady-state working set must not scale with total
+/// messages sent. Runs 1× then 2× messages in one process; peak RSS is
+/// monotone per process, so `peak(2×)/peak(1×)` measures only what the
+/// second, doubled run added on top.
+///
+/// Two knobs differ from the timed mode, both to make the measurement a
+/// steady-state one:
+/// * the traffic spool is forced on regardless of preset size (the
+///   in-memory compaction window and its flatten transient are the
+///   dominant non-plateau term below 100k — exactly the subsystem the
+///   ≥100k presets stream to disk);
+/// * `messages` should put the traffic phase well past the retirement
+///   horizon (≥ ~120 at the default 250 ms interval), or the 1× run
+///   never reaches steady state and the ratio pins nothing.
+fn run_plateau(preset: ScalePreset, messages: usize, seed: u64, max_ratio: f64) {
+    let run = |messages: usize| {
+        let scenario = preset.scenario(messages, seed).with_traffic_spool(true);
+        egm_workload::runner::run_detailed(&scenario, None)
+    };
+    let base = run(messages);
+    let peak1 = record::peak_rss_mb().expect("plateau mode needs /proc RSS");
+    println!(
+        "plateau 1x: {messages} messages, {} events, {} retired, arena high water {}, \
+         peak RSS {peak1:.1} MB",
+        base.events, base.retired_messages, base.arena_high_water
+    );
+    let base_retired = base.retired_messages;
+    // The plateau claim is about one run's working set; holding the 1×
+    // outcome (delivery log + link table) across the 2× run would charge
+    // the ratio for two materialized result sets at once.
+    drop(base);
+
+    let doubled = run(messages * 2);
+    let peak2 = record::peak_rss_mb().expect("plateau mode needs /proc RSS");
+    println!(
+        "plateau 2x: {} messages, {} events, {} retired, arena high water {}, \
+         peak RSS {peak2:.1} MB",
+        messages * 2,
+        doubled.events,
+        doubled.retired_messages,
+        doubled.arena_high_water
+    );
+
+    assert!(
+        doubled.retired_messages > base_retired,
+        "plateau mode expects retirement to engage (preset horizon crossed)"
+    );
+    let ratio = peak2 / peak1;
+    assert!(
+        ratio <= max_ratio,
+        "steady-state memory did not plateau: 2x-message peak RSS {peak2:.1} MB is {ratio:.3}x \
+         the 1x peak {peak1:.1} MB (budget {max_ratio:.3}x) on the {} preset",
+        preset.label()
+    );
+    println!("peak RSS plateaued: 2x messages cost {ratio:.3}x RSS (budget {max_ratio:.3}x)");
+}
 
 fn main() {
     let preset = ScalePreset::from_env();
@@ -35,24 +103,41 @@ fn main() {
     let nodes = preset.nodes();
     let seed = 42u64;
 
+    if let Ok(v) = std::env::var("EGM_SCALE_PLATEAU_MAX") {
+        let max_ratio: f64 = v.parse().expect("EGM_SCALE_PLATEAU_MAX must be a number");
+        run_plateau(preset, messages, seed, max_ratio);
+        return;
+    }
+
     // Warm-up run (allocator/caches), which also yields the deterministic
-    // event count and the cancellation counters.
+    // event count and the cancellation/retirement counters.
     let warm = run_presets(&[(preset, seed)], messages)
         .pop()
         .expect("one outcome");
     let events = warm.events;
     let timers_cancelled = warm.timers_cancelled;
     let stale_timer_drops = warm.stale_timer_drops;
+    let retired_messages = warm.retired_messages;
+    let arena_high_water = warm.arena_high_water;
+    let traffic_spill_bytes = warm.traffic_spill_bytes;
     assert_eq!(
         warm.model.memory_shape().dense_cells,
         0,
         "scale presets must use the two-level routed model"
+    );
+    assert_eq!(
+        warm.payload_vec_growths, 0,
+        "the per-node payload table must stay pre-sized on the hot path"
     );
     println!(
         "warm-up: {nodes} nodes ({} preset), {messages} messages, {events} events, \
          delivery {:.2}%, {timers_cancelled} timers cancelled",
         preset.label(),
         warm.report.mean_delivery_fraction * 100.0
+    );
+    println!(
+        "steady state: {retired_messages} messages retired, arena high water {arena_high_water}, \
+         {traffic_spill_bytes} traffic bytes spooled"
     );
     println!("queue: {:?}", warm.queue);
 
@@ -75,6 +160,12 @@ fn main() {
         let outcome = egm_workload::runner::run_prepared(&scenario, &setup);
         let ms = start.elapsed().as_secs_f64() * 1000.0;
         assert_eq!(outcome.events, events, "deterministic event count");
+        assert_eq!(
+            outcome.report,
+            warm.report,
+            "deterministic report (run {} diverged from warm-up)",
+            i + 1
+        );
         println!(
             "run {}/{runs}: {ms:.1} ms wall, {:.0} events/sec",
             i + 1,
@@ -108,7 +199,7 @@ fn main() {
         .map(|mb| format!("{mb:.1}"))
         .unwrap_or_else(|| "null".to_string());
     let body = format!(
-        "{{\n  \"bench\": \"scale_events_per_sec\",\n  \"preset\": \"{}\",\n  \"scenario\": \"ranked best=20% scaled transit-stub\",\n  \"rank_source\": \"{}\",\n  \"nodes\": {nodes},\n  \"messages\": {messages},\n  \"runs\": {runs},\n  \"events\": {events},\n  \"setup_ms\": {setup_ms:.3},\n  \"best_wall_ms\": {best:.3},\n  \"mean_wall_ms\": {mean:.3},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"timers_cancelled\": {timers_cancelled},\n  \"stale_timer_drops\": {stale_timer_drops},\n  \"peak_rss_mb\": {rss_field}\n}}",
+        "{{\n  \"bench\": \"scale_events_per_sec\",\n  \"preset\": \"{}\",\n  \"scenario\": \"ranked best=20% scaled transit-stub\",\n  \"rank_source\": \"{}\",\n  \"nodes\": {nodes},\n  \"messages\": {messages},\n  \"runs\": {runs},\n  \"events\": {events},\n  \"setup_ms\": {setup_ms:.3},\n  \"best_wall_ms\": {best:.3},\n  \"mean_wall_ms\": {mean:.3},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"timers_cancelled\": {timers_cancelled},\n  \"stale_timer_drops\": {stale_timer_drops},\n  \"retired_messages\": {retired_messages},\n  \"arena_high_water\": {arena_high_water},\n  \"traffic_spill_bytes\": {traffic_spill_bytes},\n  \"peak_rss_mb\": {rss_field}\n}}",
         preset.label(),
         scenario.rank_source.label()
     );

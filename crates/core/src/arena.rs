@@ -25,8 +25,19 @@
 use crate::id::MsgId;
 use crate::msg::Payload;
 use egm_rng::hash::FastHashMap;
-use egm_simnet::{NodeId, TimerTag, TimerToken};
+use egm_simnet::{NodeId, SimTime, TimerTag, TimerToken};
 use std::collections::VecDeque;
+
+/// Occupancy counters of one [`MsgArena`], for steady-state accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Slots freed by horizon-based retirement (not FIFO eviction).
+    pub retired: u64,
+    /// Live slots right now.
+    pub live: usize,
+    /// Maximum live slots ever held — the arena's working-set size.
+    pub high_water: usize,
+}
 
 /// All per-message state one node keeps, in one record.
 #[derive(Debug, Default)]
@@ -95,12 +106,21 @@ pub struct MsgArena {
     fifo: VecDeque<(u32, u32)>,
     /// Cache insertion order (with generation) for FIFO payload eviction.
     cache_fifo: VecDeque<(u32, u32)>,
+    /// Delivered slots awaiting horizon-based retirement, in delivery
+    /// order with their mint generation and retirement time. Delivery
+    /// times are monotone within a node, so the front entry always has
+    /// the earliest horizon.
+    retire_fifo: VecDeque<(u32, u32, SimTime)>,
     capacity: usize,
     cache_capacity: usize,
     live: usize,
     cached: usize,
     known: usize,
     missing: usize,
+    /// Slots freed by [`MsgArena::retire_expired`].
+    retired: u64,
+    /// Maximum `live` ever observed.
+    high_water: usize,
     track_holders: bool,
 }
 
@@ -123,12 +143,15 @@ impl MsgArena {
             free: Vec::new(),
             fifo: VecDeque::new(),
             cache_fifo: VecDeque::new(),
+            retire_fifo: VecDeque::new(),
             capacity,
             cache_capacity,
             live: 0,
             cached: 0,
             known: 0,
             missing: 0,
+            retired: 0,
+            high_water: 0,
             track_holders,
         }
     }
@@ -161,6 +184,7 @@ impl MsgArena {
         self.index.insert(id, slot);
         self.fifo.push_back((slot, gen));
         self.live += 1;
+        self.high_water = self.high_water.max(self.live);
         slot
     }
 
@@ -172,31 +196,94 @@ impl MsgArena {
     /// Evicts the oldest live slot (FIFO over interning order).
     fn evict_oldest(&mut self) {
         while let Some((slot, gen)) = self.fifo.pop_front() {
-            let s = &mut self.slots[slot as usize];
-            if s.gen != gen {
+            if self.slots[slot as usize].gen != gen {
                 continue; // stale fifo entry of a recycled slot
             }
-            if s.known {
-                self.known -= 1;
-            }
-            if s.cached {
-                self.cached -= 1;
-            }
-            if s.missing {
-                self.missing -= 1;
-            }
-            self.index.remove(&s.id);
-            s.reset();
-            s.gen = s.gen.wrapping_add(1);
-            self.free.push(slot);
-            self.live -= 1;
-            // Slot eviction may have stranded this slot's cache_fifo
-            // entry; drain stale front entries so the fifo stays bounded
-            // even when the cache itself never overflows.
-            self.drain_stale_cache_fifo();
+            self.free_slot(slot);
             return;
         }
         unreachable!("live slots imply a fifo entry");
+    }
+
+    /// Frees one live slot: drops its flags from the counters, removes it
+    /// from the interning map, resets its state, bumps the generation
+    /// (invalidating every outstanding handle) and returns it to the free
+    /// list. Shared by FIFO eviction and horizon retirement.
+    fn free_slot(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        if s.known {
+            self.known -= 1;
+        }
+        if s.cached {
+            self.cached -= 1;
+        }
+        if s.missing {
+            self.missing -= 1;
+        }
+        self.index.remove(&s.id);
+        s.reset();
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        // Freeing may have stranded this slot's cache_fifo entry; drain
+        // stale front entries so the fifo stays bounded even when the
+        // cache itself never overflows.
+        self.drain_stale_cache_fifo();
+    }
+
+    // --- horizon-based retirement ---------------------------------------
+
+    /// Schedules the delivered message in `slot` for retirement at `at`.
+    ///
+    /// Called once per delivery when retirement is enabled; delivery
+    /// times are monotone, so the queue stays sorted by horizon. The slot
+    /// is freed by a later [`MsgArena::retire_expired`] sweep unless FIFO
+    /// eviction recycled it first (detected by the generation stamp).
+    pub fn schedule_retire(&mut self, slot: u32, at: SimTime) {
+        let gen = self.slots[slot as usize].gen;
+        self.retire_fifo.push_back((slot, gen, at));
+    }
+
+    /// Frees every scheduled slot whose retirement horizon has passed,
+    /// returning how many were retired.
+    ///
+    /// Retirement never touches the event queue, the RNGs or any timer:
+    /// a run with retirement enabled processes the *identical* event
+    /// stream as one without, provided the horizon exceeds the time
+    /// between a message's delivery and the last protocol event anywhere
+    /// that still references it (late duplicates, `IHAVE`s and `IWANT`s).
+    /// After the horizon a late `IWANT` would be answered with a cache
+    /// miss, so the configured horizon must cover the worst-case quiesce
+    /// time (gossip depth × (link delay + retry interval) under the run's
+    /// loss rate).
+    pub fn retire_expired(&mut self, now: SimTime) -> usize {
+        let mut freed = 0;
+        while let Some(&(slot, gen, at)) = self.retire_fifo.front() {
+            if at > now {
+                break;
+            }
+            self.retire_fifo.pop_front();
+            if self.slots[slot as usize].gen != gen {
+                continue; // FIFO eviction already recycled the slot
+            }
+            debug_assert!(
+                self.slots[slot as usize].received && self.slots[slot as usize].timer.is_none(),
+                "retire queue must only hold delivered, timer-free slots"
+            );
+            self.free_slot(slot);
+            self.retired += 1;
+            freed += 1;
+        }
+        freed
+    }
+
+    /// Occupancy counters: retired slots, live slots, live high-water.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            retired: self.retired,
+            live: self.live,
+            high_water: self.high_water,
+        }
     }
 
     /// Pops cache-fifo front entries whose slot was evicted (generation
@@ -437,7 +524,7 @@ mod tests {
     use super::MsgArena;
     use crate::id::MsgId;
     use crate::msg::Payload;
-    use egm_simnet::NodeId;
+    use egm_simnet::{NodeId, SimTime};
 
     fn payload() -> Payload {
         Payload { seq: 1, bytes: 64 }
@@ -569,6 +656,48 @@ mod tests {
         let mut a = MsgArena::new(4, 4, false);
         let s = a.intern(MsgId::from_raw(1));
         assert!(a.take_timer(s).is_none());
+    }
+
+    #[test]
+    fn retirement_frees_slots_for_reuse() {
+        let mut a = MsgArena::new(64, 64, false);
+        let s = a.intern(MsgId::from_raw(1));
+        a.mark_known(s);
+        a.mark_received(s);
+        let gen = a.generation(s);
+        a.schedule_retire(s, SimTime::from_ms(100.0));
+        assert_eq!(
+            a.retire_expired(SimTime::from_ms(99.0)),
+            0,
+            "horizon not reached"
+        );
+        assert_eq!(a.retire_expired(SimTime::from_ms(100.0)), 1);
+        assert!(!a.check_generation(s, gen), "stale handles are detected");
+        assert_eq!(a.lookup(&MsgId::from_raw(1)), None);
+        assert_eq!(a.known_count(), 0, "retirement drops the known flag");
+        let stats = a.stats();
+        assert_eq!((stats.retired, stats.live), (1, 0));
+        // The freed slot is recycled by the next intern; the working set
+        // never grew beyond one slot.
+        assert_eq!(a.intern(MsgId::from_raw(2)), s);
+        assert_eq!(a.stats().high_water, 1);
+    }
+
+    #[test]
+    fn eviction_before_retirement_is_skipped_by_generation() {
+        let mut a = MsgArena::new(2, 2, false);
+        let s0 = a.intern(MsgId::from_raw(0));
+        a.mark_received(s0);
+        a.schedule_retire(s0, SimTime::from_ms(10.0));
+        let _ = a.intern(MsgId::from_raw(1));
+        let s2 = a.intern(MsgId::from_raw(2)); // capacity evicts message 0
+        assert_eq!(s2, s0, "slot recycled by FIFO eviction");
+        a.mark_received(s2);
+        // The sweep must skip the recycled slot: message 2 lives on.
+        assert_eq!(a.retire_expired(SimTime::from_ms(10.0)), 0);
+        assert!(a.lookup(&MsgId::from_raw(2)).is_some());
+        assert!(a.is_received(s2));
+        assert_eq!(a.stats().retired, 0);
     }
 
     #[test]

@@ -46,6 +46,20 @@ pub struct ProtocolConfig {
     pub cache_capacity: usize,
     /// Capacity of the duplicate-suppression sets `K` and `R`.
     pub known_capacity: usize,
+    /// Horizon after which a *delivered* message's arena slot is retired
+    /// (freed for reuse), bounding per-node message state to the
+    /// in-flight window instead of the run's total message count.
+    ///
+    /// `None` (the default, and the paper's behavior) keeps state for the
+    /// whole run, bounded only by FIFO eviction at `known_capacity`. When
+    /// set, the horizon must exceed the worst-case time between a
+    /// message's delivery and the last protocol event that references it
+    /// anywhere (late duplicates, `IHAVE`s, `IWANT`s) — roughly gossip
+    /// depth × (link delay + retry interval); a late `IWANT` past the
+    /// horizon is answered with a cache miss. With an ample horizon a
+    /// retire-enabled run is byte-identical to a retire-disabled one: the
+    /// sweep schedules no events and draws no randomness.
+    pub retire_after: Option<SimDuration>,
     /// NeEM-style redundancy suppression: skip transmitting a message
     /// (payload or advertisement) to a peer that is already known to hold
     /// it, i.e. a peer we received the payload or an `IHAVE` from. The
@@ -68,6 +82,7 @@ impl Default for ProtocolConfig {
             ping_interval: None,
             cache_capacity: 8192,
             known_capacity: 16384,
+            retire_after: None,
             suppress_known: false,
         }
     }
@@ -104,6 +119,14 @@ impl ProtocolConfig {
         self
     }
 
+    /// Sets the delivered-message retirement horizon (builder style). See
+    /// [`ProtocolConfig::retire_after`] for the contract the horizon must
+    /// satisfy.
+    pub fn with_retire_after(mut self, horizon: Option<SimDuration>) -> Self {
+        self.retire_after = horizon;
+        self
+    }
+
     /// Validates invariants that the protocol relies on.
     ///
     /// # Panics
@@ -125,6 +148,12 @@ impl ProtocolConfig {
             self.retry_interval > SimDuration::ZERO,
             "retry interval must be positive"
         );
+        if let Some(horizon) = self.retire_after {
+            assert!(
+                horizon >= self.retry_interval,
+                "retirement horizon must cover at least one retry interval"
+            );
+        }
     }
 }
 
@@ -157,6 +186,22 @@ mod tests {
         assert!(c.shuffle_interval.is_none());
         assert!(c.ping_interval.is_some());
         c.validate();
+    }
+
+    #[test]
+    fn retirement_defaults_off_and_validates_horizon() {
+        let c = ProtocolConfig::default();
+        assert!(c.retire_after.is_none(), "paper behavior by default");
+        let c = c.with_retire_after(Some(SimDuration::from_ms(10_000.0)));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "retirement horizon")]
+    fn sub_retry_horizon_rejected() {
+        ProtocolConfig::default()
+            .with_retire_after(Some(SimDuration::from_ms(10.0)))
+            .validate();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! under the node's [`TransmissionStrategy`], and the Performance Monitor
 //! (oracle or ping-based) feeds the strategy.
 
-use crate::arena::MsgArena;
+use crate::arena::{ArenaStats, MsgArena};
 use crate::config::ProtocolConfig;
 use crate::gossip::{GossipLayer, GossipStep};
 use crate::monitor::Monitor;
@@ -155,6 +155,12 @@ impl EgmNode {
         self.scheduler.stats()
     }
 
+    /// Message-arena occupancy counters (retired slots, live slots, live
+    /// high-water) — the node's steady-state working set.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.msgs.stats()
+    }
+
     /// The node's current partial view.
     pub fn view(&self) -> &PartialView {
         &self.view
@@ -184,6 +190,9 @@ impl EgmNode {
             time: ctx.now(),
             round: step.round,
         });
+        if let Some(horizon) = self.config.retire_after {
+            self.msgs.schedule_retire(slot, ctx.now() + horizon);
+        }
         let mut sends = step.sends;
         for s in sends.drain(..) {
             let wire = {
@@ -250,6 +259,9 @@ impl Protocol for EgmNode {
     }
 
     fn on_receive(&mut self, ctx: &mut Context<'_, EgmMessage>, from: NodeId, msg: EgmMessage) {
+        // Free delivered messages whose horizon has passed before touching
+        // the arena for this event; a no-op unless retirement is enabled.
+        self.msgs.retire_expired(ctx.now());
         match msg {
             EgmMessage::Msg { id, payload, round } => {
                 let slot = self.msgs.intern(id);
@@ -309,6 +321,7 @@ impl Protocol for EgmNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, EgmMessage>, tag: TimerTag) {
+        self.msgs.retire_expired(ctx.now());
         match tag {
             TAG_SHUFFLE => {
                 if let Some((to, msg)) = self.view.start_shuffle(ctx.rng()) {
@@ -366,6 +379,7 @@ impl Protocol for EgmNode {
     }
 
     fn on_command(&mut self, ctx: &mut Context<'_, EgmMessage>, value: u64) {
+        self.msgs.retire_expired(ctx.now());
         let payload = Payload {
             seq: value,
             bytes: self.config.payload_bytes,

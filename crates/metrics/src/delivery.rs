@@ -14,11 +14,14 @@ use serde::{Deserialize, Serialize};
 ///
 /// Deliveries are stored **sparsely per message**: each message holds a
 /// packed `(node, time, round)` record per delivery in arrival order,
-/// plus an `n`-bit seen-bitmap for first-delivery deduplication. Memory is
-/// `O(deliveries + messages × n/8)` rather than the dense
-/// `O(messages × n)` option table a per-(node, message) matrix costs —
-/// the difference between ~2 MB and ~200 MB for a 10k-node, 100-message
-/// run.
+/// plus a `SeenSet` for first-delivery deduplication. The seen-set is
+/// a sparse→dense→sealed hybrid: a sorted id list while deliveries are
+/// few, an `n`-bit bitmap once that would cost more, and — when the
+/// message saturates (every node delivered) — no storage at all, the
+/// entry is *sealed* and membership is implicit. Memory is
+/// `O(total deliveries)` rather than the `O(messages × n/8)` a
+/// per-message bitmap costs (125 KB per in-flight message at 1M nodes)
+/// or the dense `O(messages × n)` of a per-(node, message) matrix.
 ///
 /// # Examples
 ///
@@ -46,30 +49,98 @@ pub struct DeliveryLog {
 struct MessageDeliveries {
     /// `(node, delivery time ms, gossip round)` in arrival order.
     entries: Vec<(u32, f64, u32)>,
-    /// One bit per node: whether a delivery was already recorded.
-    seen: Vec<u64>,
+    /// Which nodes already delivered (first-delivery dedup).
+    seen: SeenSet,
+}
+
+/// Dedup set behind one message's delivery records.
+///
+/// Starts sparse (a sorted id list), promotes itself to a dense bitmap
+/// once the list would cost more than the bitmap, and drops all storage
+/// when the message saturates — at which point membership is implicit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum SeenSet {
+    /// Sorted node ids; membership and insertion by binary search.
+    Sparse(Vec<u32>),
+    /// One bit per node.
+    Dense(Vec<u64>),
+    /// Every node delivered: the entry is sealed, `contains` is `true`.
+    Saturated,
+}
+
+/// Sparse capacity: promote to the bitmap once the sorted list costs as
+/// much (4 bytes/entry vs `n/8` bytes), capped so the O(len) sorted
+/// insert stays bounded at very large `n`.
+fn sparse_cap(node_count: usize) -> usize {
+    (node_count / 32).clamp(8, 4096)
+}
+
+impl SeenSet {
+    #[inline]
+    fn contains(&self, node: usize) -> bool {
+        match self {
+            SeenSet::Sparse(v) => v.binary_search(&(node as u32)).is_ok(),
+            SeenSet::Dense(bits) => bits[node / 64] & (1u64 << (node % 64)) != 0,
+            SeenSet::Saturated => true,
+        }
+    }
+
+    /// Inserts `node`; `true` when newly seen.
+    fn insert(&mut self, node: usize, node_count: usize) -> bool {
+        match self {
+            SeenSet::Saturated => false,
+            SeenSet::Dense(bits) => {
+                let word = &mut bits[node / 64];
+                let bit = 1u64 << (node % 64);
+                if *word & bit != 0 {
+                    return false;
+                }
+                *word |= bit;
+                true
+            }
+            SeenSet::Sparse(v) => match v.binary_search(&(node as u32)) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if v.len() < sparse_cap(node_count) {
+                        v.insert(pos, node as u32);
+                    } else {
+                        let mut bits = vec![0u64; node_count.div_ceil(64)];
+                        for &n in v.iter() {
+                            bits[n as usize / 64] |= 1u64 << (n % 64);
+                        }
+                        bits[node / 64] |= 1u64 << (node % 64);
+                        *self = SeenSet::Dense(bits);
+                    }
+                    true
+                }
+            },
+        }
+    }
 }
 
 impl MessageDeliveries {
-    fn new(node_count: usize) -> Self {
+    fn new() -> Self {
         MessageDeliveries {
             entries: Vec::new(),
-            seen: vec![0; node_count.div_ceil(64)],
+            seen: SeenSet::Sparse(Vec::new()),
         }
     }
 
     #[inline]
     fn contains(&self, node: usize) -> bool {
-        self.seen[node / 64] & (1u64 << (node % 64)) != 0
+        self.seen.contains(node)
     }
 
-    /// Records the first delivery at `node`; later duplicates are ignored.
-    fn insert(&mut self, node: usize, time_ms: f64, round: u32) {
-        let word = &mut self.seen[node / 64];
-        let bit = 1u64 << (node % 64);
-        if *word & bit == 0 {
-            *word |= bit;
-            self.entries.push((node as u32, time_ms, round));
+    /// Records the first delivery at `node`; later duplicates are
+    /// ignored. When the message saturates, the dedup storage is dropped
+    /// and the entry sealed.
+    fn insert(&mut self, node: usize, node_count: usize, time_ms: f64, round: u32) {
+        if !self.seen.insert(node, node_count) {
+            return;
+        }
+        self.entries.push((node as u32, time_ms, round));
+        if self.entries.len() == node_count {
+            self.seen = SeenSet::Saturated;
         }
     }
 }
@@ -108,8 +179,7 @@ impl DeliveryLog {
     pub fn record_multicast(&mut self, source: usize, time_ms: f64) -> usize {
         assert!(source < self.node_count, "source out of range");
         self.sends.push((source, time_ms));
-        self.deliveries
-            .push(MessageDeliveries::new(self.node_count));
+        self.deliveries.push(MessageDeliveries::new());
         self.sends.len() - 1
     }
 
@@ -125,7 +195,7 @@ impl DeliveryLog {
     pub fn record_delivery(&mut self, msg: usize, node: usize, time_ms: f64, round: u32) {
         assert!(msg < self.sends.len(), "unknown message {msg}");
         assert!(node < self.node_count, "node out of range");
-        self.deliveries[msg].insert(node, time_ms, round);
+        self.deliveries[msg].insert(node, self.node_count, time_ms, round);
     }
 
     /// Number of nodes that delivered message `msg`.
@@ -342,6 +412,59 @@ mod tests {
         assert_eq!(lat.len(), 7);
         assert_eq!(lat[0], 1.0);
         assert_eq!(*lat.last().expect("non-empty"), 199.0);
+    }
+
+    #[test]
+    fn sparse_set_promotes_to_dense_past_the_cap() {
+        // 1024 nodes → sparse cap 32: the 33rd distinct delivery promotes
+        // the set to the bitmap; dedup keeps working across the switch.
+        let mut log = DeliveryLog::new(1024);
+        let m = log.record_multicast(0, 0.0);
+        for node in 1..=40usize {
+            let id = node * 19 % 1024; // unordered inserts
+            log.record_delivery(m, id, node as f64, 1);
+            log.record_delivery(m, id, 999.0, 9); // duplicate ignored
+        }
+        assert_eq!(log.delivery_count(m), 40);
+        assert!(matches!(log.deliveries[m].seen, super::SeenSet::Dense(_)));
+        // Duplicates after the promotion are still ignored.
+        log.record_delivery(m, 19, 999.0, 9);
+        assert_eq!(log.delivery_count(m), 40);
+    }
+
+    #[test]
+    fn saturation_seals_the_entry_and_frees_the_set() {
+        let mut log = DeliveryLog::new(5);
+        let m = log.record_multicast(0, 0.0);
+        for node in 0..5usize {
+            log.record_delivery(m, node, node as f64, 1);
+        }
+        assert!(matches!(log.deliveries[m].seen, super::SeenSet::Saturated));
+        // Sealed entries treat everything as a duplicate...
+        log.record_delivery(m, 3, 999.0, 9);
+        assert_eq!(log.delivery_count(m), 5);
+        // ...and the fraction accounting still sees the source delivery.
+        let all = vec![true; 5];
+        assert_eq!(log.mean_delivery_fraction(&all), 1.0);
+        assert_eq!(log.atomic_delivery_fraction(&all), 1.0);
+    }
+
+    #[test]
+    fn hybrid_states_agree_on_fractions() {
+        // One message promoted to dense, one still sparse, checked
+        // against hand-computed fractions.
+        let mut log = DeliveryLog::new(100);
+        let m = log.record_multicast(7, 0.0);
+        for node in 0..50usize {
+            log.record_delivery(m, node, 1.0, 1);
+        }
+        let all = vec![true; 100];
+        // 50 explicit + source (node 7 already among 0..50): 50/100.
+        assert!((log.mean_delivery_fraction(&all) - 0.5).abs() < 1e-12);
+        let m2 = log.record_multicast(99, 10.0);
+        log.record_delivery(m2, 0, 11.0, 1);
+        // m2: 1 explicit + implicit source = 2/100.
+        assert!((log.mean_delivery_fraction(&all) - (0.5 + 0.02) / 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub struct SimConfig {
     /// planner's per-domain event-rate estimate; `None` falls back to a
     /// uniform per-client rate.
     rate_hint: Option<(usize, usize)>,
+    /// Directory for writer-backed traffic compaction (see
+    /// [`crate::Traffic::enable_spool`]); `None` keeps folds in memory.
+    traffic_spool: Option<std::path::PathBuf>,
 }
 
 #[derive(Debug, Clone)]
@@ -89,6 +92,7 @@ impl SimConfig {
             shards: None,
             partition: None,
             rate_hint: None,
+            traffic_spool: None,
         }
     }
 
@@ -106,6 +110,7 @@ impl SimConfig {
             shards: None,
             partition: None,
             rate_hint: None,
+            traffic_spool: None,
         }
     }
 
@@ -223,6 +228,21 @@ impl SimConfig {
     pub fn with_rate_hint(mut self, fanout: usize, view_degree: usize) -> Self {
         self.rate_hint = Some((fanout, view_degree));
         self
+    }
+
+    /// Streams folded traffic accumulators to temp files under `dir`
+    /// instead of holding them in memory (builder style) — the
+    /// writer-backed [`crate::Traffic`] mode for runs whose link log
+    /// would otherwise dominate RSS. Results are byte-identical to the
+    /// in-memory mode; sharded runs give each worker its own spool file.
+    pub fn with_traffic_spool(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.traffic_spool = Some(dir.into());
+        self
+    }
+
+    /// The traffic-spool directory, if writer-backed compaction is on.
+    pub fn traffic_spool(&self) -> Option<&std::path::Path> {
+        self.traffic_spool.as_deref()
     }
 
     /// The partition strategy this configuration resolves to: an

@@ -333,13 +333,21 @@ impl<M: Wire> SimCore<M> {
             _ => config.link_spill_threshold(),
         };
         let owned = node_rngs.len();
+        let mut traffic = Traffic::with_spill_threshold(spill);
+        // Pre-size the per-node payload table to the full node count so
+        // the record hot path never regrows it (senders are globally
+        // indexed even on a worker shard).
+        traffic.reserve_nodes(config.node_count());
+        if let Some(dir) = config.traffic_spool() {
+            traffic.enable_spool(dir);
+        }
         SimCore {
             // Pre-size the event queue: a gossip burst schedules
             // ~fanout events per node, so even modest runs reach
             // hundreds of in-flight events within the first round.
             queue: config.event_queue().build(1024),
             node_seqs: vec![0; owned],
-            traffic: Traffic::with_spill_threshold(spill),
+            traffic,
             network: Network::new(config),
             timers: TimerTable::default(),
             node_rngs,

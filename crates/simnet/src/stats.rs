@@ -32,9 +32,23 @@
 //! the n² worst case. This reproduces the old streaming semantics
 //! exactly: a link was tracked iff fewer than `threshold` distinct links
 //! had appeared before its first record.
+//!
+//! The rule is applied *incrementally*, at every compaction fold, not
+//! just at seal time: once `threshold` links have appeared, any link
+//! first seen later is folded into the spilled tally immediately, so the
+//! in-memory accumulator list (and the spool read-back working set) is
+//! bounded at `threshold` entries for the whole run. Incremental capping
+//! is byte-identical to capping once at seal, because record positions
+//! only grow: every link in a later fold window first appears after
+//! *all* links already accumulated, so the smallest-`threshold`
+//! first-appearance set can never change once full — an evicted link
+//! that reappears gets an even later first position and is evicted
+//! again, with its tally landing in the same spilled aggregate.
 
 use crate::NodeId;
 use serde::{Deserialize, Serialize};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
 
 /// Per-directed-link tally of traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +68,12 @@ impl LinkTally {
         if payload {
             self.payloads += 1;
         }
+    }
+
+    fn absorb(&mut self, other: &LinkTally) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.payloads += other.payloads;
     }
 }
 
@@ -81,6 +101,73 @@ struct LinkAcc {
 /// link count plus a constant, not by the total send count of the run.
 const COMPACT_AT: usize = 1 << 22;
 
+/// Compaction window in spool mode (16 MB of log): folds stream to disk,
+/// so a small window costs no link-memory growth and keeps RSS flat.
+const SPOOL_COMPACT_AT: usize = 1 << 20;
+
+/// On-disk size of one spooled [`LinkAcc`] (little-endian fields).
+const SPOOL_REC_BYTES: usize = 40;
+
+/// Disk backing for folded link accumulators: each compaction appends one
+/// `(from, to)`-sorted run of fixed-width records to a private temp file
+/// instead of merging into an in-memory table. Seal time streams the runs
+/// back and merges them. The byte stream is a pure function of the
+/// recorded sends, so spooling cannot affect results.
+#[derive(Debug)]
+struct Spool {
+    /// Append-only write handle.
+    file: std::fs::File,
+    /// File path, re-opened for reads and deleted on drop.
+    path: PathBuf,
+    /// Record count of each flushed run, in write order.
+    runs: Vec<u64>,
+}
+
+impl Spool {
+    fn create(dir: &Path) -> std::io::Result<Spool> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("egm-traffic-{}-{n}.spool", std::process::id()));
+        let file = std::fs::File::create(&path)?;
+        Ok(Spool {
+            file,
+            path,
+            runs: Vec::new(),
+        })
+    }
+}
+
+impl Drop for Spool {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn encode_acc(acc: &LinkAcc, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&acc.from.to_le_bytes());
+    buf.extend_from_slice(&acc.to.to_le_bytes());
+    buf.extend_from_slice(&acc.first_pos.to_le_bytes());
+    buf.extend_from_slice(&acc.tally.messages.to_le_bytes());
+    buf.extend_from_slice(&acc.tally.bytes.to_le_bytes());
+    buf.extend_from_slice(&acc.tally.payloads.to_le_bytes());
+}
+
+fn decode_acc(rec: &[u8; SPOOL_REC_BYTES]) -> LinkAcc {
+    let u32_at = |o: usize| u32::from_le_bytes(rec[o..o + 4].try_into().expect("4 bytes"));
+    let u64_at = |o: usize| u64::from_le_bytes(rec[o..o + 8].try_into().expect("8 bytes"));
+    LinkAcc {
+        from: u32_at(0),
+        to: u32_at(4),
+        first_pos: u64_at(8),
+        tally: LinkTally {
+            messages: u64_at(16),
+            bytes: u64_at(24),
+            payloads: u64_at(32),
+        },
+    }
+}
+
 /// The aggregated per-link view: one sorted target table per sender.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SealedLinks {
@@ -107,22 +194,36 @@ struct SealedLinks {
 /// assert_eq!(t.total_bytes(), 320);
 /// assert_eq!(t.node_payloads_sent(NodeId(0)), 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Traffic {
     log: Vec<SendRecord>,
     /// Records folded out of `log` so far (sorted by `(from, to)`); the
-    /// log is compacted into this once it reaches [`COMPACT_AT`].
+    /// log is compacted into this once it reaches `compact_at`.
     folded: Vec<LinkAcc>,
     /// Total records ever logged (global positions for the spill rule).
     records_seen: u64,
     /// Built by [`Traffic::seal`]; `None` while recording.
     sealed: Option<SealedLinks>,
     total: LinkTally,
-    /// Payloads sent per node, grown on demand (exact even when link
-    /// tracking spills).
+    /// Payloads sent per node, pre-sized via [`Traffic::reserve_nodes`]
+    /// or grown on demand (exact even when link tracking spills).
     node_payloads: Vec<u64>,
+    /// Hot-path growths of `node_payloads` (0 when pre-sized — pinned by
+    /// a regression test so the O(n) resize never returns to the loop).
+    node_payload_growths: u32,
     /// Maximum number of distinct links tracked individually.
     spill_threshold: usize,
+    /// Tallies of links already folded into the spilled aggregate by
+    /// incremental capping (links first seen after `spill_threshold`
+    /// distinct links were live); [`Traffic::finish`] adds this base to
+    /// whatever the final pass spills.
+    spilled_acc: LinkTally,
+    /// Log length that triggers a compaction.
+    compact_at: usize,
+    /// Writer-backed compaction target; `None` keeps folds in memory.
+    spool: Option<Spool>,
+    /// Bytes streamed to disk by spool compactions (survives sealing).
+    spool_bytes: u64,
 }
 
 impl Default for Traffic {
@@ -144,8 +245,52 @@ impl Traffic {
             sealed: None,
             total: LinkTally::default(),
             node_payloads: Vec::new(),
+            node_payload_growths: 0,
             spill_threshold,
+            spilled_acc: LinkTally::default(),
+            compact_at: COMPACT_AT,
+            spool: None,
+            spool_bytes: 0,
         }
+    }
+
+    /// Switches compaction to a writer-backed mode: folded link
+    /// accumulators are streamed to a private temp file under `dir`
+    /// (deleted at seal time or on drop) instead of held in memory, and
+    /// the log window shrinks accordingly. Sealed results are
+    /// byte-identical to the in-memory mode — the spool is a pure
+    /// spill target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if recording already started or the file cannot be created.
+    pub fn enable_spool(&mut self, dir: &Path) {
+        assert!(
+            self.records_seen == 0 && self.sealed.is_none(),
+            "enable spooling before recording"
+        );
+        self.spool = Some(Spool::create(dir).expect("create traffic spool file"));
+        self.compact_at = SPOOL_COMPACT_AT;
+    }
+
+    /// Pre-sizes the per-node payload table for `n` nodes, capping it at
+    /// the node count and keeping the hot path free of O(n) regrowth.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        if self.node_payloads.len() < n {
+            self.node_payloads.resize(n, 0);
+        }
+    }
+
+    /// Bytes of folded link accumulators streamed to the spool file so
+    /// far (0 unless [`Traffic::enable_spool`] was used).
+    pub fn spool_bytes(&self) -> u64 {
+        self.spool_bytes
+    }
+
+    /// How often the hot path had to grow the per-node payload table
+    /// (0 when [`Traffic::reserve_nodes`] pre-sized it).
+    pub fn node_payload_growths(&self) -> u32 {
+        self.node_payload_growths
     }
 
     /// Records one message from `from` to `to`.
@@ -161,6 +306,7 @@ impl Traffic {
         if payload {
             if idx >= self.node_payloads.len() {
                 self.node_payloads.resize(idx + 1, 0);
+                self.node_payload_growths += 1;
             }
             self.node_payloads[idx] += 1;
         }
@@ -172,13 +318,14 @@ impl Traffic {
             payload,
         });
         self.records_seen += 1;
-        if self.log.len() >= COMPACT_AT {
+        if self.log.len() >= self.compact_at {
             self.compact();
         }
     }
 
-    /// Folds the log into `folded` and clears it (keeping its capacity),
-    /// bounding traffic memory over arbitrarily long runs.
+    /// Folds the log into `folded` (or streams the fold to the spool
+    /// file) and clears it (keeping its capacity), bounding traffic
+    /// memory over arbitrarily long runs.
     fn compact(&mut self) {
         if self.log.is_empty() {
             return;
@@ -186,19 +333,94 @@ impl Traffic {
         let base = self.records_seen - self.log.len() as u64;
         let flat = Self::flatten(&self.log, base);
         self.log.clear();
-        self.folded = Self::merge(std::mem::take(&mut self.folded), flat);
+        if let Some(spool) = &mut self.spool {
+            let mut buf = Vec::with_capacity(flat.len() * SPOOL_REC_BYTES);
+            for acc in &flat {
+                encode_acc(acc, &mut buf);
+            }
+            spool.file.write_all(&buf).expect("write traffic spool run");
+            spool.runs.push(flat.len() as u64);
+            self.spool_bytes += buf.len() as u64;
+        } else {
+            let merged = Self::merge(std::mem::take(&mut self.folded), flat);
+            self.folded = Self::cap(merged, self.spill_threshold, &mut self.spilled_acc);
+        }
+    }
+
+    /// Applies the spill rule to one `(from, to)`-sorted accumulator
+    /// list: keeps the `threshold` earliest-appearing links and folds the
+    /// rest into `spilled`. Called after every fold, so the tracked
+    /// working set never exceeds `threshold` entries mid-run (see the
+    /// module docs for why this is byte-identical to capping at seal).
+    fn cap(mut flat: Vec<LinkAcc>, threshold: usize, spilled: &mut LinkTally) -> Vec<LinkAcc> {
+        if flat.len() <= threshold {
+            return flat;
+        }
+        let mut order: Vec<u32> = (0..flat.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| flat[i as usize].first_pos);
+        let mut evict = vec![false; flat.len()];
+        for &i in &order[threshold..] {
+            evict[i as usize] = true;
+            spilled.absorb(&flat[i as usize].tally);
+        }
+        let mut keep = 0usize;
+        for i in 0..flat.len() {
+            if !evict[i] {
+                flat[keep] = flat[i];
+                keep += 1;
+            }
+        }
+        flat.truncate(keep);
+        flat
+    }
+
+    /// Reads the spooled runs back and merges them into one
+    /// `(from, to)`-sorted accumulator list, capping the working set at
+    /// `threshold` links after each run (runs are read in write order, so
+    /// the incremental spill rule sees first positions chronologically).
+    fn read_spool(spool: &Spool, threshold: usize, spilled: &mut LinkTally) -> Vec<LinkAcc> {
+        let file = std::fs::File::open(&spool.path).expect("reopen traffic spool file");
+        let mut reader = std::io::BufReader::new(file);
+        let mut acc: Vec<LinkAcc> = Vec::new();
+        for &len in &spool.runs {
+            let mut run = Vec::with_capacity(len as usize);
+            let mut rec = [0u8; SPOOL_REC_BYTES];
+            for _ in 0..len {
+                reader.read_exact(&mut rec).expect("read traffic spool run");
+                run.push(decode_acc(&rec));
+            }
+            acc = Self::cap(Self::merge(acc, run), threshold, spilled);
+        }
+        acc
+    }
+
+    /// Compacts, then takes the complete folded accumulator list —
+    /// reading back and deleting the spool file if one is attached.
+    fn drain_folded(&mut self) -> Vec<LinkAcc> {
+        self.compact();
+        let mut flat = std::mem::take(&mut self.folded);
+        if let Some(spool) = self.spool.take() {
+            let runs = Self::read_spool(&spool, self.spill_threshold, &mut self.spilled_acc);
+            flat = Self::cap(
+                Self::merge(flat, runs),
+                self.spill_threshold,
+                &mut self.spilled_acc,
+            );
+            // Dropping the spool deletes its file; spool_bytes persists.
+        }
+        flat
     }
 
     /// Builds the per-link view once and drops the record log. Optional:
     /// queries aggregate transparently (each call re-scans the log) —
-    /// sealing makes repeated queries O(1) and frees the log's memory,
-    /// at the price that no further [`Traffic::record`] is accepted.
+    /// sealing makes repeated queries O(1) and frees the log's memory
+    /// (plus any spool file), at the price that no further
+    /// [`Traffic::record`] is accepted.
     pub fn seal(&mut self) {
         if self.sealed.is_none() {
-            self.compact();
+            let flat = self.drain_folded();
             self.log = Vec::new();
-            let folded = std::mem::take(&mut self.folded);
-            self.sealed = Some(Self::finish(folded, self.spill_threshold));
+            self.sealed = Some(Self::finish(flat, self.spill_threshold, self.spilled_acc));
         }
     }
 
@@ -308,9 +530,10 @@ impl Traffic {
 
     /// Applies the first-appearance spill rule — a link is tracked iff
     /// fewer than `spill_threshold` distinct links appeared before it —
-    /// and builds the queryable per-sender view.
-    fn finish(flat: Vec<LinkAcc>, spill_threshold: usize) -> SealedLinks {
-        let mut spilled = LinkTally::default();
+    /// and builds the queryable per-sender view. `spilled_base` carries
+    /// the tallies of links already evicted by incremental capping.
+    fn finish(flat: Vec<LinkAcc>, spill_threshold: usize, spilled_base: LinkTally) -> SealedLinks {
+        let mut spilled = spilled_base;
         let mut tracked_flags: Option<Vec<bool>> = None;
         if flat.len() > spill_threshold {
             let mut order: Vec<u32> = (0..flat.len() as u32).collect();
@@ -320,10 +543,7 @@ impl Traffic {
                 flags[i as usize] = true;
             }
             for &i in &order[spill_threshold..] {
-                let t = &flat[i as usize].tally;
-                spilled.messages += t.messages;
-                spilled.bytes += t.bytes;
-                spilled.payloads += t.payloads;
+                spilled.absorb(&flat[i as usize].tally);
             }
             tracked_flags = Some(flags);
         }
@@ -371,25 +591,39 @@ impl Traffic {
         first_keys: Vec<Option<egm_rng::hash::FastHashMap<u64, u128>>>,
         spill_threshold: usize,
     ) -> Traffic {
+        let mut parts = parts;
         let single = parts.len() == 1;
+        // Recycle the largest per-shard payload table as the merged one
+        // instead of growing a fresh allocation from zero.
+        let donor = (0..parts.len())
+            .max_by_key(|&i| parts[i].node_payloads.len())
+            .expect("at least one shard");
+        let mut node_payloads = std::mem::take(&mut parts[donor].node_payloads);
         let mut total = LinkTally::default();
-        let mut node_payloads: Vec<u64> = Vec::new();
         let mut records_seen = 0u64;
         let mut flat: Vec<LinkAcc> = Vec::new();
+        let mut spool_bytes = 0u64;
+        let mut node_payload_growths = 0u32;
+        let mut spilled_acc = LinkTally::default();
         for mut part in parts {
             assert!(part.sealed.is_none(), "cannot merge sealed traffic");
             total.messages += part.total.messages;
             total.bytes += part.total.bytes;
             total.payloads += part.total.payloads;
             records_seen += part.records_seen;
+            node_payload_growths += part.node_payload_growths;
             if node_payloads.len() < part.node_payloads.len() {
                 node_payloads.resize(part.node_payloads.len(), 0);
             }
             for (i, v) in part.node_payloads.iter().enumerate() {
                 node_payloads[i] += v;
             }
-            part.compact();
-            flat = Self::merge(flat, std::mem::take(&mut part.folded));
+            flat = Self::merge(flat, part.drain_folded());
+            // Unbounded shard-local thresholds mean no part capped
+            // incrementally (asserted above via the spill rule's need for
+            // global order), but carry the accumulator defensively.
+            spilled_acc.absorb(&part.spilled_acc);
+            spool_bytes += part.spool_bytes;
         }
         // A single part's local record positions already are the global
         // order — the spill rule can use them directly, no keys needed.
@@ -419,7 +653,7 @@ impl Traffic {
                 flat[idx as usize].first_pos = rank as u64;
             }
         }
-        let sealed = Self::finish(flat, spill_threshold);
+        let sealed = Self::finish(flat, spill_threshold, spilled_acc);
         Traffic {
             log: Vec::new(),
             folded: Vec::new(),
@@ -427,7 +661,12 @@ impl Traffic {
             sealed: Some(sealed),
             total,
             node_payloads,
+            node_payload_growths,
             spill_threshold,
+            spilled_acc,
+            compact_at: COMPACT_AT,
+            spool: None,
+            spool_bytes,
         }
     }
 
@@ -438,9 +677,14 @@ impl Traffic {
         match &self.sealed {
             Some(s) => f(s),
             None => {
+                let mut spilled = self.spilled_acc;
                 let base = self.records_seen - self.log.len() as u64;
-                let flat = Self::merge(self.folded.clone(), Self::flatten(&self.log, base));
-                f(&Self::finish(flat, self.spill_threshold))
+                let mut flat = Self::merge(self.folded.clone(), Self::flatten(&self.log, base));
+                if let Some(spool) = &self.spool {
+                    let runs = Self::read_spool(spool, self.spill_threshold, &mut spilled);
+                    flat = Self::merge(runs, flat);
+                }
+                f(&Self::finish(flat, self.spill_threshold, spilled))
             }
         }
     }
@@ -646,6 +890,70 @@ mod tests {
         assert!(
             b.link(NodeId(0), NodeId(1)).is_none(),
             "third-seen link spills on both"
+        );
+    }
+
+    #[test]
+    fn spooled_traffic_matches_in_memory_twin() {
+        // Identical streams, one spooling folds to disk with forced
+        // mid-stream compactions: every query and the sealed view must be
+        // byte-identical, including the spill selection.
+        let dir = std::env::temp_dir();
+        let stream = [(5, 6), (4, 5), (0, 1), (5, 6), (0, 2), (4, 5), (1, 0)];
+        let mut mem = Traffic::with_spill_threshold(2);
+        let mut disk = Traffic::with_spill_threshold(2);
+        disk.enable_spool(&dir);
+        for (i, &(f, t)) in stream.iter().enumerate() {
+            mem.record(NodeId(f), NodeId(t), 10, i % 2 == 0);
+            disk.record(NodeId(f), NodeId(t), 10, i % 2 == 0);
+            if i % 3 == 0 {
+                disk.compact();
+            }
+        }
+        assert!(disk.spool_bytes() > 0, "compactions streamed to disk");
+        // Pre-seal queries read the spool transparently.
+        assert_eq!(mem.links(), disk.links());
+        assert_eq!(mem.spilled(), disk.spilled());
+        mem.seal();
+        disk.seal();
+        assert_eq!(mem.links(), disk.links());
+        assert_eq!(mem.link_count(), disk.link_count());
+        assert_eq!(mem.spilled(), disk.spilled());
+        assert_eq!(mem.total_messages(), disk.total_messages());
+        let bytes = disk.spool_bytes();
+        assert!(bytes > 0, "spool byte counter survives sealing");
+    }
+
+    #[test]
+    fn spool_file_is_deleted_at_seal() {
+        let dir = std::env::temp_dir();
+        let mut t = Traffic::default();
+        t.enable_spool(&dir);
+        t.record(NodeId(0), NodeId(1), 1, true);
+        t.compact();
+        let path = t.spool.as_ref().expect("spooling").path.clone();
+        assert!(path.exists(), "spool file present while recording");
+        t.seal();
+        assert!(!path.exists(), "seal() removes the spool file");
+        assert!(t.spool.is_none());
+    }
+
+    #[test]
+    fn reserved_payload_table_never_regrows() {
+        let mut t = Traffic::default();
+        t.reserve_nodes(100);
+        for i in 0..100 {
+            t.record(NodeId(i), NodeId((i + 1) % 100), 8, true);
+        }
+        assert_eq!(t.node_payload_growths(), 0, "pre-sized table is final");
+        assert_eq!(t.node_payloads_sent(NodeId(0)), 1);
+
+        let mut untracked = Traffic::default();
+        untracked.record(NodeId(5), NodeId(0), 8, true);
+        assert_eq!(
+            untracked.node_payload_growths(),
+            1,
+            "on-demand growth counted"
         );
     }
 

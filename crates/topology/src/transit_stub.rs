@@ -136,10 +136,11 @@ impl TransitStubConfig {
         }
     }
 
-    /// A configuration sized for `clients` protocol nodes (the 1k–10k
+    /// A configuration sized for `clients` protocol nodes (the 1k–1M
     /// scale axis): the transit core stays at the default 100 routers so
     /// the two-level core matrix stays small, while stub capacity grows
-    /// with the client count.
+    /// with the client count — at 1M clients that is ~1 430 stub domains
+    /// per transit router, still O(n) routers and O(domains) tables.
     ///
     /// # Examples
     ///
@@ -619,7 +620,7 @@ mod tests {
 
     #[test]
     fn scaled_config_hosts_requested_clients() {
-        for n in [1_000usize, 4_000, 10_000] {
+        for n in [1_000usize, 4_000, 10_000, 100_000, 1_000_000] {
             let c = TransitStubConfig::scaled(n);
             assert!(c.stub_router_count() >= n, "capacity for {n}");
             assert_eq!(
@@ -627,6 +628,16 @@ mod tests {
                 100,
                 "core stays small"
             );
+            // Capacity tracks demand: never more than one extra stub
+            // domain's worth per transit router, so router count (and
+            // with it generation time and domain tables) stays O(n).
+            let slack = c.stub_router_count() - n;
+            if c.stubs_per_transit_router > TransitStubConfig::default().stubs_per_transit_router {
+                assert!(
+                    slack < 100 * c.routers_per_stub,
+                    "overshoot for {n}: {slack}"
+                );
+            }
         }
         // Small client counts keep the default shape.
         assert_eq!(

@@ -1,4 +1,4 @@
-//! Scale-axis scenario presets: 1k / 4k / 10k-node runs.
+//! Scale-axis scenario presets: 1k / 4k / 10k / 100k / 1M-node runs.
 //!
 //! The paper's emergent-structure results are measured on a hundred
 //! nodes; gossip overlays in the HyParView/Plumtree lineage are routinely
@@ -27,7 +27,18 @@
 //!   ([`ScalePreset::rank_source`]) replaces the O(n²) centrality
 //!   oracle, and the remaining fixed per-run cost (ranking + view
 //!   bootstrap) is paid once per prepared setup
-//!   ([`crate::runner::prepare`]) instead of per run.
+//!   ([`crate::runner::prepare`]) instead of per run;
+//! * **horizon-based message retirement**
+//!   ([`egm_core::ProtocolConfig::retire_after`], on for every preset)
+//!   frees delivered arena slots once no protocol event can reference
+//!   them, so steady-state RSS plateaus at the in-flight window instead
+//!   of growing with total messages sent;
+//! * the **sparse→dense seen-set hybrid** in the delivery log costs
+//!   O(actual deliveries) per message, never the n/8-byte bitmap up
+//!   front (125 KB per in-flight message at 1M);
+//! * the ≥100k presets **stream sealed traffic tallies to disk**
+//!   ([`Scenario::traffic_spool`]), bounding link accounting to the live
+//!   compaction window in RAM.
 //!
 //! Presets run through [`run_sweep`] like every figure experiment, so
 //! multi-seed scale sweeps parallelize across cores with byte-identical
@@ -38,20 +49,26 @@
 //! # Memory budget (measured on the 2026-07 calendar-queue/arena
 //! refactor, release build, 30 messages, Ranked best=20 %)
 //!
-//! | preset | nodes  | routed model | peak process RSS |
-//! |--------|--------|--------------|------------------|
-//! | 1k     | 1 000  | ~0.3 MB      | ~37 MB  |
-//! | 4k     | 4 000  | ~0.5 MB      | ~127 MB |
-//! | 10k    | 10 000 | ~1 MB        | ~292 MB |
+//! | preset | nodes     | routed model | peak process RSS |
+//! |--------|-----------|--------------|------------------|
+//! | 1k     | 1 000     | ~0.3 MB      | ~37 MB  |
+//! | 4k     | 4 000     | ~0.5 MB      | ~127 MB |
+//! | 10k    | 10 000    | ~1 MB        | ~292 MB |
+//! | 100k   | 100 000   | ~10 MB       | see [`ScalePreset::rss_budget_mb`] |
+//! | 1m     | 1 000 000 | ~100 MB      | see [`ScalePreset::rss_budget_mb`] |
 //!
 //! Peak RSS is dominated by in-flight simulator events and per-node
 //! protocol state, both O(n); nothing is O(n²). For comparison, a dense
 //! client latency+hop matrix alone would be ~1.2 GB at 10k nodes, and a
 //! dense per-(node, message) delivery table another ~5 MB per message.
+//! With retirement on, total messages sent no longer contributes to peak
+//! RSS — the `scale_events_per_sec` bench's plateau mode
+//! (`EGM_SCALE_PLATEAU_MAX`) asserts it.
 
 use crate::runner::{run_sweep, RunOutcome};
 use crate::scenario::{Scenario, TopologySource};
 use egm_core::{MonitorSpec, RankSource, StrategySpec};
+use egm_simnet::SimDuration;
 use egm_topology::TransitStubConfig;
 
 /// A scale-axis preset size.
@@ -63,33 +80,57 @@ pub enum ScalePreset {
     N4k,
     /// 10 000 nodes — the HyParView/Plumtree evaluation regime.
     N10k,
+    /// 100 000 nodes — the nightly decade jump; needs retirement and the
+    /// traffic spool to stay inside its RSS budget.
+    N100k,
+    /// 1 000 000 nodes — opt-in only (`EGM_SCALE_PRESET=1m` plus the
+    /// nightly dispatch gate); hours of wall time on one core.
+    N1M,
 }
 
 impl ScalePreset {
+    /// Every preset, smallest first (the order error messages list them
+    /// in).
+    pub const ALL: [ScalePreset; 5] = [
+        ScalePreset::N1k,
+        ScalePreset::N4k,
+        ScalePreset::N10k,
+        ScalePreset::N100k,
+        ScalePreset::N1M,
+    ];
+
     /// Number of protocol nodes.
     pub fn nodes(&self) -> usize {
         match self {
             ScalePreset::N1k => 1_000,
             ScalePreset::N4k => 4_000,
             ScalePreset::N10k => 10_000,
+            ScalePreset::N100k => 100_000,
+            ScalePreset::N1M => 1_000_000,
         }
     }
 
-    /// Display label (`"1k"`, `"4k"`, `"10k"`).
+    /// Display label (`"1k"`, `"4k"`, `"10k"`, `"100k"`, `"1m"`).
     pub fn label(&self) -> &'static str {
         match self {
             ScalePreset::N1k => "1k",
             ScalePreset::N4k => "4k",
             ScalePreset::N10k => "10k",
+            ScalePreset::N100k => "100k",
+            ScalePreset::N1M => "1m",
         }
     }
 
-    /// Parses a label; `None` for anything unrecognized.
+    /// Parses a label, case-insensitively; `None` for anything
+    /// unrecognized. Each preset answers to its short label (`"100k"`,
+    /// `"1m"`) and its plain node count (`"100000"`, `"1000000"`).
     pub fn parse(label: &str) -> Option<Self> {
-        match label {
+        match label.to_ascii_lowercase().as_str() {
             "1k" | "1000" => Some(ScalePreset::N1k),
             "4k" | "4000" => Some(ScalePreset::N4k),
             "10k" | "10000" => Some(ScalePreset::N10k),
+            "100k" | "100000" => Some(ScalePreset::N100k),
+            "1m" | "1000k" | "1000000" => Some(ScalePreset::N1M),
             _ => None,
         }
     }
@@ -98,15 +139,37 @@ impl ScalePreset {
     ///
     /// # Panics
     ///
-    /// Panics on an unrecognized value: the scale bench doubles as a CI
-    /// assertion, and silently falling back to the smallest preset would
-    /// make a typoed budget check pass against the wrong workload.
+    /// Panics on an unrecognized value, listing the valid labels: the
+    /// scale bench doubles as a CI assertion, and silently falling back
+    /// to the smallest preset would make a typoed budget check pass
+    /// against the wrong workload.
     pub fn from_env() -> Self {
         match std::env::var("EGM_SCALE_PRESET") {
             Err(_) => ScalePreset::N1k,
             Ok(v) => ScalePreset::parse(&v).unwrap_or_else(|| {
-                panic!("unrecognized EGM_SCALE_PRESET {v:?}: use 1k, 4k or 10k")
+                let valid: Vec<&str> = Self::ALL.iter().map(|p| p.label()).collect();
+                panic!(
+                    "unrecognized EGM_SCALE_PRESET {v:?}: valid presets are {}",
+                    valid.join(", ")
+                )
             }),
+        }
+    }
+
+    /// Peak-RSS budget for this preset in MB, the default the
+    /// `scale_events_per_sec` bench asserts against
+    /// (`EGM_SCALE_RSS_BUDGET_MB` overrides). Budgets leave ~2–4×
+    /// headroom over the measured plateau so allocator noise never flakes
+    /// CI, while still catching any return of an O(n²) or
+    /// O(total-messages) term.
+    pub fn rss_budget_mb(&self) -> u64 {
+        match self {
+            ScalePreset::N1k => 128,
+            ScalePreset::N4k => 320,
+            ScalePreset::N10k => 512,
+            // The issue's acceptance bound: ≤ ~10× the 10k preset.
+            ScalePreset::N100k => 2_900,
+            ScalePreset::N1M => 30_000,
         }
     }
 
@@ -158,6 +221,23 @@ impl ScalePreset {
         ]
     }
 
+    /// Retirement horizon the presets run with: 10 s of simulated time
+    /// after delivery. At zero loss the worst-case quiesce (gossip depth
+    /// × (link delay + retry interval)) is well under 6 s at every preset
+    /// size, so no live protocol event ever touches a retired slot — the
+    /// `retire_determinism` suite asserts byte-identity against
+    /// retirement-off runs.
+    pub fn retire_horizon() -> SimDuration {
+        SimDuration::from_ms(10_000.0)
+    }
+
+    /// Whether this preset streams sealed traffic tallies to a disk
+    /// spool (the ≥100k sizes; below that the in-memory fold is already
+    /// small).
+    pub fn spools_traffic(&self) -> bool {
+        self.nodes() >= 100_000
+    }
+
     /// The scenario this preset runs: a scaled transit–stub topology
     /// (100-router transit core, stub capacity ≥ n), the paper's §5.2
     /// protocol parameters, and the Ranked best=20 % strategy with the
@@ -165,6 +245,9 @@ impl ScalePreset {
     /// ([`ScalePreset::rank_source`]) over the latency-oracle monitor —
     /// the configuration whose emergent structure the paper studies,
     /// pushed along the scale axis without any O(n²) global sweep.
+    /// Message retirement is on ([`ScalePreset::retire_horizon`]) so the
+    /// working set plateaus; the ≥100k sizes additionally spool sealed
+    /// traffic to disk.
     pub fn scenario(&self, messages: usize, seed: u64) -> Scenario {
         let n = self.nodes();
         let mut s = Scenario::paper_default();
@@ -177,6 +260,8 @@ impl ScalePreset {
         s.mean_interval_ms = 250.0;
         s.link_spill_threshold = Some(self.link_spill_threshold());
         s.rank_source = self.rank_source();
+        s.protocol.retire_after = Some(Self::retire_horizon());
+        s.traffic_spool = self.spools_traffic();
         s.seed = seed;
         s
     }
@@ -206,14 +291,36 @@ mod tests {
         assert_eq!(ScalePreset::N1k.nodes(), 1_000);
         assert_eq!(ScalePreset::N4k.nodes(), 4_000);
         assert_eq!(ScalePreset::N10k.nodes(), 10_000);
+        assert_eq!(ScalePreset::N100k.nodes(), 100_000);
+        assert_eq!(ScalePreset::N1M.nodes(), 1_000_000);
         assert_eq!(ScalePreset::parse("10k"), Some(ScalePreset::N10k));
         assert_eq!(ScalePreset::parse("4000"), Some(ScalePreset::N4k));
         assert_eq!(ScalePreset::parse("huge"), None);
+        // Labels round-trip through parse for every preset.
+        for preset in ScalePreset::ALL {
+            assert_eq!(ScalePreset::parse(preset.label()), Some(preset));
+            assert_eq!(
+                ScalePreset::parse(&preset.nodes().to_string()),
+                Some(preset)
+            );
+        }
+    }
+
+    #[test]
+    fn parse_accepts_decade_spellings() {
+        for spelling in ["100k", "100K", "100000"] {
+            assert_eq!(ScalePreset::parse(spelling), Some(ScalePreset::N100k));
+        }
+        for spelling in ["1m", "1M", "1000k", "1000000"] {
+            assert_eq!(ScalePreset::parse(spelling), Some(ScalePreset::N1M));
+        }
+        assert_eq!(ScalePreset::parse("1mm"), None);
+        assert_eq!(ScalePreset::parse(""), None);
     }
 
     #[test]
     fn scenarios_are_consistent() {
-        for preset in [ScalePreset::N1k, ScalePreset::N4k, ScalePreset::N10k] {
+        for preset in ScalePreset::ALL {
             let s = preset.scenario(10, 7);
             assert_eq!(s.node_count(), preset.nodes());
             assert_eq!(s.messages, 10);
@@ -229,7 +336,30 @@ mod tests {
                 "scale runs must rank without the O(n²) oracle"
             );
             assert!(!s.rank_source.is_oracle());
+            assert_eq!(
+                s.protocol.retire_after,
+                Some(ScalePreset::retire_horizon()),
+                "scale runs must bound steady-state memory"
+            );
+            assert_eq!(s.traffic_spool, preset.spools_traffic());
+            // The horizon comfortably covers the retry interval (the
+            // config validator's floor) and the worst-case quiesce.
+            s.protocol.validate();
         }
+        assert!(!ScalePreset::N10k.spools_traffic());
+        assert!(ScalePreset::N100k.spools_traffic());
+        assert!(ScalePreset::N1M.spools_traffic());
+    }
+
+    #[test]
+    fn rss_budgets_grow_with_size() {
+        let budgets: Vec<u64> = ScalePreset::ALL.iter().map(|p| p.rss_budget_mb()).collect();
+        for pair in budgets.windows(2) {
+            assert!(pair[0] < pair[1], "budgets must be monotone: {budgets:?}");
+        }
+        // The issue's acceptance bound: 100k within ~10× the 10k preset's
+        // measured ~290 MB.
+        assert!(ScalePreset::N100k.rss_budget_mb() <= 2_900);
     }
 
     #[test]

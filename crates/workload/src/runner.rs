@@ -64,6 +64,19 @@ pub struct RunOutcome {
     /// comparable across runs of one width but not across widths
     /// (replicated fault events are queued once per shard).
     pub queue: QueueStats,
+    /// Messages retired from the per-node arenas after their horizon
+    /// elapsed, summed over all nodes (zero unless the scenario sets
+    /// [`egm_core::ProtocolConfig::retire_after`]).
+    pub retired_messages: u64,
+    /// Largest number of arena slots simultaneously live on any one node
+    /// — the steady-state working-set ceiling retirement bounds.
+    pub arena_high_water: usize,
+    /// Bytes of compacted traffic tallies streamed to the disk spool
+    /// (zero unless [`Scenario::traffic_spool`] is set).
+    pub traffic_spill_bytes: u64,
+    /// Hot-path reallocations of the per-node payload table (pinned to
+    /// zero by the scale regression tests — the table is pre-sized).
+    pub payload_vec_growths: u32,
     /// Sharded-engine counters: worker count, effective partition
     /// strategy, window lookahead (configured and realized), windows
     /// executed, cross-shard lane events/flushes/skips, and per-shard
@@ -470,6 +483,9 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
     if let Some(links) = scenario.link_spill_threshold {
         sim_config = sim_config.with_link_spill_threshold(links);
     }
+    if scenario.traffic_spool {
+        sim_config = sim_config.with_traffic_spool(std::env::temp_dir());
+    }
     if let Some(queue) = scenario.event_queue {
         sim_config = sim_config.with_event_queue(queue);
     }
@@ -577,7 +593,12 @@ fn collect(
     }
 
     let mut scheduler = SchedulerStats::default();
+    let mut retired_messages = 0u64;
+    let mut arena_high_water = 0usize;
     for (_, node) in sim.nodes() {
+        let arena = node.arena_stats();
+        retired_messages += arena.retired;
+        arena_high_water = arena_high_water.max(arena.high_water);
         let s = node.scheduler_stats();
         scheduler.eager_sends += s.eager_sends;
         scheduler.lazy_advertisements += s.lazy_advertisements;
@@ -664,6 +685,10 @@ fn collect(
         stale_timer_drops: sim.stale_timer_drops(),
         queue: sim.queue_stats(),
         shard_stats: sim.shard_stats(),
+        retired_messages,
+        arena_high_water,
+        traffic_spill_bytes: traffic.spool_bytes(),
+        payload_vec_growths: traffic.node_payload_growths(),
         model,
     }
 }

@@ -40,6 +40,39 @@ fn one_k_ranked_run_completes_under_run_sweep() {
         outcome.report.total_payloads,
         "per-node payload counters remain exact under spill accounting"
     );
+
+    // The per-node payload table is pre-sized to the node count, so the
+    // hot send path never reallocates it — the growth counter is the
+    // regression pin.
+    assert_eq!(
+        outcome.payload_vec_growths, 0,
+        "per-node payload table must never regrow on the hot path"
+    );
+    // Below 100k nothing spools to disk.
+    assert_eq!(outcome.traffic_spill_bytes, 0, "1k must not spool traffic");
+}
+
+/// Forcing the ≥100k disk-spool path onto the 1k preset must leave every
+/// observable output byte-identical — the spool is a memory knob, not a
+/// behavioural one — while actually writing spill bytes.
+#[test]
+fn spooled_one_k_run_matches_in_memory_twin() {
+    use egm_workload::runner::run_detailed;
+
+    let plain = ScalePreset::N1k.scenario(4, 11);
+    let spooled = plain.clone().with_traffic_spool(true);
+    let a = run_detailed(&plain, None);
+    let b = run_detailed(&spooled, None);
+    assert_eq!(a.report, b.report, "reports diverged under spooling");
+    assert_eq!(a.log, b.log, "delivery logs diverged under spooling");
+    assert_eq!(a.payload_links, b.payload_links);
+    assert_eq!(a.payloads_per_node, b.payloads_per_node);
+    assert_eq!(a.traffic_spill_bytes, 0);
+    assert!(
+        b.traffic_spill_bytes > 0,
+        "spooled run must stream compacted tallies to disk"
+    );
+    assert_eq!(b.payload_vec_growths, 0);
 }
 
 /// The acceptance-scale run: a 10k-node Ranked scenario through
