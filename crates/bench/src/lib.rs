@@ -104,6 +104,22 @@
 //!   window count of every domain-aligned/rate-balanced run — the gated
 //!   record that topology-aware cuts keep the conservative windows an
 //!   order of magnitude coarser than contiguous ones.
+//! * `sustained_events_per_sec_<preset>` — the heavy-traffic arrival
+//!   axis (`cargo run --release -p egm_bench --bin
+//!   sustained_events_per_sec`): one open-loop run per shard width
+//!   W ∈ {seq, 1, 2, 4} over a shared prepared setup, byte-identity
+//!   asserted per width (report, event count, latency histogram,
+//!   steady-state block). Records the arrival `process` and offered
+//!   `rate_per_sec`, the steady-state `steady_publishes_per_sec` /
+//!   `steady_deliveries_per_sec` (simulated-time rates over the
+//!   post-warm-up window), the `latency_p50_ms` / `latency_p99_ms` /
+//!   `latency_p999_ms` publish→delivery percentiles from the mergeable
+//!   log-bucketed histogram, and the `traffic_acc_peak` merge-time
+//!   accumulator bound (pinned ≤ the spill threshold).
+//!   `EGM_MIN_SUSTAINED_EPS` turns the wall-clock events/s into a floor
+//!   assertion — the CI sustained smoke job's regression guard;
+//!   `EGM_SUSTAINED_PROCESS` / `EGM_SUSTAINED_RATE` select the arrival
+//!   process (poisson / bursty / diurnal) and offered rate.
 //! * `queue_events_per_sec_<preset>` — the event-queue A/B comparison
 //!   (`cargo run --release -p egm_bench --bin queue_events_per_sec`):
 //!   one scale preset run per queue implementation over a shared

@@ -277,6 +277,34 @@ impl MsgArena {
         freed
     }
 
+    /// Frees every scheduled slot regardless of horizon, returning how
+    /// many were retired.
+    ///
+    /// Run-end sweep: a message published near the end of a long
+    /// open-loop run can have its retirement horizon land *after* the
+    /// last simulated event, so no [`MsgArena::retire_expired`] sweep
+    /// ever reaches it and the slot sits unretired in the end-of-run
+    /// accounting. The harness calls this once after the event loop
+    /// finishes; it can never affect the event stream (retirement frees
+    /// state only) and `high_water` is unaffected because no new slots
+    /// are interned afterwards.
+    pub fn retire_all(&mut self) -> usize {
+        let mut freed = 0;
+        while let Some((slot, gen, _at)) = self.retire_fifo.pop_front() {
+            if self.slots[slot as usize].gen != gen {
+                continue; // FIFO eviction already recycled the slot
+            }
+            debug_assert!(
+                self.slots[slot as usize].received && self.slots[slot as usize].timer.is_none(),
+                "retire queue must only hold delivered, timer-free slots"
+            );
+            self.free_slot(slot);
+            self.retired += 1;
+            freed += 1;
+        }
+        freed
+    }
+
     /// Occupancy counters: retired slots, live slots, live high-water.
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
@@ -681,6 +709,25 @@ mod tests {
         // never grew beyond one slot.
         assert_eq!(a.intern(MsgId::from_raw(2)), s);
         assert_eq!(a.stats().high_water, 1);
+    }
+
+    #[test]
+    fn retire_all_sweeps_past_the_horizon() {
+        let mut a = MsgArena::new(64, 64, false);
+        let s0 = a.intern(MsgId::from_raw(1));
+        a.mark_received(s0);
+        a.schedule_retire(s0, SimTime::from_ms(100.0));
+        let s1 = a.intern(MsgId::from_raw(2));
+        a.mark_received(s1);
+        a.schedule_retire(s1, SimTime::from_ms(10_000.0));
+        // A time-driven sweep at run end misses the late horizon...
+        assert_eq!(a.retire_expired(SimTime::from_ms(200.0)), 1);
+        assert_eq!(a.stats().live, 1);
+        // ...but the final sweep frees it regardless.
+        assert_eq!(a.retire_all(), 1);
+        let stats = a.stats();
+        assert_eq!((stats.retired, stats.live), (2, 0));
+        assert_eq!(a.lookup(&MsgId::from_raw(2)), None);
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub use config::ProtocolConfig;
 pub use id::MsgId;
 pub use monitor::MonitorSpec;
 pub use msg::{EgmMessage, Payload};
-pub use node::{DeliveryRecord, EgmNode, MulticastRecord};
+pub use node::{DeliveryRecord, EgmNode, MulticastRecord, PublishChain};
 pub use rank::{BestSet, RankSource};
 pub use scheduler::SchedulerStats;
 pub use strategy::{StrategySpec, TransmissionStrategy};

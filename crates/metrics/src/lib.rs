@@ -8,6 +8,9 @@
 //! * [`Summary`] — mean / standard deviation / CI95 / percentiles.
 //! * [`Histogram`] — fixed-width bucket histograms for latency
 //!   distributions.
+//! * [`LatencyHistogram`] — log-bucketed O(1)-memory histogram with
+//!   deterministic quantiles and order-independent merging, for
+//!   sustained-load tail latency (p50/p99/p999).
 //! * [`DeliveryLog`] — multicast/delivery records yielding end-to-end
 //!   latency and reliability (mean deliveries %, Fig. 5(b)).
 //! * [`link`] — emergent-structure measures over per-link payload counts:
@@ -31,6 +34,7 @@
 
 pub mod delivery;
 pub mod histogram;
+pub mod latency;
 pub mod link;
 pub mod report;
 pub mod summary;
@@ -38,6 +42,7 @@ pub mod table;
 
 pub use delivery::DeliveryLog;
 pub use histogram::Histogram;
+pub use latency::LatencyHistogram;
 pub use report::RunReport;
 pub use summary::Summary;
 pub use table::Table;

@@ -127,13 +127,17 @@ impl Rng {
 
     /// Samples an exponentially distributed value with the given mean.
     ///
-    /// Used for e.g. inter-arrival jitter. Returns 0 for `mean <= 0`.
+    /// Used for e.g. inter-arrival jitter. Returns 0 for `mean <= 0` and for
+    /// non-finite means (`NaN`, `±∞`), so a malformed rate spec can never
+    /// produce a `NaN` event time that would corrupt queue ordering. The
+    /// result is always finite and non-negative.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        if mean <= 0.0 {
+        if !mean.is_finite() || mean <= 0.0 {
             return 0.0;
         }
-        // Inverse CDF; 1 - f64() is in (0, 1] so ln is finite.
-        -mean * (1.0 - self.f64()).ln()
+        // Inverse CDF; 1 - f64() is in (0, 1] so ln is finite. The min()
+        // guards against overflow to +inf for astronomically large means.
+        (-mean * (1.0 - self.f64()).ln()).min(f64::MAX)
     }
 
     /// Samples a normally distributed value via the Box–Muller transform.
@@ -252,6 +256,19 @@ mod tests {
         assert!((mean - 250.0).abs() < 5.0, "mean {mean}");
         assert_eq!(rng.exponential(0.0), 0.0);
         assert_eq!(rng.exponential(-3.0), 0.0);
+    }
+
+    #[test]
+    fn exponential_clamps_malformed_means() {
+        let mut rng = Rng::seed_from_u64(13);
+        assert_eq!(rng.exponential(f64::NAN), 0.0);
+        assert_eq!(rng.exponential(f64::INFINITY), 0.0);
+        assert_eq!(rng.exponential(f64::NEG_INFINITY), 0.0);
+        // A huge-but-finite mean must still yield a finite sample.
+        for _ in 0..1000 {
+            let v = rng.exponential(f64::MAX);
+            assert!(v.is_finite() && v >= 0.0, "sample {v}");
+        }
     }
 
     #[test]

@@ -583,6 +583,19 @@ where
         (0..self.partition.node_count()).map(|i| (NodeId(i), self.node(NodeId(i))))
     }
 
+    /// Mutably iterates over all nodes with their ids, in shard order
+    /// (e.g. for the harness's end-of-run sweeps — callers must not
+    /// depend on iteration order).
+    pub fn nodes_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut P)> {
+        let partition = &self.partition;
+        self.shards.iter_mut().enumerate().flat_map(move |(s, sh)| {
+            sh.nodes
+                .iter_mut()
+                .zip(partition.members(s))
+                .map(|(n, &g)| (NodeId(g as usize), n))
+        })
+    }
+
     /// Merges the per-shard traffic tables into the sealed global view
     /// (idempotent). Must be called before [`ShardedSim::traffic`]; the
     /// simulation must not send any further messages afterwards.

@@ -884,6 +884,16 @@ impl<P: Protocol> Sim<P> {
             .map(|(i, n)| (NodeId(i), n))
     }
 
+    /// Mutably iterates over all nodes with their ids (e.g. for the
+    /// harness's end-of-run sweeps).
+    pub fn nodes_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut P)> {
+        self.eng
+            .nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i), n))
+    }
+
     /// The virtual network (to inspect fault state).
     pub fn network(&self) -> &Network {
         self.eng.core.network()

@@ -224,6 +224,11 @@ pub struct Traffic {
     spool: Option<Spool>,
     /// Bytes streamed to disk by spool compactions (survives sealing).
     spool_bytes: u64,
+    /// Peak accumulator count observed while merging shard parts (0 for
+    /// sequential runs and for unbounded thresholds); bounded at
+    /// `spill_threshold` by the merge-time capping in
+    /// [`Traffic::merge_shards`].
+    shard_merge_acc_peak: usize,
 }
 
 impl Default for Traffic {
@@ -251,6 +256,7 @@ impl Traffic {
             compact_at: COMPACT_AT,
             spool: None,
             spool_bytes: 0,
+            shard_merge_acc_peak: 0,
         }
     }
 
@@ -291,6 +297,14 @@ impl Traffic {
     /// (0 when [`Traffic::reserve_nodes`] pre-sized it).
     pub fn node_payload_growths(&self) -> u32 {
         self.node_payload_growths
+    }
+
+    /// Peak link-accumulator count observed while merging shard parts
+    /// (spool read-back included). 0 for sequential runs and for
+    /// unbounded spill thresholds; never exceeds the configured threshold
+    /// otherwise — pinned by the shard-determinism regression tests.
+    pub fn shard_merge_acc_peak(&self) -> usize {
+        self.shard_merge_acc_peak
     }
 
     /// Records one message from `from` to `to`.
@@ -374,14 +388,48 @@ impl Traffic {
         flat
     }
 
-    /// Reads the spooled runs back and merges them into one
-    /// `(from, to)`-sorted accumulator list, capping the working set at
-    /// `threshold` links after each run (runs are read in write order, so
-    /// the incremental spill rule sees first positions chronologically).
-    fn read_spool(spool: &Spool, threshold: usize, spilled: &mut LinkTally) -> Vec<LinkAcc> {
+    /// Applies the spill rule with an *externally supplied* link order: a
+    /// caller-provided `key_of(from, to)` ranks links instead of their
+    /// (possibly shard-local, incomparable) `first_pos`. Used by
+    /// [`Traffic::merge_shards`], where the 128-bit first-appearance
+    /// order keys provide the global record order.
+    fn cap_by_key(
+        mut flat: Vec<LinkAcc>,
+        threshold: usize,
+        spilled: &mut LinkTally,
+        key_of: &dyn Fn(u32, u32) -> u128,
+    ) -> Vec<LinkAcc> {
+        if flat.len() <= threshold {
+            return flat;
+        }
+        let mut order: Vec<u32> = (0..flat.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| key_of(flat[i as usize].from, flat[i as usize].to));
+        let mut evict = vec![false; flat.len()];
+        for &i in &order[threshold..] {
+            evict[i as usize] = true;
+            spilled.absorb(&flat[i as usize].tally);
+        }
+        let mut keep = 0usize;
+        for i in 0..flat.len() {
+            if !evict[i] {
+                flat[keep] = flat[i];
+                keep += 1;
+            }
+        }
+        flat.truncate(keep);
+        flat
+    }
+
+    /// Reads the spooled runs back in write order, merging each into
+    /// `acc` and applying `cap` after every run so the read-back working
+    /// set stays bounded by whatever rule the capper enforces.
+    fn read_spool_with(
+        spool: &Spool,
+        mut acc: Vec<LinkAcc>,
+        cap: &mut dyn FnMut(Vec<LinkAcc>) -> Vec<LinkAcc>,
+    ) -> Vec<LinkAcc> {
         let file = std::fs::File::open(&spool.path).expect("reopen traffic spool file");
         let mut reader = std::io::BufReader::new(file);
-        let mut acc: Vec<LinkAcc> = Vec::new();
         for &len in &spool.runs {
             let mut run = Vec::with_capacity(len as usize);
             let mut rec = [0u8; SPOOL_REC_BYTES];
@@ -389,9 +437,19 @@ impl Traffic {
                 reader.read_exact(&mut rec).expect("read traffic spool run");
                 run.push(decode_acc(&rec));
             }
-            acc = Self::cap(Self::merge(acc, run), threshold, spilled);
+            acc = cap(Self::merge(acc, run));
         }
         acc
+    }
+
+    /// Reads the spooled runs back and merges them into one
+    /// `(from, to)`-sorted accumulator list, capping the working set at
+    /// `threshold` links after each run (runs are read in write order, so
+    /// the incremental spill rule sees first positions chronologically).
+    fn read_spool(spool: &Spool, threshold: usize, spilled: &mut LinkTally) -> Vec<LinkAcc> {
+        Self::read_spool_with(spool, Vec::new(), &mut |flat| {
+            Self::cap(flat, threshold, spilled)
+        })
     }
 
     /// Compacts, then takes the complete folded accumulator list —
@@ -406,6 +464,25 @@ impl Traffic {
                 self.spill_threshold,
                 &mut self.spilled_acc,
             );
+            // Dropping the spool deletes its file; spool_bytes persists.
+        }
+        flat
+    }
+
+    /// Like [`Traffic::drain_folded`], but with a caller-supplied capper
+    /// applied to the folded list and after every spool run, in place of
+    /// this table's own (here: unbounded) spill rule. This is how
+    /// [`Traffic::merge_shards`] bounds each shard's spool read-back even
+    /// though the shard recorded with an infinite local threshold.
+    fn drain_folded_with(
+        &mut self,
+        cap: &mut dyn FnMut(Vec<LinkAcc>) -> Vec<LinkAcc>,
+    ) -> Vec<LinkAcc> {
+        self.compact();
+        let mut flat = cap(std::mem::take(&mut self.folded));
+        if let Some(spool) = self.spool.take() {
+            let runs = Self::read_spool_with(&spool, Vec::new(), cap);
+            flat = cap(Self::merge(flat, runs));
             // Dropping the spool deletes its file; spool_bytes persists.
         }
         flat
@@ -578,9 +655,20 @@ impl Traffic {
     /// map from the packed directed link (`from << 32 | to`) to the
     /// 128-bit order key of the link's first record (see
     /// `SimCore::begin_dispatch`). Ranking links by that key reproduces
-    /// the sequential engine's spill selection exactly; the keys are only
-    /// required when the merged distinct-link count actually exceeds
-    /// `spill_threshold`.
+    /// the sequential engine's spill selection exactly.
+    ///
+    /// When the threshold is finite, that key ranking is applied
+    /// *incrementally* — to each part's folded list, after every spool
+    /// run read back, and after each part merges into the global list —
+    /// so the merge-time accumulator working set stays bounded at
+    /// `spill_threshold` entries instead of growing to the run's full
+    /// distinct-link count. This is byte-identical to capping once at the
+    /// end: the `spill_threshold` smallest-key links can only lose
+    /// members to links with still smaller keys, so an evicted link
+    /// (whose key exceeds every kept key) is evicted again whenever a
+    /// later spool run makes it reappear, and its tally lands in the same
+    /// spilled aggregate. The observed peak is recorded and exposed via
+    /// [`Traffic::shard_merge_acc_peak`].
     ///
     /// # Panics
     ///
@@ -593,6 +681,26 @@ impl Traffic {
     ) -> Traffic {
         let mut parts = parts;
         let single = parts.len() == 1;
+        // A single part's local record positions already are the global
+        // order — the spill rule can use them directly, no keys needed.
+        // With several parts and a finite threshold, rank by the global
+        // first-appearance keys instead, capping as we go.
+        let track = spill_threshold != usize::MAX && !single;
+        let key_of = |from: u32, to: u32| -> u128 {
+            let packed = (u64::from(from) << 32) | u64::from(to);
+            *first_keys
+                .iter()
+                .flatten()
+                .filter_map(|m| m.get(&packed))
+                .min()
+                .unwrap_or_else(|| {
+                    panic!(
+                        "link ({from}, {to}) has no first-appearance key: the sharded \
+                         engine must track keys whenever the spill threshold is \
+                         finite"
+                    )
+                })
+        };
         // Recycle the largest per-shard payload table as the merged one
         // instead of growing a fresh allocation from zero.
         let donor = (0..parts.len())
@@ -605,6 +713,7 @@ impl Traffic {
         let mut spool_bytes = 0u64;
         let mut node_payload_growths = 0u32;
         let mut spilled_acc = LinkTally::default();
+        let mut merge_acc_peak = 0usize;
         for mut part in parts {
             assert!(part.sealed.is_none(), "cannot merge sealed traffic");
             total.messages += part.total.messages;
@@ -618,41 +727,27 @@ impl Traffic {
             for (i, v) in part.node_payloads.iter().enumerate() {
                 node_payloads[i] += v;
             }
-            flat = Self::merge(flat, part.drain_folded());
-            // Unbounded shard-local thresholds mean no part capped
-            // incrementally (asserted above via the spill rule's need for
-            // global order), but carry the accumulator defensively.
+            let drained = if track {
+                let mut cap = |f: Vec<LinkAcc>| {
+                    let f = Self::cap_by_key(f, spill_threshold, &mut spilled_acc, &key_of);
+                    merge_acc_peak = merge_acc_peak.max(f.len());
+                    f
+                };
+                part.drain_folded_with(&mut cap)
+            } else {
+                part.drain_folded()
+            };
+            flat = Self::merge(flat, drained);
+            if track {
+                flat = Self::cap_by_key(flat, spill_threshold, &mut spilled_acc, &key_of);
+                merge_acc_peak = merge_acc_peak.max(flat.len());
+            }
+            // Shard-local thresholds are unbounded, so parts normally cap
+            // nothing themselves — carry their accumulator defensively.
             spilled_acc.absorb(&part.spilled_acc);
             spool_bytes += part.spool_bytes;
         }
-        // A single part's local record positions already are the global
-        // order — the spill rule can use them directly, no keys needed.
-        if flat.len() > spill_threshold && !single {
-            // Rank links by their global first-appearance key; the ranks
-            // replace the (shard-local, incomparable) first positions.
-            let mut keyed: Vec<(u128, u32)> = Vec::with_capacity(flat.len());
-            for (idx, link) in flat.iter().enumerate() {
-                let packed = (u64::from(link.from) << 32) | u64::from(link.to);
-                let key = first_keys
-                    .iter()
-                    .flatten()
-                    .filter_map(|m| m.get(&packed))
-                    .min()
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "link ({}, {}) has no first-appearance key: the sharded \
-                             engine must track keys whenever the spill threshold is \
-                             finite",
-                            link.from, link.to
-                        )
-                    });
-                keyed.push((*key, idx as u32));
-            }
-            keyed.sort_unstable();
-            for (rank, &(_, idx)) in keyed.iter().enumerate() {
-                flat[idx as usize].first_pos = rank as u64;
-            }
-        }
+        debug_assert!(single || flat.len() <= spill_threshold);
         let sealed = Self::finish(flat, spill_threshold, spilled_acc);
         Traffic {
             log: Vec::new(),
@@ -667,6 +762,7 @@ impl Traffic {
             compact_at: COMPACT_AT,
             spool: None,
             spool_bytes,
+            shard_merge_acc_peak: merge_acc_peak,
         }
     }
 
@@ -955,6 +1051,83 @@ mod tests {
             1,
             "on-demand growth counted"
         );
+    }
+
+    #[test]
+    fn merge_shards_caps_working_set_and_matches_sequential() {
+        use egm_rng::hash::FastHashMap;
+        // Two sender-partitioned parts recording with unbounded local
+        // thresholds; global first-appearance order comes from the key
+        // maps: (1,9) then (0,1) then (0,2) then (1,8) then (0,3).
+        let mut part0 = Traffic::with_spill_threshold(usize::MAX);
+        part0.record(NodeId(0), NodeId(1), 10, true);
+        part0.record(NodeId(0), NodeId(2), 10, false);
+        part0.record(NodeId(0), NodeId(3), 10, true);
+        let mut part1 = Traffic::with_spill_threshold(usize::MAX);
+        part1.record(NodeId(1), NodeId(9), 10, false);
+        part1.record(NodeId(1), NodeId(8), 10, true);
+        let pack = |f: u64, t: u64| (f << 32) | t;
+        let mut k0 = FastHashMap::<u64, u128>::default();
+        k0.insert(pack(0, 1), 2);
+        k0.insert(pack(0, 2), 3);
+        k0.insert(pack(0, 3), 5);
+        let mut k1 = FastHashMap::<u64, u128>::default();
+        k1.insert(pack(1, 9), 1);
+        k1.insert(pack(1, 8), 4);
+        let merged = Traffic::merge_shards(vec![part0, part1], vec![Some(k0), Some(k1)], 2);
+        // Sequential twin: same records in global order, same threshold.
+        let mut seq = Traffic::with_spill_threshold(2);
+        seq.record(NodeId(1), NodeId(9), 10, false);
+        seq.record(NodeId(0), NodeId(1), 10, true);
+        seq.record(NodeId(0), NodeId(2), 10, false);
+        seq.record(NodeId(1), NodeId(8), 10, true);
+        seq.record(NodeId(0), NodeId(3), 10, true);
+        seq.seal();
+        assert_eq!(merged.links(), seq.links());
+        assert_eq!(merged.link_count(), seq.link_count());
+        assert_eq!(merged.spilled(), seq.spilled());
+        assert_eq!(merged.total_messages(), seq.total_messages());
+        let peak = merged.shard_merge_acc_peak();
+        assert!(peak > 0 && peak <= 2, "peak {peak} exceeds threshold");
+        assert_eq!(seq.shard_merge_acc_peak(), 0, "sequential never merges");
+    }
+
+    #[test]
+    fn merge_shards_caps_spool_read_back_with_reappearing_links() {
+        use egm_rng::hash::FastHashMap;
+        // Part 0 spools two runs; link (0,3) is evicted while reading run
+        // 1 back and reappears in run 2, so it must be evicted again with
+        // both tally pieces landing in the spilled aggregate.
+        let dir = std::env::temp_dir();
+        let mut part0 = Traffic::with_spill_threshold(usize::MAX);
+        part0.enable_spool(&dir);
+        part0.record(NodeId(0), NodeId(1), 1, false);
+        part0.record(NodeId(0), NodeId(2), 1, false);
+        part0.record(NodeId(0), NodeId(3), 1, false);
+        part0.compact();
+        part0.record(NodeId(0), NodeId(1), 1, false);
+        part0.record(NodeId(0), NodeId(3), 1, false);
+        part0.compact();
+        let mut part1 = Traffic::with_spill_threshold(usize::MAX);
+        part1.record(NodeId(1), NodeId(5), 1, false);
+        let pack = |f: u64, t: u64| (f << 32) | t;
+        let mut k0 = FastHashMap::<u64, u128>::default();
+        k0.insert(pack(0, 1), 10);
+        k0.insert(pack(0, 2), 20);
+        k0.insert(pack(0, 3), 30);
+        let mut k1 = FastHashMap::<u64, u128>::default();
+        k1.insert(pack(1, 5), 40);
+        let merged = Traffic::merge_shards(vec![part0, part1], vec![Some(k0), Some(k1)], 2);
+        let mut seq = Traffic::with_spill_threshold(2);
+        for (f, t) in [(0, 1), (0, 2), (0, 3), (1, 5), (0, 1), (0, 3)] {
+            seq.record(NodeId(f), NodeId(t), 1, false);
+        }
+        seq.seal();
+        assert_eq!(merged.links(), seq.links());
+        assert_eq!(merged.spilled(), seq.spilled());
+        assert_eq!(merged.spilled().messages, 3, "(0,3) twice plus (1,5)");
+        let peak = merged.shard_merge_acc_peak();
+        assert!(peak > 0 && peak <= 2, "peak {peak} exceeds threshold");
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //! oracle for the paper-scale figures, or the decentralized gossip-sorted
 //! ranking the 1k–10k [`experiments::scale`] presets use.
 //!
+//! Heavy-traffic runs opt into the [`arrival`] axis
+//! ([`Scenario::arrival`]): open-loop arrival-process generators
+//! (Poisson, bursty, diurnal) at a fixed offered rate, or a closed loop
+//! that gates each publish on the previous delivery. Either mode feeds
+//! the publish→delivery latency histogram and steady-state throughput
+//! block in [`runner::RunOutcome`].
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod calibrate;
 pub mod experiments;
 pub mod faults;
@@ -45,5 +53,6 @@ pub mod runner;
 pub mod scenario;
 pub mod traffic;
 
+pub use arrival::{Arrival, ArrivalProcess, SteadyState};
 pub use faults::{FaultPlan, FaultSelection};
 pub use scenario::{NoiseConfig, Scenario, TopologySource};

@@ -11,12 +11,13 @@
 //! configuration) coincide — at 10 000 nodes this removes ~0.2 s of view
 //! construction plus the ranking cost from every run after the first.
 
+use crate::arrival::{self, Arrival, SteadyState};
 use crate::scenario::Scenario;
 use crate::traffic;
 use egm_core::strategy::Noisy;
-use egm_core::{BestSet, EgmNode, SchedulerStats};
+use egm_core::{BestSet, EgmNode, PublishChain, SchedulerStats};
 use egm_membership::PartialView;
-use egm_metrics::{link, DeliveryLog, RunReport};
+use egm_metrics::{link, DeliveryLog, LatencyHistogram, RunReport};
 use egm_rng::Rng;
 use egm_simnet::{
     NodeId, QueueStats, ShardStats, ShardedSim, Sim, SimConfig, SimDuration, SimTime, Traffic,
@@ -77,6 +78,21 @@ pub struct RunOutcome {
     /// Hot-path reallocations of the per-node payload table (pinned to
     /// zero by the scale regression tests — the table is pre-sized).
     pub payload_vec_growths: u32,
+    /// Publish→delivery latency histogram over messages published in the
+    /// steady-state window (log-bucketed, O(1) memory, ≤ 1/32 relative
+    /// error on the percentiles; see [`egm_metrics::LatencyHistogram`]).
+    /// With `arrival: None` the window is the whole traffic phase, so
+    /// this covers every delivery.
+    pub latency: LatencyHistogram,
+    /// Steady-state throughput block: post-warm-up window bounds, the
+    /// messages published and delivered within it, and the corresponding
+    /// rates per simulated second.
+    pub steady: SteadyState,
+    /// Largest link-accumulator working set the shard-merge path held at
+    /// any instant while folding per-shard traffic (zero for sequential
+    /// runs and unbounded merges; bounded by the spill threshold
+    /// otherwise — the shard-mode spool regression pins this).
+    pub traffic_acc_peak: usize,
     /// Sharded-engine counters: worker count, effective partition
     /// strategy, window lookahead (configured and realized), windows
     /// executed, cross-shard lane events/flushes/skips, and per-shard
@@ -159,6 +175,13 @@ impl Engine {
         match self {
             Engine::Seq(s) => Box::new(s.nodes()),
             Engine::Sharded(s) => Box::new(s.nodes()),
+        }
+    }
+
+    fn nodes_mut(&mut self) -> Box<dyn Iterator<Item = (NodeId, &mut EgmNode)> + '_> {
+        match self {
+            Engine::Seq(s) => Box::new(s.nodes_mut()),
+            Engine::Sharded(s) => Box::new(s.nodes_mut()),
         }
     }
 
@@ -449,6 +472,25 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
 
     let best_ids = best.as_ref().map(|b| b.best_ids()).unwrap_or_default();
 
+    // Closed-loop arrival installs a publish chain on every node before
+    // the engine is built: the chain is part of node state, and a
+    // silenced or churned publisher would stall it, so those axes are
+    // mutually exclusive with this mode.
+    let chain_think = match scenario.arrival {
+        Some(Arrival::Closed { think_ms }) => {
+            assert!(
+                scenario.faults.is_none() && scenario.churn.is_none(),
+                "closed-loop arrival requires a fault-free, churn-free scenario"
+            );
+            assert!(
+                think_ms.is_finite() && think_ms >= 0.0,
+                "think time must be finite and non-negative"
+            );
+            Some(SimDuration::from_ms(think_ms))
+        }
+        _ => None,
+    };
+
     // Build nodes over the bootstrapped overlay.
     if scenario.protocol.shuffle_interval.is_none() {
         for v in &mut views {
@@ -464,13 +506,22 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
                 strategy = Noisy::boxed(strategy, noise.c, noise.o);
             }
             let monitor = scenario.monitor.build(Some(&model));
-            EgmNode::new(
+            let mut node = EgmNode::new(
                 NodeId(i),
                 scenario.protocol.clone(),
                 view,
                 strategy,
                 monitor,
-            )
+            );
+            if let Some(think) = chain_think {
+                node.set_publish_chain(PublishChain {
+                    index: i as u64,
+                    senders: n as u64,
+                    total: scenario.messages as u64,
+                    think,
+                });
+            }
+            node
         })
         .collect();
 
@@ -522,42 +573,96 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
         sim.schedule_silence(warmup_end, v);
     }
 
-    // Traffic: live nodes multicast round-robin (§5.3).
+    // Traffic: live nodes multicast round-robin (§5.3), driven by the
+    // scenario's arrival mode.
     let senders: Vec<NodeId> = (0..n)
         .map(NodeId)
         .filter(|id| !victims.contains(id))
         .collect();
-    let schedule = traffic::plan(
-        &senders,
-        scenario.messages,
-        warmup_end,
-        scenario.mean_interval_ms,
-        &mut rng,
-    );
-    for p in &schedule {
-        sim.schedule_command(p.at, p.source, p.seq);
-    }
-    let end =
-        schedule.last().expect("non-empty schedule").at + SimDuration::from_ms(scenario.drain_ms);
-
-    // Transient churn (extension): periodic silence + revive cycles among
-    // non-victim nodes while traffic flows.
-    if let Some(churn) = scenario.churn {
-        let window = (end - warmup_end).as_ms();
-        for k in 1..=churn.events_within(window) {
-            let mut node = churn.victim(n, &mut rng);
-            while victims.contains(&node) {
-                node = churn.victim(n, &mut rng);
+    if chain_think.is_some() {
+        // Closed loop: seed sequence 0 at its round-robin owner; every
+        // later publish is self-scheduled by the chain, so the end time
+        // is a function of dissemination latency discovered by running.
+        sim.schedule_command(warmup_end, NodeId(0), 0);
+        run_closed_loop(&mut sim, scenario, warmup_end);
+    } else {
+        let schedule = match &scenario.arrival {
+            Some(Arrival::Open(process)) => {
+                arrival::plan(process, &senders, scenario.messages, warmup_end, &mut rng)
             }
-            let down = warmup_end + SimDuration::from_ms(k as f64 * churn.period_ms);
-            sim.schedule_silence(down, node);
-            sim.schedule_revive(down + SimDuration::from_ms(churn.down_ms), node);
+            _ => traffic::plan(
+                &senders,
+                scenario.messages,
+                warmup_end,
+                scenario.mean_interval_ms,
+                &mut rng,
+            ),
+        };
+        for p in &schedule {
+            sim.schedule_command(p.at, p.source, p.seq);
         }
-    }
+        let end = schedule.last().expect("non-empty schedule").at
+            + SimDuration::from_ms(scenario.drain_ms);
 
-    sim.run_until(end);
+        // Transient churn (extension): periodic silence + revive cycles
+        // among non-victim nodes while traffic flows.
+        if let Some(churn) = scenario.churn {
+            let window = (end - warmup_end).as_ms();
+            for k in 1..=churn.events_within(window) {
+                let mut node = churn.victim(n, &mut rng);
+                while victims.contains(&node) {
+                    node = churn.victim(n, &mut rng);
+                }
+                let down = warmup_end + SimDuration::from_ms(k as f64 * churn.period_ms);
+                sim.schedule_silence(down, node);
+                sim.schedule_revive(down + SimDuration::from_ms(churn.down_ms), node);
+            }
+        }
+
+        sim.run_until(end);
+    }
 
     collect(scenario, sim, model, victims, best_ids)
+}
+
+/// Runs a closed-loop scenario to completion: the deadline is unknown up
+/// front (each publish waits on the previous delivery), so the engine
+/// advances in fixed chunks until every message has been multicast —
+/// with a stall guard, since a break in the chain would otherwise spin
+/// forever — then drains from the last multicast.
+///
+/// The chunk deadlines are a pure function of the scenario, so chunked
+/// execution stays byte-identical across engines and shard widths.
+fn run_closed_loop(sim: &mut Engine, scenario: &Scenario, start: SimTime) {
+    let chunk = SimDuration::from_ms(5_000.0);
+    let mut deadline = start;
+    let mut last_done = 0usize;
+    let mut quiet = 0u32;
+    loop {
+        deadline += chunk;
+        sim.run_until(deadline);
+        let done: usize = sim.nodes().map(|(_, node)| node.multicasts().len()).sum();
+        if done >= scenario.messages {
+            break;
+        }
+        if done == last_done {
+            quiet += 1;
+            assert!(
+                quiet < 64,
+                "closed-loop run stalled at {done}/{} messages ({quiet} quiet chunks of {} ms)",
+                scenario.messages,
+                chunk.as_ms()
+            );
+        } else {
+            quiet = 0;
+            last_done = done;
+        }
+    }
+    let last = sim
+        .nodes()
+        .flat_map(|(_, node)| node.multicasts().iter().map(|m| m.time))
+        .fold(start, |a, b| if b > a { b } else { a });
+    sim.run_until(last + SimDuration::from_ms(scenario.drain_ms));
 }
 
 /// Gathers node-side and network-side records into the outcome.
@@ -573,6 +678,14 @@ fn collect(
     sim.seal_traffic();
     let n = sim.node_count();
 
+    // Messages published near the end of the run can carry retire
+    // horizons past the last event; sweep the remaining FIFOs so
+    // `retired_messages` accounts for every retirable slot (a no-op when
+    // retirement is off).
+    for (_, node) in sim.nodes_mut() {
+        node.sweep_retirements();
+    }
+
     // Rebuild the delivery log from per-node records.
     let mut sends: Vec<Option<(usize, f64)>> = vec![None; scenario.messages];
     for (id, node) in sim.nodes() {
@@ -586,11 +699,43 @@ fn collect(
         let idx = log.record_multicast(source, time);
         debug_assert_eq!(idx, seq);
     }
+
+    // Tail-latency histogram over the steady-state window: publish →
+    // delivery for every message published after the arrival process's
+    // analytic warm-up. Pure counter accumulation, so the node iteration
+    // order (global for the sequential engine, shard-major for the
+    // sharded one) cannot perturb it.
+    let window_start_ms = scenario.warmup_ms
+        + match &scenario.arrival {
+            Some(Arrival::Open(process)) => process.warmup_ms(),
+            _ => 0.0,
+        };
+    let window_end_ms = sim.now().as_ms();
+    let mut latency = LatencyHistogram::new();
+    let mut window_deliveries = 0u64;
     for (id, node) in sim.nodes() {
         for d in node.deliveries() {
+            let sent_ms = sends[d.seq as usize].expect("checked above").1;
+            if sent_ms >= window_start_ms {
+                latency.record_ms(d.time.as_ms() - sent_ms);
+                window_deliveries += 1;
+            }
             log.record_delivery(d.seq as usize, id.index(), d.time.as_ms(), d.round);
         }
     }
+    let window_published = sends
+        .iter()
+        .filter(|s| s.expect("checked above").1 >= window_start_ms)
+        .count();
+    let span_s = ((window_end_ms - window_start_ms) / 1000.0).max(f64::MIN_POSITIVE);
+    let steady = SteadyState {
+        window_start_ms,
+        window_end_ms,
+        published: window_published,
+        delivered: window_deliveries,
+        publishes_per_sec: window_published as f64 / span_s,
+        deliveries_per_sec: window_deliveries as f64 / span_s,
+    };
 
     let mut scheduler = SchedulerStats::default();
     let mut retired_messages = 0u64;
@@ -689,6 +834,9 @@ fn collect(
         arena_high_water,
         traffic_spill_bytes: traffic.spool_bytes(),
         payload_vec_growths: traffic.node_payload_growths(),
+        latency,
+        steady,
+        traffic_acc_peak: traffic.shard_merge_acc_peak(),
         model,
     }
 }

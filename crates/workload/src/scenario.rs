@@ -1,5 +1,6 @@
 //! Scenario description: everything one experiment run needs.
 
+use crate::arrival::Arrival;
 use crate::faults::{ChurnPlan, FaultPlan};
 use egm_core::{MonitorSpec, ProtocolConfig, RankSource, StrategySpec};
 use egm_metrics::RunReport;
@@ -101,8 +102,14 @@ pub struct Scenario {
     /// Number of multicast messages (400 in §5.3).
     pub messages: usize,
     /// Mean interval between multicasts in ms (500 in §5.3; actual gaps
-    /// are uniform in `[0, 2 × mean)`).
+    /// are uniform in `[0, 2 × mean)`). Ignored when [`Scenario::arrival`]
+    /// is set.
     pub mean_interval_ms: f64,
+    /// Heavy-traffic workload axis (`None` = the historical uniform-gap
+    /// plan, byte-identical to pre-arrival builds): an open-loop arrival
+    /// process at a fixed offered rate, or a closed loop gating each
+    /// publish on the previous delivery. See [`crate::arrival`].
+    pub arrival: Option<Arrival>,
     /// Warm-up time before traffic starts (overlay joins and shuffles).
     pub warmup_ms: f64,
     /// Drain time after the last multicast before measurement stops.
@@ -186,6 +193,7 @@ impl Scenario {
             churn: None,
             messages: 400,
             mean_interval_ms: 500.0,
+            arrival: None,
             warmup_ms: 3000.0,
             drain_ms: 5000.0,
             loss: 0.0,
@@ -325,6 +333,12 @@ impl Scenario {
     /// Sets the message count (builder style).
     pub fn with_messages(mut self, messages: usize) -> Self {
         self.messages = messages;
+        self
+    }
+
+    /// Selects the arrival mode (builder style); see [`Scenario::arrival`].
+    pub fn with_arrival(mut self, arrival: Option<Arrival>) -> Self {
+        self.arrival = arrival;
         self
     }
 

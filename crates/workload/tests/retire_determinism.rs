@@ -48,6 +48,30 @@ fn assert_outcomes_match(a: &RunOutcome, b: &RunOutcome, label: &str) {
     assert_eq!(a.stale_timer_drops, b.stale_timer_drops, "({label})");
 }
 
+/// End-of-run sweep regression: messages published near the end of the
+/// run carry retire horizons past the last simulated event, so without
+/// the runner's seal-time sweep their slots would stay accounted as
+/// live. With the sweep, every stored slot retires — one per delivery,
+/// exactly — even when the drain is far shorter than the horizon.
+#[test]
+fn end_of_run_sweep_retires_every_stored_slot() {
+    let mut scenario = stretched_scenario(3);
+    // Drain (2 s) ≪ horizon (10 s): the last messages' horizons lie past
+    // the end of the run, the exact shape the sweep exists for.
+    scenario.drain_ms = 2_000.0;
+    let outcome = run_detailed(&scenario, None);
+    assert!(
+        outcome.report.mean_delivery_fraction > 0.99,
+        "{}",
+        outcome.report
+    );
+    assert_eq!(
+        outcome.retired_messages,
+        outcome.log.total_deliveries(),
+        "every stored slot must retire once the run is sealed"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
 
