@@ -120,6 +120,21 @@
 //!   assertion — the CI sustained smoke job's regression guard;
 //!   `EGM_SUSTAINED_PROCESS` / `EGM_SUSTAINED_RATE` select the arrival
 //!   process (poisson / bursty / diurnal) and offered rate.
+//! * `fault_resilience_<preset>` — the scheduled-fault resilience grid
+//!   (`cargo run --release -p egm_bench --bin fault_resilience`): every
+//!   [`FaultScenarioKind`](egm_workload::FaultScenarioKind) — baseline,
+//!   correlated domain outage, transit-link degradation, flash crowd,
+//!   node slowdown — against every churn level (none / light / heavy
+//!   overlapping outages), with online re-ranking active. One sub-object
+//!   per `<scenario>_<churn>` cell holding `delivery` (mean delivery
+//!   fraction), `hub_stability` (overlap between the initial and final
+//!   re-ranked hub sets), and the steady-state `p99_ms`
+//!   publish→delivery latency; plus the grid `cells` count, `sweep_ms`
+//!   and `peak_rss_mb`. The bin re-runs the harshest cell (domain
+//!   outage × heavy churn) at every `EGM_SHARD_WIDTHS` width and
+//!   *asserts* byte-identity with the sequential engine.
+//!   `EGM_MIN_DELIVERY_RATIO` turns every cell's delivery ratio into a
+//!   floor assertion — the CI fault smoke job's regression guard.
 //! * `queue_events_per_sec_<preset>` — the event-queue A/B comparison
 //!   (`cargo run --release -p egm_bench --bin queue_events_per_sec`):
 //!   one scale preset run per queue implementation over a shared

@@ -229,6 +229,13 @@ impl EgmNode {
         self.strategy.label()
     }
 
+    /// Hands the node a freshly re-ranked best set (online re-ranking
+    /// under churn); rank-free strategies ignore it. See
+    /// [`TransmissionStrategy::rebind_best`].
+    pub fn rebind_best(&mut self, best: std::sync::Arc<crate::rank::BestSet>) {
+        self.strategy.rebind_best(best);
+    }
+
     /// The node's performance monitor.
     pub fn monitor(&self) -> &Monitor {
         &self.monitor

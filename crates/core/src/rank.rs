@@ -109,6 +109,77 @@ impl RankSource {
             }
         }
     }
+
+    /// Computes the best set over `model` with a churn mask: nodes with
+    /// `down[i] == true` take no part in the ranking — they contribute no
+    /// measurements, are invisible to live nodes' probes, and are
+    /// excluded from hub candidacy. The hub count is `fraction` of the
+    /// live population. This is the online re-rank entry point: the
+    /// runner calls it mid-warm-up with the currently-down node set.
+    ///
+    /// With an all-false mask every source matches
+    /// [`RankSource::best_set`] byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`RankSource::best_set`]'s conditions, if the mask
+    /// length differs from the client count, or if every node is down.
+    pub fn best_set_excluding(
+        &self,
+        model: &RoutedModel,
+        fraction: f64,
+        view: &ViewConfig,
+        seed: u64,
+        down: &[bool],
+    ) -> BestSet {
+        let n = model.client_count();
+        assert_eq!(down.len(), n, "one down flag per client");
+        match self {
+            RankSource::Oracle => {
+                // Exact centrality over the live sub-population.
+                let live: Vec<usize> = (0..n).filter(|&i| !down[i]).collect();
+                assert!(live.len() >= 2, "need at least two live clients to rank");
+                let scores: Vec<f64> = (0..n)
+                    .map(|i| {
+                        if down[i] {
+                            return f64::MAX;
+                        }
+                        let total: f64 = live
+                            .iter()
+                            .filter(|&&j| j != i)
+                            .map(|&j| model.latency_ms(i, j))
+                            .sum();
+                        total / (live.len() - 1) as f64
+                    })
+                    .collect();
+                BestSet::from_scores_excluding(&scores, fraction, down)
+            }
+            RankSource::Sampled { samples_per_node } => {
+                // Sampled centrality over live peers only: each live node
+                // probes `samples_per_node` distinct live peers. Down
+                // nodes consume no RNG draws (they are not running).
+                assert!(*samples_per_node > 0, "need at least one sample per node");
+                let live: Vec<usize> = (0..n).filter(|&i| !down[i]).collect();
+                assert!(live.len() >= 2, "need at least two live clients to rank");
+                let mut rng = egm_rng::Rng::seed_from_u64(seed);
+                let mut scores = vec![f64::MAX; n];
+                for (li, &i) in live.iter().enumerate() {
+                    let k = (*samples_per_node).min(live.len() - 1);
+                    let mut total = 0.0;
+                    for idx in egm_rng::sample::distinct_indices(&mut rng, live.len() - 1, k) {
+                        let peer = live[if idx >= li { idx + 1 } else { idx }];
+                        total += model.latency_ms(i, peer);
+                    }
+                    scores[i] = total / k as f64;
+                }
+                BestSet::from_scores_excluding(&scores, fraction, down)
+            }
+            RankSource::GossipSorted { rounds } => {
+                let mut rng = egm_rng::Rng::seed_from_u64(seed);
+                BestSet::by_gossip_sorted_excluding(model, fraction, view, *rounds, down, &mut rng)
+            }
+        }
+    }
 }
 
 /// The shared set of best nodes (hubs).
@@ -229,6 +300,50 @@ impl BestSet {
         BestSet { flags }
     }
 
+    /// [`BestSet::from_scores`] restricted to *live* nodes: entries with
+    /// `down[i] == true` are excluded from hub candidacy entirely, and
+    /// the hub count is `fraction` of the live population (at least one),
+    /// so the hub share among live nodes is preserved as churn removes
+    /// candidates. Scores of down nodes are ignored (they may hold any
+    /// value, finite or not).
+    ///
+    /// This is the re-rank primitive of online re-ranking under churn:
+    /// the runner recomputes hubs mid-warm-up with the currently-down
+    /// node set masked out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` and `down` differ in length, every node is
+    /// down, a live score is non-finite, or `fraction` is outside
+    /// `(0, 1]`.
+    pub fn from_scores_excluding(scores: &[f64], fraction: f64, down: &[bool]) -> Self {
+        assert_eq!(scores.len(), down.len(), "one down flag per score");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        let n = scores.len();
+        let mut order: Vec<usize> = (0..n).filter(|&i| !down[i]).collect();
+        assert!(!order.is_empty(), "cannot rank with every node down");
+        assert!(
+            order.iter().all(|&i| scores[i].is_finite()),
+            "non-finite score"
+        );
+        let live = order.len();
+        order.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .expect("finite scores")
+                .then(a.cmp(&b))
+        });
+        let k = ((live as f64 * fraction).round() as usize).clamp(1, live);
+        let mut flags = vec![false; n];
+        for &i in &order[..k] {
+            flags[i] = true;
+        }
+        BestSet { flags }
+    }
+
     /// Decentralized approximation of [`BestSet::by_centrality`]: each
     /// node estimates its own centrality as the mean latency to
     /// `samples_per_node` random peers (what a local latency monitor
@@ -307,15 +422,52 @@ impl BestSet {
         rounds: usize,
         rng: &mut egm_rng::Rng,
     ) -> Self {
+        let down = vec![false; model.client_count()];
+        Self::by_gossip_sorted_excluding(model, fraction, view, rounds, &down, rng)
+    }
+
+    /// [`BestSet::by_gossip_sorted`] with a churn mask: nodes with
+    /// `down[i] == true` are failed — they send no pings, answer none
+    /// (no pong, so live nodes record no RTT against them), and neither
+    /// initiate nor answer shuffles. Down nodes are excluded from hub
+    /// candidacy and the hub count is `fraction` of the live population
+    /// (see [`BestSet::from_scores_excluding`]). A live node whose every
+    /// observed peer is down scores `f64::MAX` and ranks last.
+    ///
+    /// With an all-false mask this is exactly [`BestSet::by_gossip_sorted`]
+    /// — same RNG draws, byte-identical result (the pinned determinism
+    /// test covers the delegation).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`BestSet::by_gossip_sorted`]'s conditions, if the
+    /// mask length differs from the client count, or if every node is
+    /// down.
+    pub fn by_gossip_sorted_excluding(
+        model: &RoutedModel,
+        fraction: f64,
+        view: &ViewConfig,
+        rounds: usize,
+        down: &[bool],
+        rng: &mut egm_rng::Rng,
+    ) -> Self {
         assert!(rounds > 0, "need at least one gossip round");
         let n = model.client_count();
         assert!(n >= 2, "need at least two clients to rank");
+        assert_eq!(down.len(), n, "one down flag per client");
         let mut views: Vec<PartialView> = bootstrap_views(n, view, rng);
         let mut monitors: Vec<RuntimeMonitor> = vec![RuntimeMonitor::new(); n];
         for round in 0..rounds {
-            // Measure: ping every peer the current view exposes.
+            // Measure: ping every *live* peer the current view exposes
+            // (a down peer never pongs, so no RTT sample lands).
             for (i, view) in views.iter().enumerate() {
+                if down[i] {
+                    continue;
+                }
                 for &p in view.peers() {
+                    if down[p.index()] {
+                        continue;
+                    }
                     let rtt = model.latency_ms(i, p.index()) + model.latency_ms(p.index(), i);
                     monitors[i].record_rtt(p, rtt);
                 }
@@ -323,13 +475,20 @@ impl BestSet {
             // Shuffle: several Cyclon exchange ticks per node, in node
             // order (the simulator serializes concurrent shuffles the
             // same way), so the next measurement sees a mostly fresh
-            // view instead of re-pinging known peers.
+            // view instead of re-pinging known peers. Down nodes neither
+            // initiate nor answer.
             if round + 1 < rounds {
                 for _ in 0..Self::SHUFFLES_PER_ROUND {
                     for i in 0..n {
+                        if down[i] {
+                            continue;
+                        }
                         let Some((partner, request)) = views[i].start_shuffle(rng) else {
                             continue;
                         };
+                        if down[partner.index()] {
+                            continue; // request vanishes; no reply
+                        }
                         let (initiator, target) = pair_mut(&mut views, i, partner.index());
                         if let Some((back, reply)) = target.handle_shuffle(rng, NodeId(i), request)
                         {
@@ -342,12 +501,9 @@ impl BestSet {
         }
         let scores: Vec<f64> = monitors
             .iter()
-            .map(|m| {
-                m.mean_one_way_ms()
-                    .expect("bootstrapped views are non-empty for n >= 2")
-            })
+            .map(|m| m.mean_one_way_ms().unwrap_or(f64::MAX))
             .collect();
-        BestSet::from_scores(&scores, fraction)
+        BestSet::from_scores_excluding(&scores, fraction, down)
     }
 
     /// Fraction of this set's best nodes that are also best in `other`
@@ -656,6 +812,94 @@ mod tests {
                 NodeId(22)
             ]
         );
+    }
+
+    #[test]
+    fn from_scores_excluding_masks_down_nodes() {
+        // Node 1 has the best score but is down: it must not rank. Hub
+        // count follows the live population: 3 live × 0.5 rounds to 2.
+        let best = BestSet::from_scores_excluding(
+            &[5.0, 1.0, 3.0, 2.0],
+            0.5,
+            &[false, true, false, false],
+        );
+        assert_eq!(best.best_ids(), vec![NodeId(2), NodeId(3)]);
+        // Down scores may be garbage without tripping the finite check.
+        let best = BestSet::from_scores_excluding(
+            &[5.0, f64::NAN, 3.0, 2.0],
+            0.5,
+            &[false, true, false, false],
+        );
+        assert!(!best.is_best(NodeId(1)));
+    }
+
+    #[test]
+    fn from_scores_excluding_matches_plain_with_empty_mask() {
+        let scores = [5.0, 1.0, 3.0, 2.0];
+        assert_eq!(
+            BestSet::from_scores_excluding(&scores, 0.5, &[false; 4]),
+            BestSet::from_scores(&scores, 0.5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "every node down")]
+    fn from_scores_excluding_rejects_total_outage() {
+        let _ = BestSet::from_scores_excluding(&[1.0, 2.0], 0.5, &[true, true]);
+    }
+
+    #[test]
+    fn excluding_sources_match_plain_with_empty_mask() {
+        use super::RankSource;
+        use egm_membership::ViewConfig;
+        let model = RoutedModel::planar_synthetic(40, 100.0, 1.0, 13);
+        let view = ViewConfig::default();
+        let down = vec![false; 40];
+        for source in [
+            RankSource::Oracle,
+            RankSource::Sampled {
+                samples_per_node: 16,
+            },
+            RankSource::GossipSorted { rounds: 4 },
+        ] {
+            assert_eq!(
+                source.best_set_excluding(&model, 0.2, &view, 7, &down),
+                source.best_set(&model, 0.2, &view, 7),
+                "{} must be byte-identical with an all-false mask",
+                source.label()
+            );
+        }
+    }
+
+    #[test]
+    fn excluding_sources_never_rank_down_nodes() {
+        use super::RankSource;
+        use egm_membership::ViewConfig;
+        let model = RoutedModel::planar_synthetic(40, 100.0, 1.0, 13);
+        let view = ViewConfig::default();
+        // Fail the oracle's entire hub set; the re-rank must promote
+        // replacements from the live population.
+        let oracle = RankSource::Oracle.best_set(&model, 0.2, &view, 1);
+        let mut down = vec![false; 40];
+        for id in oracle.best_ids() {
+            down[id.index()] = true;
+        }
+        let live = down.iter().filter(|&&d| !d).count();
+        for source in [
+            RankSource::Oracle,
+            RankSource::Sampled {
+                samples_per_node: 16,
+            },
+            RankSource::GossipSorted { rounds: 4 },
+        ] {
+            let set = source.best_set_excluding(&model, 0.2, &view, 7, &down);
+            for id in set.best_ids() {
+                assert!(!down[id.index()], "{}: down node ranked", source.label());
+            }
+            assert_eq!(set.best_count(), ((live as f64) * 0.2).round() as usize);
+            // Deterministic: same inputs, same hubs.
+            assert_eq!(set, source.best_set_excluding(&model, 0.2, &view, 7, &down));
+        }
     }
 
     #[test]

@@ -74,6 +74,10 @@ impl TransmissionStrategy for Combined {
         nearest_source(ctx, sources)
     }
 
+    fn rebind_best(&mut self, best: Arc<BestSet>) {
+        self.best = best;
+    }
+
     fn label(&self) -> String {
         format!(
             "combined rho={:.1} u={} best={}",

@@ -102,6 +102,15 @@ pub trait TransmissionStrategy: std::fmt::Debug + Send {
         let _ = from;
     }
 
+    /// Replaces the strategy's shared [`BestSet`], if it holds one — the
+    /// online re-ranking hook: when hubs are re-ranked mid-run (e.g.
+    /// under churn) every node is handed the fresh set through this
+    /// method. Strategies without rank state (Flat, TTL, Radius,
+    /// Adaptive) ignore it.
+    fn rebind_best(&mut self, best: Arc<BestSet>) {
+        let _ = best;
+    }
+
     /// Human-readable label for reports.
     fn label(&self) -> String;
 }

@@ -2,7 +2,9 @@
 
 use super::{StrategyCtx, TransmissionStrategy};
 use crate::id::MsgId;
+use crate::rank::BestSet;
 use egm_simnet::{NodeId, SimDuration};
+use std::sync::Arc;
 
 /// Wraps a strategy and blurs its `Eager?` decisions without changing the
 /// expected amount of eager traffic.
@@ -85,6 +87,10 @@ impl<S: TransmissionStrategy> TransmissionStrategy for Noisy<S> {
         self.inner.on_duplicate(from);
     }
 
+    fn rebind_best(&mut self, best: Arc<BestSet>) {
+        self.inner.rebind_best(best);
+    }
+
     fn label(&self) -> String {
         format!("{} noise={:.0}%", self.inner.label(), self.o * 100.0)
     }
@@ -127,6 +133,10 @@ impl TransmissionStrategy for Box<dyn TransmissionStrategy> {
 
     fn on_duplicate(&mut self, from: NodeId) {
         (**self).on_duplicate(from);
+    }
+
+    fn rebind_best(&mut self, best: Arc<BestSet>) {
+        (**self).rebind_best(best);
     }
 
     fn label(&self) -> String {

@@ -50,6 +50,10 @@ impl TransmissionStrategy for Ranked {
         self.best.is_best(ctx.me) || self.best.is_best(to)
     }
 
+    fn rebind_best(&mut self, best: Arc<BestSet>) {
+        self.best = best;
+    }
+
     fn label(&self) -> String {
         format!("ranked best={}", self.best.best_count())
     }

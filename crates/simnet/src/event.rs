@@ -24,7 +24,7 @@
 //! and the `EGM_EVENT_QUEUE` environment variable.
 
 use crate::sim::TimerToken;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
 use std::cmp::Ordering;
 
@@ -49,6 +49,13 @@ pub(crate) enum EventKind<M> {
     Silence(NodeId),
     /// Revive a previously silenced node.
     Revive(NodeId),
+    /// Set the transit-link degradation state: a latency multiplier and
+    /// an extra loss probability applied to cross-domain traffic
+    /// (fault injection; `1.0` / `0.0` restores the healthy network).
+    Degrade { latency_mult: f64, extra_loss: f64 },
+    /// Set a node's processing slowdown: an additive receive-side delay
+    /// (fault injection; `ZERO` restores full speed).
+    Slowdown { node: NodeId, delay: SimDuration },
 }
 
 /// A scheduled item; ordering is by `(time, seq)`, making the simulation

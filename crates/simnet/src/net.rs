@@ -322,6 +322,19 @@ pub struct Network {
     silenced: Vec<bool>,
     /// Time each node's uplink becomes free (egress-bandwidth model).
     egress_free: Vec<SimTime>,
+    /// Transit degradation: latency multiplier on cross-domain base
+    /// delays (`1.0` = healthy). Never below `1.0`, so the sharded
+    /// engine's conservative lookahead stays a valid lower bound.
+    degrade_mult: f64,
+    /// Transit degradation: extra independent drop probability on
+    /// cross-domain traffic, combined with the configured loss as
+    /// `1 − (1−loss)(1−extra)` so it still costs exactly one RNG draw.
+    degrade_loss: f64,
+    /// Per-node processing slowdown added to the delivery delay of all
+    /// traffic *into* the node (receive-side; `ZERO` = full speed).
+    slowdown: Vec<SimDuration>,
+    /// Cheap guard: true while any `slowdown` entry is non-zero.
+    any_slowdown: bool,
 }
 
 impl Network {
@@ -332,6 +345,10 @@ impl Network {
             config,
             silenced: vec![false; n],
             egress_free: vec![SimTime::ZERO; n],
+            degrade_mult: 1.0,
+            degrade_loss: 0.0,
+            slowdown: vec![SimDuration::ZERO; n],
+            any_slowdown: false,
         }
     }
 
@@ -357,6 +374,26 @@ impl Network {
         }
     }
 
+    /// Whether traffic between `from` and `to` crosses the transit core
+    /// (and is therefore subject to transit degradation). Self-sends
+    /// never cross; on a routed model two clients cross iff they live in
+    /// different stub domains; structureless sources (uniform, dense
+    /// matrix) treat every distinct pair as crossing.
+    pub fn cross_transit(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return false;
+        }
+        match &self.config.delay {
+            DelaySource::Uniform { .. } => true,
+            DelaySource::Model(m) => {
+                match (m.client_domain(from.index()), m.client_domain(to.index())) {
+                    (Some(a), Some(b)) => a != b,
+                    _ => true,
+                }
+            }
+        }
+    }
+
     /// Decides the fate of one message of `bytes` sent at `now`:
     /// `Some(delay)` to deliver after `delay` (queueing + serialization +
     /// propagation), `None` if dropped by loss or silencing.
@@ -371,10 +408,23 @@ impl Network {
         if self.silenced[from.index()] || self.silenced[to.index()] {
             return None;
         }
-        if self.config.loss > 0.0 && rng.bool(self.config.loss) {
+        let degraded = self.degrade_loss > 0.0 || self.degrade_mult > 1.0;
+        let cross = degraded && self.cross_transit(from, to);
+        // Degraded cross-transit traffic combines the extra loss with the
+        // base loss into a single Bernoulli draw, keeping the per-sender
+        // RNG stream aligned with the healthy network's draw count.
+        let loss = if cross && self.degrade_loss > 0.0 {
+            1.0 - (1.0 - self.config.loss) * (1.0 - self.degrade_loss)
+        } else {
+            self.config.loss
+        };
+        if loss > 0.0 && rng.bool(loss) {
             return None;
         }
-        let base = self.base_delay(from, to);
+        let mut base = self.base_delay(from, to);
+        if cross && self.degrade_mult > 1.0 {
+            base = base.mul_f64(self.degrade_mult);
+        }
         let propagation = if self.config.jitter > 0.0 {
             let factor = rng.range_f64(1.0 - self.config.jitter, 1.0 + self.config.jitter);
             base.mul_f64(factor)
@@ -390,6 +440,9 @@ impl Network {
             let depart_done = if free > now { free } else { now } + serialization;
             self.egress_free[from.index()] = depart_done;
             delay = (depart_done - now) + propagation;
+        }
+        if self.any_slowdown {
+            delay = delay + self.slowdown[to.index()];
         }
         Some(if delay < self.config.min_delay {
             self.config.min_delay
@@ -417,6 +470,55 @@ impl Network {
     /// Panics if the node is out of range.
     pub fn revive(&mut self, node: NodeId) {
         self.silenced[node.index()] = false;
+    }
+
+    /// Sets the transit degradation state: cross-domain base delays are
+    /// multiplied by `latency_mult` and cross-domain messages suffer an
+    /// extra independent drop probability `extra_loss`. `(1.0, 0.0)`
+    /// restores the healthy network.
+    ///
+    /// The multiplier can only *lengthen* delays (≥ 1.0), so the sharded
+    /// engine's conservative lookahead — a lower bound on cross-shard
+    /// delivery delay — remains valid under degradation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency_mult < 1.0` or is non-finite, or `extra_loss`
+    /// is outside `[0, 1]`.
+    pub fn degrade_transit(&mut self, latency_mult: f64, extra_loss: f64) {
+        assert!(
+            latency_mult.is_finite() && latency_mult >= 1.0,
+            "degradation may only lengthen delays"
+        );
+        assert!(
+            (0.0..=1.0).contains(&extra_loss),
+            "extra loss must be a probability"
+        );
+        self.degrade_mult = latency_mult;
+        self.degrade_loss = extra_loss;
+    }
+
+    /// The current transit degradation state as
+    /// `(latency_mult, extra_loss)`; `(1.0, 0.0)` when healthy.
+    pub fn degradation(&self) -> (f64, f64) {
+        (self.degrade_mult, self.degrade_loss)
+    }
+
+    /// Sets `node`'s processing slowdown: `delay` is added to the
+    /// delivery delay of every message *into* the node. `ZERO` restores
+    /// full speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn slow_down(&mut self, node: NodeId, delay: SimDuration) {
+        self.slowdown[node.index()] = delay;
+        self.any_slowdown = self.slowdown.iter().any(|&d| d > SimDuration::ZERO);
+    }
+
+    /// The node's current processing slowdown.
+    pub fn slowdown_of(&self, node: NodeId) -> SimDuration {
+        self.slowdown[node.index()]
     }
 
     /// Whether the node is currently silenced.
@@ -567,5 +669,74 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_loss_panics() {
         let _ = SimConfig::uniform(2, 5.0).with_loss(1.5);
+    }
+
+    #[test]
+    fn transit_degradation_slows_and_drops_cross_traffic() {
+        // Uniform topology: every distinct pair counts as cross-transit.
+        let mut net = Network::new(SimConfig::uniform(2, 10.0));
+        let mut rng = Rng::seed_from_u64(7);
+        net.degrade_transit(3.0, 0.0);
+        assert_eq!(net.degradation(), (3.0, 0.0));
+        let d = tx(&mut net, &mut rng, 0, 1).expect("no loss").as_ms();
+        assert_eq!(d, 30.0);
+        net.degrade_transit(1.0, 1.0);
+        assert!(tx(&mut net, &mut rng, 0, 1).is_none());
+        net.degrade_transit(1.0, 0.0);
+        assert_eq!(tx(&mut net, &mut rng, 0, 1).unwrap().as_ms(), 10.0);
+    }
+
+    #[test]
+    fn degradation_spares_intra_domain_traffic() {
+        use egm_topology::TransitStubConfig;
+        let model = TransitStubConfig::small()
+            .with_clients(16)
+            .with_seed(3)
+            .build();
+        let n = model.client_count();
+        let dom = |i: usize| model.client_domain(i).expect("routed model");
+        let intra = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && dom(a) == dom(b))
+            .expect("some domain holds two clients");
+        let cross = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .find(|&(a, b)| dom(a) != dom(b))
+            .expect("more than one domain");
+        let mut net = Network::new(SimConfig::from_model(model));
+        assert!(!net.cross_transit(NodeId(intra.0), NodeId(intra.1)));
+        assert!(net.cross_transit(NodeId(cross.0), NodeId(cross.1)));
+        let mut rng = Rng::seed_from_u64(9);
+        let intra_before = tx(&mut net, &mut rng, intra.0, intra.1).unwrap();
+        let cross_before = tx(&mut net, &mut rng, cross.0, cross.1).unwrap();
+        net.degrade_transit(2.0, 0.0);
+        assert_eq!(
+            tx(&mut net, &mut rng, intra.0, intra.1).unwrap(),
+            intra_before
+        );
+        assert_eq!(
+            tx(&mut net, &mut rng, cross.0, cross.1).unwrap(),
+            cross_before.mul_f64(2.0)
+        );
+    }
+
+    #[test]
+    fn slowdown_adds_receive_side_delay() {
+        let mut net = Network::new(SimConfig::uniform(2, 10.0));
+        let mut rng = Rng::seed_from_u64(8);
+        net.slow_down(NodeId(1), SimDuration::from_ms(5.0));
+        assert_eq!(net.slowdown_of(NodeId(1)), SimDuration::from_ms(5.0));
+        assert_eq!(tx(&mut net, &mut rng, 0, 1).unwrap().as_ms(), 15.0);
+        // Only traffic *into* the slowed node pays the penalty.
+        assert_eq!(tx(&mut net, &mut rng, 1, 0).unwrap().as_ms(), 10.0);
+        net.slow_down(NodeId(1), SimDuration::ZERO);
+        assert_eq!(tx(&mut net, &mut rng, 0, 1).unwrap().as_ms(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengthen")]
+    fn degradation_below_one_panics() {
+        let mut net = Network::new(SimConfig::uniform(2, 5.0));
+        net.degrade_transit(0.5, 0.0);
     }
 }

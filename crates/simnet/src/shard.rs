@@ -38,7 +38,7 @@
 //! engine then is the sequential engine plus one bounds check.
 
 use crate::event::{EventKind, QueueStats, Scheduled};
-use crate::net::SimConfig;
+use crate::net::{Network, SimConfig};
 use crate::sim::{fork_streams, pack_seq, EngineState, Protocol, ShardRoute, SimCore, MAX_NODES};
 use crate::stats::Traffic;
 use crate::time::{SimDuration, SimTime};
@@ -629,6 +629,14 @@ where
             .expect("call ShardedSim::seal_traffic() before traffic()")
     }
 
+    /// The virtual network's current state. Fault events (silence,
+    /// revive, degradation, slowdown) are replicated to every shard, so
+    /// each shard's copy holds the same fault view; shard 0's copy is
+    /// returned as the representative.
+    pub fn network(&self) -> &Network {
+        self.shards[0].core.network()
+    }
+
     /// Reserves the next harness event key (shared by every shard so
     /// harness events order exactly as in the sequential engine).
     fn next_harness_seq(&mut self) -> u64 {
@@ -686,6 +694,59 @@ where
                 time: at,
                 seq,
                 item: EventKind::Revive(node),
+            });
+        }
+    }
+
+    /// Schedules a transit-degradation change at time `at`, replicated to
+    /// every shard under one shared key like
+    /// [`ShardedSim::schedule_silence`]. Degradation only *lengthens*
+    /// delays (`latency_mult ≥ 1.0`), so the conservative window
+    /// lookahead computed from the healthy network remains a valid lower
+    /// bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past, `latency_mult < 1.0`, or
+    /// `extra_loss` is outside `[0, 1]`.
+    pub fn schedule_degrade(&mut self, at: SimTime, latency_mult: f64, extra_loss: f64) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert!(
+            latency_mult.is_finite() && latency_mult >= 1.0,
+            "degradation may only lengthen delays"
+        );
+        assert!(
+            (0.0..=1.0).contains(&extra_loss),
+            "extra loss must be a probability"
+        );
+        let seq = self.next_harness_seq();
+        for sh in &mut self.shards {
+            sh.core.enqueue(Scheduled {
+                time: at,
+                seq,
+                item: EventKind::Degrade {
+                    latency_mult,
+                    extra_loss,
+                },
+            });
+        }
+    }
+
+    /// Schedules a processing-slowdown change for `node` at time `at`,
+    /// replicated to every shard under one shared key (see
+    /// [`ShardedSim::schedule_silence`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_slowdown(&mut self, at: SimTime, node: NodeId, delay: SimDuration) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        let seq = self.next_harness_seq();
+        for sh in &mut self.shards {
+            sh.core.enqueue(Scheduled {
+                time: at,
+                seq,
+                item: EventKind::Slowdown { node, delay },
             });
         }
     }

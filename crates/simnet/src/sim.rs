@@ -709,7 +709,13 @@ impl<P: Protocol> EngineState<P> {
         // Fault events stay out of the record-order bookkeeping: they
         // emit no records and push no events, and they are replicated
         // per shard (their non-unique keys would corrupt the replay).
-        if !matches!(ev.item, EventKind::Silence(_) | EventKind::Revive(_)) {
+        if !matches!(
+            ev.item,
+            EventKind::Silence(_)
+                | EventKind::Revive(_)
+                | EventKind::Degrade { .. }
+                | EventKind::Slowdown { .. }
+        ) {
             self.core.begin_dispatch(ev.time, ev.seq);
         }
         match ev.item {
@@ -758,6 +764,23 @@ impl<P: Protocol> EngineState<P> {
                     self.events_processed += 1;
                 }
                 self.core.network.revive(node);
+            }
+            // Degradation is global (no affected node); the shard owning
+            // node 0 is the designated counter.
+            EventKind::Degrade {
+                latency_mult,
+                extra_loss,
+            } => {
+                if self.core.owns(NodeId(0)) {
+                    self.events_processed += 1;
+                }
+                self.core.network.degrade_transit(latency_mult, extra_loss);
+            }
+            EventKind::Slowdown { node, delay } => {
+                if self.core.owns(node) {
+                    self.events_processed += 1;
+                }
+                self.core.network.slow_down(node, delay);
             }
         }
     }
@@ -969,6 +992,56 @@ impl<P: Protocol> Sim<P> {
             time: at,
             seq,
             item: EventKind::Revive(node),
+        });
+    }
+
+    /// Schedules a transit-degradation change at time `at`: cross-domain
+    /// traffic gets its base delay multiplied by `latency_mult` and an
+    /// extra drop probability `extra_loss` from then on. Schedule
+    /// `(1.0, 0.0)` to restore the healthy network (see
+    /// [`crate::Network::degrade_transit`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past, `latency_mult < 1.0`, or
+    /// `extra_loss` is outside `[0, 1]` (parameters are validated here so
+    /// a bad schedule fails fast, not mid-run).
+    pub fn schedule_degrade(&mut self, at: SimTime, latency_mult: f64, extra_loss: f64) {
+        assert!(at >= self.eng.now, "cannot schedule in the past");
+        assert!(
+            latency_mult.is_finite() && latency_mult >= 1.0,
+            "degradation may only lengthen delays"
+        );
+        assert!(
+            (0.0..=1.0).contains(&extra_loss),
+            "extra loss must be a probability"
+        );
+        let seq = self.next_harness_seq();
+        self.eng.core.enqueue(Scheduled {
+            time: at,
+            seq,
+            item: EventKind::Degrade {
+                latency_mult,
+                extra_loss,
+            },
+        });
+    }
+
+    /// Schedules a processing-slowdown change for `node` at time `at`:
+    /// every message *into* the node is delayed by an extra `delay` from
+    /// then on. Schedule `ZERO` to restore full speed (see
+    /// [`crate::Network::slow_down`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_slowdown(&mut self, at: SimTime, node: NodeId, delay: SimDuration) {
+        assert!(at >= self.eng.now, "cannot schedule in the past");
+        let seq = self.next_harness_seq();
+        self.eng.core.enqueue(Scheduled {
+            time: at,
+            seq,
+            item: EventKind::Slowdown { node, delay },
         });
     }
 

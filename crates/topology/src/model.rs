@@ -786,6 +786,44 @@ impl RoutedModel {
         }
     }
 
+    /// Clients that live in stub domain `domain`, in ascending id order,
+    /// or `None` for dense layouts. The fault-scenario library uses this
+    /// to build correlated whole-domain outages.
+    pub fn domain_clients(&self, domain: u32) -> Option<Vec<usize>> {
+        let tl = match &self.repr {
+            ModelRepr::Dense { .. } => return None,
+            ModelRepr::Routed(tl) => tl,
+        };
+        Some(
+            tl.cols
+                .iter()
+                .enumerate()
+                .filter_map(|(i, col)| (col.domain == domain).then_some(i))
+                .collect(),
+        )
+    }
+
+    /// Stub-domain ids that hold at least one client, ascending, or
+    /// `None` for dense layouts. Domain ids index into the layout's
+    /// domain table; unpopulated domains are skipped.
+    pub fn populated_domains(&self) -> Option<Vec<u32>> {
+        let tl = match &self.repr {
+            ModelRepr::Dense { .. } => return None,
+            ModelRepr::Routed(tl) => tl,
+        };
+        let mut populated = vec![false; tl.domains.len()];
+        for col in &tl.cols {
+            populated[col.domain as usize] = true;
+        }
+        Some(
+            populated
+                .iter()
+                .enumerate()
+                .filter_map(|(d, &p)| p.then_some(d as u32))
+                .collect(),
+        )
+    }
+
     /// Per-stub-domain event-rate estimate, indexed by domain id, or
     /// `None` for dense layouts.
     ///
@@ -1002,6 +1040,31 @@ mod tests {
                 assert_eq!(a.latency_ms(i, j), b.latency_ms(i, j));
             }
         }
+    }
+
+    #[test]
+    fn domain_selectors_partition_the_clients() {
+        let m = crate::TransitStubConfig::small()
+            .with_clients(24)
+            .with_seed(5)
+            .build();
+        let domains = m.populated_domains().expect("routed layout");
+        assert!(!domains.is_empty());
+        let mut seen = Vec::new();
+        for &d in &domains {
+            let clients = m.domain_clients(d).expect("routed layout");
+            assert!(!clients.is_empty(), "populated domain {d} has clients");
+            for &c in &clients {
+                assert_eq!(m.client_domain(c), Some(d));
+            }
+            seen.extend(clients);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..m.client_count()).collect::<Vec<_>>());
+        // Dense layouts expose no domain structure.
+        let dense = RoutedModel::uniform_synthetic(6, 1.0, 2.0, 9);
+        assert!(dense.populated_domains().is_none());
+        assert!(dense.domain_clients(0).is_none());
     }
 
     #[test]

@@ -15,12 +15,14 @@
 //! | [`ablation`] | extension: NeEM redundancy-suppression ablation |
 //! | [`rank_quality`] | extension: decentralized ranking quality |
 //! | [`scale`] | extension: 1k–10k-node scale-axis presets |
+//! | [`fault_resilience`] | extension: scheduled fault scenarios × churn |
 //!
 //! Experiments default to a reduced **quick** scale so the whole suite
 //! runs in seconds; set `EGM_SCALE=paper` to reproduce at the paper's full
 //! scale (100 nodes × 400 messages).
 
 pub mod ablation;
+pub mod fault_resilience;
 pub mod fig4;
 pub mod fig5a;
 pub mod fig5b;

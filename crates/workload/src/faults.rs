@@ -11,6 +11,7 @@
 use egm_core::BestSet;
 use egm_rng::{sample, Rng};
 use egm_simnet::NodeId;
+use egm_topology::RoutedModel;
 use serde::{Deserialize, Serialize};
 
 /// How failed nodes are selected.
@@ -158,6 +159,492 @@ impl ChurnPlan {
     pub fn victim(&self, n: usize, rng: &mut Rng) -> NodeId {
         NodeId(rng.range_usize(0, n))
     }
+
+    /// Lays out the plan's outages over a window of `window_ms`: one
+    /// event every `period_ms`, each victim drawn uniformly but
+    /// *rejected* if it is in `excluded` (permanent fault victims) or
+    /// still down from an earlier churn outage (`down_ms > period_ms`
+    /// makes outages overlap). Redraws are bounded; an event whose
+    /// budget runs out is skipped rather than silently doubled onto an
+    /// already-dead node.
+    ///
+    /// Times are relative to the start of the churn window.
+    pub fn schedule(
+        &self,
+        n: usize,
+        window_ms: f64,
+        excluded: &[NodeId],
+        rng: &mut Rng,
+    ) -> Vec<ChurnEvent> {
+        /// Redraw budget per event: generous enough that a draw only
+        /// fails when nearly every node is excluded or mid-outage.
+        const MAX_REDRAWS: u32 = 64;
+        let mut down_until = vec![f64::NEG_INFINITY; n];
+        let blocked = |node: NodeId, at_ms: f64, down_until: &[f64]| {
+            excluded.contains(&node) || down_until[node.index()] > at_ms
+        };
+        let mut events = Vec::new();
+        for k in 1..=self.events_within(window_ms) {
+            let at_ms = k as f64 * self.period_ms;
+            let mut node = self.victim(n, rng);
+            let mut redraws = 0;
+            while blocked(node, at_ms, &down_until) && redraws < MAX_REDRAWS {
+                node = self.victim(n, rng);
+                redraws += 1;
+            }
+            if blocked(node, at_ms, &down_until) {
+                continue;
+            }
+            down_until[node.index()] = at_ms + self.down_ms;
+            events.push(ChurnEvent { at_ms, node });
+        }
+        events
+    }
+}
+
+/// One laid-out churn outage (see [`ChurnPlan::schedule`]): `node` goes
+/// silent at `at_ms` and revives `down_ms` later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Outage start, relative to the start of the churn window.
+    pub at_ms: f64,
+    /// The churned node.
+    pub node: NodeId,
+}
+
+/// One timed fault action (see [`FaultSchedule`]). Nodes are raw indices
+/// so traces serialize without depending on simulator types.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// The node stops sending and receiving (fail-by-firewall, §6.3).
+    Silence {
+        /// Victim node index.
+        node: usize,
+    },
+    /// The node comes back online (its protocol state intact).
+    Revive {
+        /// Revived node index.
+        node: usize,
+    },
+    /// Cross-domain (transit) links degrade: latencies multiply by
+    /// `latency_mult` and each message is additionally lost with
+    /// probability `extra_loss`. `1.0` / `0.0` restores the healthy
+    /// network. Intra-domain traffic is unaffected.
+    Degrade {
+        /// Latency multiplier on cross-domain links (`≥ 1.0`).
+        latency_mult: f64,
+        /// Extra loss probability on cross-domain links (`[0, 1]`).
+        extra_loss: f64,
+    },
+    /// The node's receive-side processing slows by `delay_ms` per
+    /// message (`0` restores full speed).
+    Slowdown {
+        /// Slowed node index.
+        node: usize,
+        /// Additive per-message delay in milliseconds.
+        delay_ms: f64,
+    },
+}
+
+impl FaultAction {
+    /// The node this action targets, if any (degradation is global).
+    pub fn node(&self) -> Option<usize> {
+        match *self {
+            FaultAction::Silence { node }
+            | FaultAction::Revive { node }
+            | FaultAction::Slowdown { node, .. } => Some(node),
+            FaultAction::Degrade { .. } => None,
+        }
+    }
+}
+
+/// A timed fault: `action` fires at `at_ms` of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedFault {
+    /// When the action fires, in absolute simulated milliseconds.
+    pub at_ms: f64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic fault trace: timed join/leave/crash/revive/degrade
+/// events, generalizing [`FaultPlan`] (one permanent cut at warm-up end)
+/// and [`ChurnPlan`] (periodic transient outages) into an explicit
+/// schedule the runner replays event by event.
+///
+/// Schedules are plain data — seed-derived, serde-round-trippable, and
+/// independent of simulator state — so the same trace drives the
+/// sequential engine and every shard width to byte-identical outcomes
+/// (the `fault_determinism` suite pins this). Library constructors cover
+/// the scenarios the resilience experiment sweeps: correlated
+/// [domain outages](FaultSchedule::domain_outage), transit-link
+/// [degradation](FaultSchedule::transit_degradation),
+/// [flash crowds](FaultSchedule::flash_crowd), per-node
+/// [slowdowns](FaultSchedule::node_slowdown) and
+/// [rolling churn](FaultSchedule::rolling_churn); [`FaultSchedule::merge`]
+/// composes them.
+///
+/// # Examples
+///
+/// ```
+/// use egm_workload::faults::FaultSchedule;
+///
+/// let s = FaultSchedule::transit_degradation(1000.0, 500.0, 2.0, 0.05);
+/// assert_eq!(s.events.len(), 2, "onset plus recovery");
+/// assert!(!s.down_at(1200.0, 8).iter().any(|&d| d), "degradation kills nobody");
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// The timed events, in firing order.
+    pub events: Vec<TimedFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    fn push(&mut self, at_ms: f64, action: FaultAction) {
+        self.events.push(TimedFault { at_ms, action });
+    }
+
+    /// Correlated stub-domain outage: every client of one stub domain
+    /// goes silent at `at_ms` and revives `down_ms` later — the
+    /// "access ISP fails" case a uniform random fault plan cannot
+    /// express. `which` selects the domain among the model's populated
+    /// stub domains (wrapping, so any index is valid).
+    ///
+    /// Dense models have no stub domains; there the outage falls back to
+    /// a contiguous block of `n/8` clients so synthetic test topologies
+    /// can still run the scenario.
+    pub fn domain_outage(model: &RoutedModel, which: usize, at_ms: f64, down_ms: f64) -> Self {
+        let members: Vec<usize> = match model.populated_domains() {
+            Some(domains) => {
+                let domain = domains[which % domains.len()];
+                model
+                    .domain_clients(domain)
+                    .expect("populated domain has clients")
+            }
+            None => {
+                let n = model.client_count();
+                let size = (n / 8).max(1);
+                let start = (which * size) % n;
+                (start..start + size).map(|i| i % n).collect()
+            }
+        };
+        let mut s = FaultSchedule::empty();
+        for &node in &members {
+            s.push(at_ms, FaultAction::Silence { node });
+        }
+        for &node in &members {
+            s.push(at_ms + down_ms, FaultAction::Revive { node });
+        }
+        s
+    }
+
+    /// Transit-link degradation: from `at_ms` until `at_ms +
+    /// duration_ms`, cross-domain latencies multiply by `latency_mult`
+    /// and cross-domain messages suffer `extra_loss` additional loss.
+    pub fn transit_degradation(
+        at_ms: f64,
+        duration_ms: f64,
+        latency_mult: f64,
+        extra_loss: f64,
+    ) -> Self {
+        assert!(
+            latency_mult.is_finite() && latency_mult >= 1.0,
+            "degradation may only lengthen delays"
+        );
+        assert!(
+            (0.0..=1.0).contains(&extra_loss),
+            "extra loss must be a probability"
+        );
+        let mut s = FaultSchedule::empty();
+        s.push(
+            at_ms,
+            FaultAction::Degrade {
+                latency_mult,
+                extra_loss,
+            },
+        );
+        s.push(
+            at_ms + duration_ms,
+            FaultAction::Degrade {
+                latency_mult: 1.0,
+                extra_loss: 0.0,
+            },
+        );
+        s
+    }
+
+    /// Flash crowd: a seed-chosen `fraction` of the `n` nodes sit out
+    /// the start of the run (silenced at time 0) and mass-join at
+    /// `join_at_ms`. At most `n - 1` nodes can sit out.
+    pub fn flash_crowd(n: usize, fraction: f64, join_at_ms: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "crowd fraction must be in [0, 1]"
+        );
+        let k = ((n as f64 * fraction).round() as usize).min(n.saturating_sub(1));
+        let mut rng = Rng::seed_from_u64(seed);
+        let crowd = sample::distinct_indices(&mut rng, n, k);
+        let mut s = FaultSchedule::empty();
+        for &node in &crowd {
+            s.push(0.0, FaultAction::Silence { node });
+        }
+        for &node in &crowd {
+            s.push(join_at_ms, FaultAction::Revive { node });
+        }
+        s
+    }
+
+    /// Node slowdown: a seed-chosen `fraction` of the `n` nodes process
+    /// messages `delay_ms` slower between `at_ms` and
+    /// `at_ms + duration_ms`.
+    pub fn node_slowdown(
+        n: usize,
+        fraction: f64,
+        at_ms: f64,
+        delay_ms: f64,
+        duration_ms: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "slowdown fraction must be in [0, 1]"
+        );
+        assert!(
+            delay_ms.is_finite() && delay_ms >= 0.0,
+            "slowdown delay must be non-negative"
+        );
+        let k = (n as f64 * fraction).round() as usize;
+        let mut rng = Rng::seed_from_u64(seed);
+        let slowed = sample::distinct_indices(&mut rng, n, k.min(n));
+        let mut s = FaultSchedule::empty();
+        for &node in &slowed {
+            s.push(at_ms, FaultAction::Slowdown { node, delay_ms });
+        }
+        for &node in &slowed {
+            s.push(
+                at_ms + duration_ms,
+                FaultAction::Slowdown {
+                    node,
+                    delay_ms: 0.0,
+                },
+            );
+        }
+        s
+    }
+
+    /// Rolling churn: lays out `plan` over `[start_ms, start_ms +
+    /// window_ms)` with a seed-derived RNG (see [`ChurnPlan::schedule`]
+    /// for the overlap-aware victim rejection).
+    pub fn rolling_churn(
+        n: usize,
+        plan: ChurnPlan,
+        start_ms: f64,
+        window_ms: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut s = FaultSchedule::empty();
+        for ev in plan.schedule(n, window_ms, &[], &mut rng) {
+            s.push(
+                start_ms + ev.at_ms,
+                FaultAction::Silence {
+                    node: ev.node.index(),
+                },
+            );
+            s.push(
+                start_ms + ev.at_ms + plan.down_ms,
+                FaultAction::Revive {
+                    node: ev.node.index(),
+                },
+            );
+        }
+        s
+    }
+
+    /// Merges two schedules, keeping events time-ordered (ties keep
+    /// `self`'s events first — the stable sort preserves insertion
+    /// order, and the runner breaks remaining ties by scheduling order).
+    pub fn merge(mut self, other: FaultSchedule) -> Self {
+        self.events.extend(other.events);
+        self.events.sort_by(|a, b| {
+            a.at_ms
+                .partial_cmp(&b.at_ms)
+                .expect("fault times are finite")
+        });
+        self
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The silenced-node mask at time `t_ms`: replays every
+    /// `Silence`/`Revive` with `at_ms <= t_ms`. This is how the online
+    /// re-ranker knows which nodes to exclude — pure schedule data, so
+    /// every shard width computes the identical mask.
+    pub fn down_at(&self, t_ms: f64, n: usize) -> Vec<bool> {
+        let mut down = vec![false; n];
+        for ev in &self.events {
+            if ev.at_ms > t_ms {
+                continue;
+            }
+            match ev.action {
+                FaultAction::Silence { node } => down[node] = true,
+                FaultAction::Revive { node } => down[node] = false,
+                FaultAction::Degrade { .. } | FaultAction::Slowdown { .. } => {}
+            }
+        }
+        down
+    }
+
+    /// Checks every event against an `n`-node system: node indices in
+    /// range, times finite and non-negative, degradation parameters
+    /// valid. The runner calls this before scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first invalid event.
+    pub fn validate(&self, n: usize) {
+        for ev in &self.events {
+            assert!(
+                ev.at_ms.is_finite() && ev.at_ms >= 0.0,
+                "fault time must be finite and non-negative, got {}",
+                ev.at_ms
+            );
+            if let Some(node) = ev.action.node() {
+                assert!(node < n, "fault targets node {node} of {n}");
+            }
+            match ev.action {
+                FaultAction::Degrade {
+                    latency_mult,
+                    extra_loss,
+                } => {
+                    assert!(
+                        latency_mult.is_finite() && latency_mult >= 1.0,
+                        "degradation may only lengthen delays"
+                    );
+                    assert!(
+                        (0.0..=1.0).contains(&extra_loss),
+                        "extra loss must be a probability"
+                    );
+                }
+                FaultAction::Slowdown { delay_ms, .. } => {
+                    assert!(
+                        delay_ms.is_finite() && delay_ms >= 0.0,
+                        "slowdown delay must be non-negative"
+                    );
+                }
+                FaultAction::Silence { .. } | FaultAction::Revive { .. } => {}
+            }
+        }
+    }
+}
+
+/// The library fault scenarios the resilience experiment sweeps
+/// (`fault_resilience`): each maps to one canonical [`FaultSchedule`]
+/// via [`FaultScenarioKind::schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultScenarioKind {
+    /// No faults: the reference cell.
+    Baseline,
+    /// One whole stub domain fails mid-warm-up and recovers mid-traffic.
+    DomainOutage,
+    /// Transit links run at 2× latency with 5 % extra loss.
+    TransitDegradation,
+    /// A quarter of the nodes join mid-warm-up instead of at time 0.
+    FlashCrowd,
+    /// A fifth of the nodes process messages 5 ms slower.
+    NodeSlowdown,
+}
+
+impl FaultScenarioKind {
+    /// All library scenarios, baseline first.
+    pub fn all() -> [FaultScenarioKind; 5] {
+        [
+            FaultScenarioKind::Baseline,
+            FaultScenarioKind::DomainOutage,
+            FaultScenarioKind::TransitDegradation,
+            FaultScenarioKind::FlashCrowd,
+            FaultScenarioKind::NodeSlowdown,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultScenarioKind::Baseline => "baseline",
+            FaultScenarioKind::DomainOutage => "domain outage",
+            FaultScenarioKind::TransitDegradation => "transit degrade",
+            FaultScenarioKind::FlashCrowd => "flash crowd",
+            FaultScenarioKind::NodeSlowdown => "node slowdown",
+        }
+    }
+
+    /// Builds the canonical schedule: faults strike at half warm-up —
+    /// while the online re-ranker is still running, so it can react —
+    /// and (where transient) recover halfway through the traffic phase.
+    pub fn schedule(
+        &self,
+        model: &RoutedModel,
+        warmup_ms: f64,
+        traffic_ms: f64,
+        seed: u64,
+    ) -> FaultSchedule {
+        let n = model.client_count();
+        let onset = 0.5 * warmup_ms;
+        let hold = 0.5 * warmup_ms + 0.5 * traffic_ms;
+        match self {
+            FaultScenarioKind::Baseline => FaultSchedule::empty(),
+            FaultScenarioKind::DomainOutage => FaultSchedule::domain_outage(model, 0, onset, hold),
+            FaultScenarioKind::TransitDegradation => {
+                FaultSchedule::transit_degradation(onset, hold, 2.0, 0.05)
+            }
+            FaultScenarioKind::FlashCrowd => {
+                FaultSchedule::flash_crowd(n, 0.25, onset, seed ^ 0x464C_4153)
+            }
+            FaultScenarioKind::NodeSlowdown => {
+                FaultSchedule::node_slowdown(n, 0.2, onset, 5.0, hold, seed ^ 0x534C_4F57)
+            }
+        }
+    }
+}
+
+/// Online re-ranking during warm-up: every `period_ms` the runner
+/// pauses the engine at a global barrier, recomputes the best set
+/// through the scenario's [`RankSource`](egm_core::RankSource) —
+/// excluding nodes the fault schedule has down at that instant — and
+/// rebinds every node's strategy to the new set. This is how hubs
+/// re-rank *while churn is active* instead of trusting a pre-fault
+/// ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RerankPlan {
+    /// Interval between re-rank ticks in milliseconds.
+    pub period_ms: f64,
+    /// Number of ticks (all must land within warm-up).
+    pub ticks: u32,
+}
+
+impl RerankPlan {
+    /// Creates a plan with `ticks` re-rank barriers every `period_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not strictly positive and finite or
+    /// `ticks` is zero.
+    pub fn new(period_ms: f64, ticks: u32) -> Self {
+        assert!(
+            period_ms.is_finite() && period_ms > 0.0,
+            "re-rank period must be positive"
+        );
+        assert!(ticks > 0, "need at least one re-rank tick");
+        RerankPlan { period_ms, ticks }
+    }
 }
 
 #[cfg(test)]
@@ -251,5 +738,141 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn churn_rejects_zero_period() {
         let _ = ChurnPlan::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn churn_schedule_rejects_overlapping_and_excluded_victims() {
+        // down_ms ≫ period_ms: outages overlap heavily, so without the
+        // rejection loop later events would re-silence already-down
+        // nodes (a no-op silence + a premature revive).
+        let plan = ChurnPlan::new(100.0, 450.0);
+        let excluded = [NodeId(0), NodeId(1)];
+        let mut rng = Rng::seed_from_u64(7);
+        let events = plan.schedule(6, 2000.0, &excluded, &mut rng);
+        assert!(!events.is_empty());
+        let mut down_until = [f64::NEG_INFINITY; 6];
+        for ev in &events {
+            assert!(
+                !excluded.contains(&ev.node),
+                "permanent victim churned: {:?}",
+                ev.node
+            );
+            assert!(
+                down_until[ev.node.index()] <= ev.at_ms,
+                "node {:?} churned at {} while down until {}",
+                ev.node,
+                ev.at_ms,
+                down_until[ev.node.index()]
+            );
+            down_until[ev.node.index()] = ev.at_ms + plan.down_ms;
+        }
+    }
+
+    #[test]
+    fn churn_schedule_skips_events_when_no_victim_is_healthy() {
+        // One eligible node, held down across every period: once it is
+        // down, later events find no healthy victim and are skipped
+        // instead of looping forever.
+        let plan = ChurnPlan::new(100.0, 10_000.0);
+        let excluded = [NodeId(1)];
+        let mut rng = Rng::seed_from_u64(8);
+        let events = plan.schedule(2, 1000.0, &excluded, &mut rng);
+        assert_eq!(events.len(), 1, "only the first outage can fire");
+        assert_eq!(events[0].node, NodeId(0));
+    }
+
+    #[test]
+    fn schedule_types_are_serde_round_trippable() {
+        fn assert_round_trippable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_round_trippable::<super::FaultSchedule>();
+        assert_round_trippable::<super::TimedFault>();
+        assert_round_trippable::<super::FaultAction>();
+        assert_round_trippable::<super::FaultScenarioKind>();
+        assert_round_trippable::<super::RerankPlan>();
+    }
+
+    #[test]
+    fn domain_outage_kills_one_whole_domain() {
+        use egm_topology::TransitStubConfig;
+        let model = TransitStubConfig::small()
+            .with_clients(24)
+            .with_seed(5)
+            .build();
+        let s = super::FaultSchedule::domain_outage(&model, 0, 100.0, 50.0);
+        let domains = model.populated_domains().expect("stub model");
+        let members = model.domain_clients(domains[0]).expect("clients");
+        assert_eq!(s.events.len(), 2 * members.len());
+        let down = s.down_at(100.0, 24);
+        for (i, &d) in down.iter().enumerate() {
+            assert_eq!(d, members.contains(&i), "node {i}");
+        }
+        // After the revive, everyone is back.
+        assert!(!s.down_at(200.0, 24).iter().any(|&d| d));
+    }
+
+    #[test]
+    fn domain_outage_falls_back_to_a_block_on_dense_models() {
+        let model = egm_topology::RoutedModel::uniform_synthetic(16, 1.0, 2.0, 3);
+        let s = super::FaultSchedule::domain_outage(&model, 0, 10.0, 10.0);
+        let down = s.down_at(10.0, 16);
+        assert_eq!(down.iter().filter(|&&d| d).count(), 2, "n/8 block");
+    }
+
+    #[test]
+    fn flash_crowd_sits_out_until_the_join() {
+        let s = super::FaultSchedule::flash_crowd(20, 0.25, 500.0, 9);
+        let at_start = s.down_at(0.0, 20);
+        assert_eq!(at_start.iter().filter(|&&d| d).count(), 5);
+        assert!(!s.down_at(500.0, 20).iter().any(|&d| d), "all joined");
+    }
+
+    #[test]
+    fn merge_orders_by_time() {
+        let a = super::FaultSchedule::transit_degradation(300.0, 100.0, 2.0, 0.0);
+        let b = super::FaultSchedule::flash_crowd(10, 0.2, 350.0, 1);
+        let merged = a.merge(b);
+        let times: Vec<f64> = merged.events.iter().map(|e| e.at_ms).collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_nodes() {
+        let s = super::FaultSchedule::flash_crowd(10, 0.3, 100.0, 2);
+        s.validate(10);
+        let r = std::panic::catch_unwind(|| s.validate(2));
+        assert!(r.is_err(), "node index past n must be rejected");
+    }
+
+    #[test]
+    fn library_scenarios_build_valid_schedules() {
+        use egm_topology::TransitStubConfig;
+        let model = TransitStubConfig::small()
+            .with_clients(24)
+            .with_seed(5)
+            .build();
+        for kind in super::FaultScenarioKind::all() {
+            let s = kind.schedule(&model, 1000.0, 3000.0, 17);
+            s.validate(24);
+            let again = kind.schedule(&model, 1000.0, 3000.0, 17);
+            assert_eq!(
+                s,
+                again,
+                "{}: schedule must be seed-deterministic",
+                kind.label()
+            );
+            if kind == super::FaultScenarioKind::Baseline {
+                assert!(s.is_empty());
+            } else {
+                assert!(!s.is_empty(), "{}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "re-rank period must be positive")]
+    fn rerank_rejects_zero_period() {
+        let _ = super::RerankPlan::new(0.0, 3);
     }
 }

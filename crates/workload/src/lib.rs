@@ -54,5 +54,8 @@ pub mod scenario;
 pub mod traffic;
 
 pub use arrival::{Arrival, ArrivalProcess, SteadyState};
-pub use faults::{FaultPlan, FaultSelection};
+pub use faults::{
+    ChurnPlan, FaultAction, FaultPlan, FaultScenarioKind, FaultSchedule, FaultSelection,
+    RerankPlan, TimedFault,
+};
 pub use scenario::{NoiseConfig, Scenario, TopologySource};

@@ -12,6 +12,7 @@
 //! construction plus the ranking cost from every run after the first.
 
 use crate::arrival::{self, Arrival, SteadyState};
+use crate::faults::{FaultAction, FaultSchedule, RerankPlan};
 use crate::scenario::Scenario;
 use crate::traffic;
 use egm_core::strategy::Noisy;
@@ -49,8 +50,15 @@ pub struct RunOutcome {
     pub payloads_per_node: Vec<u64>,
     /// Nodes silenced by the fault plan.
     pub victims: Vec<NodeId>,
-    /// Ids of best nodes (empty when the strategy has none).
+    /// Ids of best nodes (empty when the strategy has none). With online
+    /// re-ranking this is the *initial* set; the final set is in
+    /// [`RunOutcome::reranked_best_ids`].
     pub best_ids: Vec<NodeId>,
+    /// Ids of the best set after the last online re-rank tick (`None`
+    /// unless [`Scenario::rerank`] is set). Comparing against
+    /// [`RunOutcome::best_ids`] measures hub-overlap stability under
+    /// churn.
+    pub reranked_best_ids: Option<Vec<NodeId>>,
     /// Aggregated scheduler counters over all nodes.
     pub scheduler: SchedulerStats,
     /// Simulator events processed by the run (perf accounting; stale
@@ -133,6 +141,20 @@ impl Engine {
         match self {
             Engine::Seq(s) => s.schedule_revive(at, node),
             Engine::Sharded(s) => s.schedule_revive(at, node),
+        }
+    }
+
+    fn schedule_degrade(&mut self, at: SimTime, latency_mult: f64, extra_loss: f64) {
+        match self {
+            Engine::Seq(s) => s.schedule_degrade(at, latency_mult, extra_loss),
+            Engine::Sharded(s) => s.schedule_degrade(at, latency_mult, extra_loss),
+        }
+    }
+
+    fn schedule_slowdown(&mut self, at: SimTime, node: NodeId, delay: SimDuration) {
+        match self {
+            Engine::Seq(s) => s.schedule_slowdown(at, node, delay),
+            Engine::Sharded(s) => s.schedule_slowdown(at, node, delay),
         }
     }
 
@@ -479,7 +501,10 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
     let chain_think = match scenario.arrival {
         Some(Arrival::Closed { think_ms }) => {
             assert!(
-                scenario.faults.is_none() && scenario.churn.is_none(),
+                scenario.faults.is_none()
+                    && scenario.churn.is_none()
+                    && scenario.fault_schedule.is_none()
+                    && scenario.rerank.is_none(),
                 "closed-loop arrival requires a fault-free, churn-free scenario"
             );
             assert!(
@@ -573,12 +598,34 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
         sim.schedule_silence(warmup_end, v);
     }
 
+    // Explicit fault trace (extension): replayed verbatim, in event
+    // order. Draws no harness randomness, so a schedule never perturbs
+    // victims, views or the traffic plan.
+    if let Some(schedule) = &scenario.fault_schedule {
+        schedule.validate(n);
+        for ev in &schedule.events {
+            let at = SimTime::from_ms(ev.at_ms);
+            match ev.action {
+                FaultAction::Silence { node } => sim.schedule_silence(at, NodeId(node)),
+                FaultAction::Revive { node } => sim.schedule_revive(at, NodeId(node)),
+                FaultAction::Degrade {
+                    latency_mult,
+                    extra_loss,
+                } => sim.schedule_degrade(at, latency_mult, extra_loss),
+                FaultAction::Slowdown { node, delay_ms } => {
+                    sim.schedule_slowdown(at, NodeId(node), SimDuration::from_ms(delay_ms))
+                }
+            }
+        }
+    }
+
     // Traffic: live nodes multicast round-robin (§5.3), driven by the
     // scenario's arrival mode.
     let senders: Vec<NodeId> = (0..n)
         .map(NodeId)
         .filter(|id| !victims.contains(id))
         .collect();
+    let mut reranked_best_ids = None;
     if chain_think.is_some() {
         // Closed loop: seed sequence 0 at its round-robin owner; every
         // later publish is self-scheduled by the chain, so the end time
@@ -605,24 +652,88 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
             + SimDuration::from_ms(scenario.drain_ms);
 
         // Transient churn (extension): periodic silence + revive cycles
-        // among non-victim nodes while traffic flows.
+        // while traffic flows. Victims are drawn with bounded rejection
+        // against permanent victims *and* nodes still down from an
+        // earlier overlapping outage (see `ChurnPlan::schedule`), so a
+        // churn event never lands as a no-op on a dead node.
         if let Some(churn) = scenario.churn {
             let window = (end - warmup_end).as_ms();
-            for k in 1..=churn.events_within(window) {
-                let mut node = churn.victim(n, &mut rng);
-                while victims.contains(&node) {
-                    node = churn.victim(n, &mut rng);
-                }
-                let down = warmup_end + SimDuration::from_ms(k as f64 * churn.period_ms);
-                sim.schedule_silence(down, node);
-                sim.schedule_revive(down + SimDuration::from_ms(churn.down_ms), node);
+            for ev in churn.schedule(n, window, &victims, &mut rng) {
+                let down = warmup_end + SimDuration::from_ms(ev.at_ms);
+                sim.schedule_silence(down, ev.node);
+                sim.schedule_revive(down + SimDuration::from_ms(churn.down_ms), ev.node);
             }
+        }
+
+        // Online re-ranking (extension): advance warm-up in global
+        // barrier ticks, re-ranking the hubs at each one.
+        if let Some(plan) = scenario.rerank {
+            reranked_best_ids = rerank_during_warmup(&mut sim, scenario, &model, plan, warmup_end);
         }
 
         sim.run_until(end);
     }
 
-    collect(scenario, sim, model, victims, best_ids)
+    collect(scenario, sim, model, victims, best_ids, reranked_best_ids)
+}
+
+/// Runs the warm-up phase in re-rank ticks: every `plan.period_ms` the
+/// engine stops at a global barrier, the best set is recomputed through
+/// the scenario's rank source over the *live* population — nodes the
+/// fault schedule has down at that instant are excluded — and every
+/// node's strategy is rebound to the new set.
+///
+/// The tick times, the down mask and the per-tick rank seed are pure
+/// functions of the scenario (never of live simulator state), so chunked
+/// execution stays byte-identical across engines and shard widths — the
+/// `fault_determinism` suite pins this. Returns the final set's ids.
+///
+/// # Panics
+///
+/// Panics if the strategy carries no best set, or a best-set override is
+/// installed (the override pins the ranking, re-ranking would fight it).
+fn rerank_during_warmup(
+    sim: &mut Engine,
+    scenario: &Scenario,
+    model: &RoutedModel,
+    plan: RerankPlan,
+    warmup_end: SimTime,
+) -> Option<Vec<NodeId>> {
+    let fraction = scenario
+        .strategy
+        .best_fraction()
+        .expect("online re-ranking requires a strategy with a best set");
+    assert!(
+        scenario.best_override.is_none(),
+        "online re-ranking conflicts with a best-set override"
+    );
+    let n = scenario.node_count();
+    let empty = FaultSchedule::empty();
+    let schedule = scenario.fault_schedule.as_ref().unwrap_or(&empty);
+    let mut last: Option<Arc<BestSet>> = None;
+    for k in 1..=plan.ticks {
+        let t_ms = k as f64 * plan.period_ms;
+        let tick = SimTime::from_ms(t_ms);
+        if tick > warmup_end {
+            break;
+        }
+        sim.run_until(tick);
+        let down = schedule.down_at(t_ms, n);
+        // Each tick re-ranks on its own salted seed, so consecutive
+        // decentralized rankings are independent measurements instead
+        // of replays of the first.
+        let tick_seed =
+            scenario.seed ^ RANK_SEED_SALT ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let best = scenario
+            .rank_source
+            .best_set_excluding(model, fraction, &scenario.protocol.view, tick_seed, &down)
+            .shared();
+        for (_, node) in sim.nodes_mut() {
+            node.rebind_best(best.clone());
+        }
+        last = Some(best);
+    }
+    last.map(|b| b.best_ids())
 }
 
 /// Runs a closed-loop scenario to completion: the deadline is unknown up
@@ -672,6 +783,7 @@ fn collect(
     model: Arc<RoutedModel>,
     victims: Vec<NodeId>,
     best_ids: Vec<NodeId>,
+    reranked_best_ids: Option<Vec<NodeId>>,
 ) -> RunOutcome {
     // The run is over: seal the traffic log so the per-link queries below
     // aggregate once instead of re-scanning the send log each.
@@ -824,6 +936,7 @@ fn collect(
         payloads_per_node,
         victims,
         best_ids,
+        reranked_best_ids,
         scheduler,
         events: sim.events_processed(),
         timers_cancelled: sim.timers_cancelled(),
@@ -985,6 +1098,129 @@ mod tests {
         );
         assert_eq!(oracle.victims, gossip.victims, "victim draw perturbed");
         assert_ne!(oracle.best_ids, gossip.best_ids);
+    }
+
+    #[test]
+    fn degradation_schedule_slows_delivery() {
+        use crate::faults::FaultSchedule;
+        // Uniform topologies have no domain structure, so every pair is
+        // "cross-domain": a 3× latency multiplier over the whole run
+        // must show up in the mean delivery latency.
+        let base = Scenario::smoke_test().with_strategy(StrategySpec::Flat { pi: 1.0 });
+        let healthy = base.run();
+        let degraded = base
+            .clone()
+            .with_fault_schedule(Some(FaultSchedule::transit_degradation(0.0, 1e9, 3.0, 0.0)))
+            .run();
+        assert!(
+            degraded.mean_latency_ms() > 1.5 * healthy.mean_latency_ms(),
+            "degraded {} vs healthy {}",
+            degraded.mean_latency_ms(),
+            healthy.mean_latency_ms()
+        );
+        assert!(degraded.mean_delivery_fraction > 0.99, "{degraded}");
+    }
+
+    #[test]
+    fn slowdown_schedule_is_deterministic_and_slows_victims() {
+        use crate::faults::FaultSchedule;
+        let schedule = FaultSchedule::node_slowdown(24, 0.5, 0.0, 20.0, 1e9, 3);
+        let scenario = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Flat { pi: 1.0 })
+            .with_fault_schedule(Some(schedule));
+        let healthy = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Flat { pi: 1.0 })
+            .run();
+        let a = scenario.run();
+        let b = scenario.run();
+        assert_eq!(a, b, "slowdown runs must be deterministic");
+        assert!(
+            a.mean_latency_ms() > healthy.mean_latency_ms(),
+            "slowed {} vs healthy {}",
+            a.mean_latency_ms(),
+            healthy.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn online_rerank_replaces_downed_hubs() {
+        use crate::faults::{FaultAction, FaultSchedule, RerankPlan, TimedFault};
+        let base = Scenario::smoke_test().with_strategy(StrategySpec::Ranked {
+            best_fraction: 0.25,
+        });
+        let initial = super::run_detailed(&base, None);
+        assert_eq!(initial.best_ids.len(), 6);
+        assert!(initial.reranked_best_ids.is_none());
+
+        // Silence every initial hub mid-warm-up; the re-rank ticks at
+        // 100 ms and 200 ms must rank replacement hubs from the live
+        // population only.
+        let schedule = FaultSchedule {
+            events: initial
+                .best_ids
+                .iter()
+                .map(|id| TimedFault {
+                    at_ms: 50.0,
+                    action: FaultAction::Silence { node: id.index() },
+                })
+                .collect(),
+        };
+        let reranked = super::run_detailed(
+            &base
+                .clone()
+                .with_fault_schedule(Some(schedule))
+                .with_rerank(Some(RerankPlan::new(100.0, 2))),
+            None,
+        );
+        assert_eq!(reranked.best_ids, initial.best_ids, "initial set kept");
+        let final_ids = reranked.reranked_best_ids.as_ref().expect("reranked");
+        // 18 live nodes × 0.25 → 4 or 5 hubs, none of them dead.
+        assert!(!final_ids.is_empty());
+        for id in final_ids {
+            assert!(
+                !initial.best_ids.contains(id),
+                "downed hub {id:?} survived the re-rank"
+            );
+        }
+        let again = super::run_detailed(
+            &base
+                .clone()
+                .with_fault_schedule(Some(reranked_schedule_for(&initial)))
+                .with_rerank(Some(RerankPlan::new(100.0, 2))),
+            None,
+        );
+        assert_eq!(again.report, reranked.report, "re-rank runs deterministic");
+        assert_eq!(again.reranked_best_ids, reranked.reranked_best_ids);
+    }
+
+    fn reranked_schedule_for(initial: &super::RunOutcome) -> crate::faults::FaultSchedule {
+        use crate::faults::{FaultAction, FaultSchedule, TimedFault};
+        FaultSchedule {
+            events: initial
+                .best_ids
+                .iter()
+                .map(|id| TimedFault {
+                    at_ms: 50.0,
+                    action: FaultAction::Silence { node: id.index() },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn churned_victim_redraw_avoids_overlapping_outages() {
+        use crate::faults::ChurnPlan;
+        // Heavily overlapping outages (down 4× the period) on a small
+        // population: before the bounded re-draw fix this scheduled
+        // no-op silences + premature revives on already-down nodes.
+        let scenario = Scenario::smoke_test()
+            .with_strategy(StrategySpec::Flat { pi: 1.0 })
+            .with_churn(Some(ChurnPlan::new(200.0, 800.0)))
+            .with_faults(Some(FaultPlan::new(0.25, FaultSelection::Random)));
+        let a = super::run_detailed(&scenario, None);
+        let b = super::run_detailed(&scenario, None);
+        assert_eq!(a.report, b.report, "churn runs must be deterministic");
+        assert!(a.report.mean_delivery_fraction > 0.5, "{}", a.report);
     }
 
     #[test]

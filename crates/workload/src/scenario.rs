@@ -1,7 +1,7 @@
 //! Scenario description: everything one experiment run needs.
 
 use crate::arrival::Arrival;
-use crate::faults::{ChurnPlan, FaultPlan};
+use crate::faults::{ChurnPlan, FaultPlan, FaultSchedule, RerankPlan};
 use egm_core::{MonitorSpec, ProtocolConfig, RankSource, StrategySpec};
 use egm_metrics::RunReport;
 use egm_simnet::QueueKind;
@@ -99,6 +99,17 @@ pub struct Scenario {
     pub faults: Option<FaultPlan>,
     /// Optional transient churn during dissemination (extension).
     pub churn: Option<ChurnPlan>,
+    /// Optional explicit fault trace (extension): timed
+    /// silence/revive/degrade/slowdown events replayed verbatim, on top
+    /// of whatever `faults`/`churn` schedule. See
+    /// [`FaultSchedule`] for the library scenarios (correlated domain
+    /// outages, transit degradation, flash crowds, node slowdowns).
+    pub fault_schedule: Option<FaultSchedule>,
+    /// Optional online re-ranking during warm-up (extension): periodic
+    /// re-rank barriers through [`Scenario::rank_source`], excluding
+    /// nodes the fault schedule has down at each tick. See
+    /// [`RerankPlan`].
+    pub rerank: Option<RerankPlan>,
     /// Number of multicast messages (400 in §5.3).
     pub messages: usize,
     /// Mean interval between multicasts in ms (500 in §5.3; actual gaps
@@ -191,6 +202,8 @@ impl Scenario {
             noise: None,
             faults: None,
             churn: None,
+            fault_schedule: None,
+            rerank: None,
             messages: 400,
             mean_interval_ms: 500.0,
             arrival: None,
@@ -277,6 +290,20 @@ impl Scenario {
     /// Sets the churn plan (builder style).
     pub fn with_churn(mut self, churn: Option<ChurnPlan>) -> Self {
         self.churn = churn;
+        self
+    }
+
+    /// Sets the explicit fault trace (builder style); see
+    /// [`Scenario::fault_schedule`].
+    pub fn with_fault_schedule(mut self, schedule: Option<FaultSchedule>) -> Self {
+        self.fault_schedule = schedule;
+        self
+    }
+
+    /// Enables online re-ranking during warm-up (builder style); see
+    /// [`Scenario::rerank`].
+    pub fn with_rerank(mut self, rerank: Option<RerankPlan>) -> Self {
+        self.rerank = rerank;
         self
     }
 

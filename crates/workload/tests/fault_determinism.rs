@@ -1,0 +1,100 @@
+//! Fault-scenario determinism: every library [`FaultScenarioKind`] —
+//! with overlapping churn and online re-ranking active — must produce a
+//! byte-identical [`RunOutcome`] on rerun, at every shard width, and
+//! under both window drivers (single-threaded and worker threads).
+//!
+//! This is the property the whole fault axis rests on: a fault trace is
+//! plain data replayed at fixed `(time, seq)` points, the re-rank ticks
+//! are pure functions of the scenario, and the degradation/slowdown
+//! state is replicated to every shard under one shared sequence number —
+//! so parallelism can never leak into resilience measurements.
+
+use egm_core::{RankSource, StrategySpec};
+use egm_topology::TransitStubConfig;
+use egm_workload::faults::{ChurnPlan, FaultScenarioKind, RerankPlan};
+use egm_workload::runner::{run_detailed, RunOutcome};
+use egm_workload::{Scenario, TopologySource};
+use std::sync::Arc;
+
+fn assert_outcomes_match(a: &RunOutcome, b: &RunOutcome, label: &str) {
+    assert_eq!(a.report, b.report, "reports diverged ({label})");
+    assert_eq!(a.log, b.log, "delivery logs diverged ({label})");
+    assert_eq!(
+        a.payload_links, b.payload_links,
+        "link tables diverged ({label})"
+    );
+    assert_eq!(
+        a.payloads_per_node, b.payloads_per_node,
+        "per-node payloads diverged ({label})"
+    );
+    assert_eq!(a.scheduler, b.scheduler, "scheduler stats ({label})");
+    assert_eq!(a.events, b.events, "event counts diverged ({label})");
+    assert_eq!(a.victims, b.victims, "victims diverged ({label})");
+    assert_eq!(a.best_ids, b.best_ids, "best ids diverged ({label})");
+    assert_eq!(
+        a.reranked_best_ids, b.reranked_best_ids,
+        "re-ranked best ids diverged ({label})"
+    );
+    assert_eq!(a.latency, b.latency, "latency histograms ({label})");
+}
+
+/// The base resilience scenario: a transit–stub model (so domain
+/// outages are real), gossip-sorted ranking with two online re-rank
+/// ticks, and overlapping churn on top of the library fault trace.
+fn base_scenario() -> Scenario {
+    Scenario {
+        topology: TopologySource::TransitStub(TransitStubConfig::small().with_clients(24)),
+        messages: 12,
+        ..Scenario::smoke_test()
+    }
+    .with_strategy(StrategySpec::Ranked {
+        best_fraction: 0.25,
+    })
+    .with_rank_source(RankSource::GossipSorted { rounds: 3 })
+    .with_rerank(Some(RerankPlan::new(80.0, 2)))
+    .with_churn(Some(ChurnPlan::new(300.0, 450.0)))
+    .with_seed(13)
+}
+
+/// One test body instead of one test per width/driver: the threaded
+/// window driver is toggled through `EGM_SHARD_THREADS`, and tests in
+/// one binary share the process environment.
+#[test]
+fn library_fault_scenarios_are_byte_identical_across_engines() {
+    let base = base_scenario();
+    let model = Arc::new(base.build_model());
+    let traffic_ms = base.messages as f64 * base.mean_interval_ms + base.drain_ms;
+
+    for kind in FaultScenarioKind::all() {
+        let schedule = kind.schedule(&model, base.warmup_ms, traffic_ms, base.seed);
+        let scenario = base.clone().with_fault_schedule(Some(schedule));
+        let label = kind.label();
+
+        let seq = run_detailed(&scenario.clone().with_shards(Some(0)), Some(model.clone()));
+        let again = run_detailed(&scenario.clone().with_shards(Some(0)), Some(model.clone()));
+        assert_outcomes_match(&seq, &again, &format!("{label}: seq rerun"));
+        assert!(
+            seq.report.mean_delivery_fraction > 0.5,
+            "{label}: {}",
+            seq.report
+        );
+        if kind != FaultScenarioKind::Baseline {
+            assert!(
+                seq.reranked_best_ids.is_some(),
+                "{label}: re-rank ticks must have run"
+            );
+        }
+
+        std::env::set_var("EGM_SHARD_THREADS", "0");
+        for w in [1usize, 2, 4] {
+            let sharded = run_detailed(&scenario.clone().with_shards(Some(w)), Some(model.clone()));
+            assert_outcomes_match(&seq, &sharded, &format!("{label}: W={w} single-thread"));
+        }
+        std::env::set_var("EGM_SHARD_THREADS", "1");
+        for w in [2usize, 4] {
+            let sharded = run_detailed(&scenario.clone().with_shards(Some(w)), Some(model.clone()));
+            assert_outcomes_match(&seq, &sharded, &format!("{label}: W={w} threaded"));
+        }
+        std::env::remove_var("EGM_SHARD_THREADS");
+    }
+}
