@@ -1,0 +1,18 @@
+//! `egm_server` binary: bind, announce the address, serve forever.
+
+#![forbid(unsafe_code)]
+
+use egm_server::{Server, ServerConfig};
+
+fn main() -> std::io::Result<()> {
+    let config = ServerConfig::from_env();
+    let workers = config.workers;
+    let bench = config.bench_path.clone();
+    let server = Server::bind(config)?;
+    let addr = server.local_addr()?;
+    println!(
+        "egm_server listening on http://{addr} ({workers} workers, bench record {})",
+        bench.display()
+    );
+    server.serve()
+}

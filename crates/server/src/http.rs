@@ -1,0 +1,100 @@
+//! Minimal HTTP/1.1 plumbing: request parsing, response writing, and
+//! SSE framing over a plain [`TcpStream`].
+//!
+//! One connection serves one request (`Connection: close`), which keeps
+//! the server free of keep-alive state machines; SSE connections stay
+//! open for the lifetime of their stream. Request bodies are bounded by
+//! [`MAX_BODY_BYTES`].
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on accepted request bodies (jobs are small JSON specs).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed HTTP request: method, percent-decoded-free path, and body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Request path without the query string.
+    pub path: String,
+    /// Raw body bytes (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from the stream. Returns `None` on a closed or
+/// malformed connection (the caller just drops it).
+pub fn read_request(stream: &mut BufReader<TcpStream>) -> Option<Request> {
+    let mut line = String::new();
+    if stream.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if stream.read_line(&mut header).ok()? == 0 {
+            return None;
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        stream.read_exact(&mut body).ok()?;
+    }
+    Some(Request { method, path, body })
+}
+
+/// Writes a complete response with the given status line, content type
+/// and body, then closes (via `Connection: close`).
+pub fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nAccess-Control-Allow-Origin: *\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn respond_json(stream: &mut TcpStream, status: &str, body: &str) -> io::Result<()> {
+    respond(stream, status, "application/json", body)
+}
+
+/// Writes a JSON error envelope `{"error": ...}`.
+pub fn respond_error(stream: &mut TcpStream, status: &str, message: &str) -> io::Result<()> {
+    let body = crate::json::Json::obj(vec![("error", crate::json::Json::str(message))]).render();
+    respond_json(stream, status, &body)
+}
+
+/// Starts an SSE response: headers only; the caller then writes frames
+/// (`event: ...\ndata: ...\n\n`) as they become available and keeps the
+/// connection open until the stream ends.
+pub fn start_sse(stream: &mut TcpStream) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nAccess-Control-Allow-Origin: *\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}

@@ -1,0 +1,272 @@
+//! `egm_server` — the live simulation service.
+//!
+//! Wraps the deterministic runner in a long-running HTTP service: jobs
+//! are submitted as JSON (`POST /api/jobs`), validated against the same
+//! scenario builders the benches use, executed on a bounded worker pool
+//! via `runner::prepare` / `run_prepared_observed`, and observed live
+//! over a server-sent-event stream (`GET /api/jobs/:id/events`) fed by
+//! the [`egm_simnet::ProgressSink`] hooks in the runner and the sharded
+//! window loop. `GET /api/bench` serves the benchmark record history
+//! through `egm_bench::record`, and `/` serves a minimal vanilla-JS
+//! dashboard. The full API is documented in `crates/server/README.md`;
+//! the progress hooks are observe-only, so a served run is
+//! byte-identical to the same scenario run from the CLI (the workload
+//! `progress_determinism` test pins this).
+//!
+//! The transport is a plain `std::net` HTTP/1.1 + SSE implementation —
+//! the build environment vendors its few dependencies offline and has
+//! no async stack; see `Cargo.toml` for the trade-off note.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod jobs;
+pub mod json;
+
+use jobs::{parse_job, Registry};
+use json::Json;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Embedded dashboard page, served at `/`.
+pub const INDEX_HTML: &str = include_str!("../static/index.html");
+/// Embedded dashboard script, served at `/app.js`.
+pub const APP_JS: &str = include_str!("../static/app.js");
+
+/// Server configuration; see [`ServerConfig::from_env`] for the
+/// environment mapping.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker threads executing jobs (the job queue is unbounded, the
+    /// pool is not).
+    pub workers: usize,
+    /// Path of the benchmark record served by `GET /api/bench`.
+    pub bench_path: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 2,
+            bench_path: PathBuf::from("BENCH_events_per_sec.json"),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Reads the configuration from the environment: `EGM_SERVER_ADDR`
+    /// (default `127.0.0.1:7878`), `EGM_SERVER_WORKERS` (default 2),
+    /// and `EGM_BENCH_OUT` (default `BENCH_events_per_sec.json`, the
+    /// same variable the benches write through).
+    pub fn from_env() -> ServerConfig {
+        let defaults = ServerConfig::default();
+        ServerConfig {
+            addr: std::env::var("EGM_SERVER_ADDR").unwrap_or(defaults.addr),
+            workers: std::env::var("EGM_SERVER_WORKERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&w| w > 0)
+                .unwrap_or(defaults.workers),
+            bench_path: std::env::var("EGM_BENCH_OUT")
+                .map(PathBuf::from)
+                .unwrap_or(defaults.bench_path),
+        }
+    }
+}
+
+/// The benchmark record re-serialized through the bench parser: parse
+/// to bins, render back. Because `egm_bench::record::render_bins` is a
+/// fixed point of its own output format (every writer goes through it),
+/// the response is byte-identical to the checked-in file — the server
+/// round-trip test asserts exactly that.
+pub fn bench_json(path: &std::path::Path) -> io::Result<String> {
+    let text = std::fs::read_to_string(path)?;
+    let bins = egm_bench::record::parse_bins(&text);
+    Ok(egm_bench::record::render_bins(&bins))
+}
+
+struct AppState {
+    registry: Arc<Registry>,
+    config: ServerConfig,
+}
+
+/// The HTTP server: a bound listener plus the job registry and worker
+/// pool. Construct with [`Server::bind`], then either [`Server::serve`]
+/// (blocking) or [`Server::spawn`] (background thread, for tests).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let registry = Arc::new(Registry::new());
+        registry.spawn_workers(config.workers);
+        Ok(Server {
+            listener,
+            state: Arc::new(AppState { registry, config }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever: one thread per connection. Worker threads and
+    /// connection threads are detached; the process exits to stop them.
+    pub fn serve(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let state = self.state.clone();
+            std::thread::spawn(move || handle_connection(stream, &state));
+        }
+        Ok(())
+    }
+
+    /// Starts [`Server::serve`] on a background thread and returns the
+    /// bound address — the test harness entry point.
+    pub fn spawn(self) -> io::Result<SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::Builder::new()
+            .name("egm-server-accept".to_string())
+            .spawn(move || {
+                let _ = self.serve();
+            })?;
+        Ok(addr)
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &AppState) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let Some(req) = http::read_request(&mut reader) else {
+        return;
+    };
+    let _ = route(&mut stream, &req, state);
+}
+
+fn route(stream: &mut TcpStream, req: &http::Request, state: &AppState) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/") => http::respond(stream, "200 OK", "text/html; charset=utf-8", INDEX_HTML),
+        ("GET", "/app.js") => {
+            http::respond(stream, "200 OK", "text/javascript; charset=utf-8", APP_JS)
+        }
+        ("GET", "/api/bench") => match bench_json(&state.config.bench_path) {
+            Ok(body) => http::respond_json(stream, "200 OK", &body),
+            Err(e) => http::respond_error(
+                stream,
+                "404 Not Found",
+                &format!(
+                    "no benchmark record at {}: {e}",
+                    state.config.bench_path.display()
+                ),
+            ),
+        },
+        ("GET", "/api/jobs") => {
+            let jobs: Vec<Json> = state
+                .registry
+                .all()
+                .iter()
+                .map(|job| job.status_json())
+                .collect();
+            http::respond_json(
+                stream,
+                "200 OK",
+                &Json::obj(vec![("jobs", Json::Arr(jobs))]).render(),
+            )
+        }
+        ("POST", "/api/jobs") => {
+            let body = match std::str::from_utf8(&req.body) {
+                Ok(text) => text,
+                Err(_) => {
+                    return http::respond_error(stream, "400 Bad Request", "body is not UTF-8")
+                }
+            };
+            let parsed = match Json::parse(body) {
+                Ok(v) => v,
+                Err(e) => {
+                    return http::respond_error(
+                        stream,
+                        "400 Bad Request",
+                        &format!("invalid JSON: {e}"),
+                    )
+                }
+            };
+            match parse_job(&parsed) {
+                Ok(runs) => {
+                    let job = state.registry.submit(runs);
+                    http::respond_json(
+                        stream,
+                        "201 Created",
+                        &Json::obj(vec![
+                            ("id", Json::num(job.id as f64)),
+                            ("runs", Json::num(job.runs.len() as f64)),
+                            ("status", Json::str("queued")),
+                        ])
+                        .render(),
+                    )
+                }
+                Err(e) => http::respond_error(stream, "400 Bad Request", &e),
+            }
+        }
+        ("GET", path) if path.starts_with("/api/jobs/") => {
+            let rest = &path["/api/jobs/".len()..];
+            let (id, events) = match rest.strip_suffix("/events") {
+                Some(id) => (id, true),
+                None => (rest, false),
+            };
+            let Ok(id) = id.parse::<u64>() else {
+                return http::respond_error(stream, "400 Bad Request", "job id must be an integer");
+            };
+            let Some(job) = state.registry.get(id) else {
+                return http::respond_error(stream, "404 Not Found", &format!("no job {id}"));
+            };
+            if events {
+                stream_job_events(stream, &job)
+            } else {
+                http::respond_json(stream, "200 OK", &job.status_json().render())
+            }
+        }
+        _ => http::respond_error(stream, "404 Not Found", "no such route"),
+    }
+}
+
+/// Streams a job's event log as SSE: replay from the start, then follow
+/// the tail until the job reaches a terminal status and every frame has
+/// been flushed (the stream then ends; `EventSource` clients should
+/// close on the final `status` event to avoid auto-reconnect).
+fn stream_job_events(stream: &mut TcpStream, job: &jobs::Job) -> io::Result<()> {
+    http::start_sse(stream)?;
+    let mut sent = 0usize;
+    loop {
+        let (frames, done) = {
+            let mut inner = job.inner.lock().unwrap();
+            while inner.events.len() == sent && !inner.status.terminal() {
+                inner = job.cond.wait(inner).unwrap();
+            }
+            // A terminal status and its final frame are appended under
+            // one lock, so `done` implies the copy below is complete.
+            (inner.events[sent..].to_vec(), inner.status.terminal())
+        };
+        for frame in &frames {
+            stream.write_all(frame.as_bytes())?;
+        }
+        stream.flush()?;
+        sent += frames.len();
+        if done {
+            return Ok(());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+"use strict";
+
+// Dashboard state: jobs from /api/jobs, one EventSource for the
+// selected job, and a metric panel fed by its SSE frames.
+let selectedJob = null;
+let source = null;
+
+const $ = (id) => document.getElementById(id);
+
+function strategySpec(kind) {
+  if (kind === "eager") return { kind: "flat", pi: 1.0 };
+  if (kind === "lazy") return { kind: "flat", pi: 0.0 };
+  return { kind: "ranked", best_fraction: 0.2 };
+}
+
+async function submitJob(event) {
+  event.preventDefault();
+  const spec = {
+    messages: Number($("messages").value) || 30,
+    seed: Number($("seed").value) || 0,
+    strategy: strategySpec($("strategy").value),
+  };
+  const preset = $("preset").value;
+  if (preset) {
+    spec.preset = preset;
+  } else {
+    spec.scenario = $("scenario").value;
+  }
+  const resp = await fetch("/api/jobs", {
+    method: "POST",
+    headers: { "Content-Type": "application/json" },
+    body: JSON.stringify(spec),
+  });
+  const body = await resp.json();
+  if (!resp.ok) {
+    logLine("status", `submit rejected: ${body.error}`);
+    return;
+  }
+  await refreshJobs();
+  selectJob(body.id);
+}
+
+async function refreshJobs() {
+  const resp = await fetch("/api/jobs");
+  const body = await resp.json();
+  const list = $("job-list");
+  list.textContent = "";
+  for (const job of body.jobs.slice().reverse()) {
+    const row = document.createElement("div");
+    row.className = "job" + (job.id === selectedJob ? " selected" : "");
+    row.onclick = () => selectJob(job.id);
+    const label = document.createElement("span");
+    label.textContent = `#${job.id} (${job.runs} run${job.runs === 1 ? "" : "s"})`;
+    const status = document.createElement("span");
+    status.textContent = job.status;
+    status.className = `status-${job.status}`;
+    row.append(label, status);
+    list.append(row);
+  }
+}
+
+function logLine(kind, text) {
+  const log = $("log");
+  const line = document.createElement("div");
+  line.className = kind;
+  line.textContent = `[${kind}] ${text}`;
+  log.append(line);
+  while (log.childElementCount > 2000) log.firstElementChild.remove();
+  log.scrollTop = log.scrollHeight;
+}
+
+function setMetric(id, value) {
+  $(id).textContent = value;
+}
+
+function selectJob(id) {
+  selectedJob = id;
+  if (source) source.close();
+  $("log").textContent = "";
+  for (const m of ["status", "events", "eps", "now", "delivery", "p50", "p99", "windows"]) {
+    setMetric(`m-${m}`, "—");
+  }
+  refreshJobs();
+
+  source = new EventSource(`/api/jobs/${id}/events`);
+  source.addEventListener("status", (e) => {
+    const d = JSON.parse(e.data);
+    setMetric("m-status", d.status);
+    logLine("status", d.status);
+    if (d.status === "done" || d.status === "failed") {
+      source.close();
+      refreshJobs();
+    }
+  });
+  source.addEventListener("run", (e) => {
+    const d = JSON.parse(e.data);
+    logLine("status", `run ${d.run}: ${d.label}`);
+  });
+  source.addEventListener("window", (e) => {
+    const d = JSON.parse(e.data);
+    setMetric("m-events", d.events.toLocaleString());
+    setMetric("m-now", `${d.now_ms.toFixed(0)} ms`);
+    setMetric("m-windows", d.window);
+    logLine("window", `window ${d.window} @ ${d.now_ms.toFixed(1)} ms, ${d.events} events`);
+  });
+  source.addEventListener("chunk", (e) => {
+    const d = JSON.parse(e.data);
+    setMetric("m-events", d.events.toLocaleString());
+    setMetric("m-now", `${d.now_ms.toFixed(0)} ms`);
+    logLine("chunk", `t=${d.now_ms.toFixed(0)} ms, ${d.events} events`);
+  });
+  source.addEventListener("fault", (e) => {
+    const d = JSON.parse(e.data);
+    logLine("fault", `t=${d.at_ms.toFixed(0)} ms: ${d.action}`);
+  });
+  source.addEventListener("rerank", (e) => {
+    const d = JSON.parse(e.data);
+    logLine("rerank", `tick ${d.tick} @ ${d.at_ms.toFixed(0)} ms, |best|=${d.best}`);
+  });
+  source.addEventListener("summary", (e) => {
+    const d = JSON.parse(e.data);
+    setMetric("m-events", d.events.toLocaleString());
+    setMetric("m-delivery", `${(d.delivery_fraction * 100).toFixed(2)}%`);
+    setMetric("m-p50", `${d.p50_ms.toFixed(1)} ms`);
+    setMetric("m-p99", `${d.p99_ms.toFixed(1)} ms`);
+    logLine("summary", `delivery ${(d.delivery_fraction * 100).toFixed(2)}%, p50 ${d.p50_ms.toFixed(1)} ms, p99 ${d.p99_ms.toFixed(1)} ms`);
+  });
+  source.addEventListener("result", (e) => {
+    const d = JSON.parse(e.data);
+    setMetric("m-eps", Math.round(d.events_per_sec).toLocaleString());
+    logLine("result", `${d.label}: ${Math.round(d.events_per_sec).toLocaleString()} events/s over ${d.wall_ms.toFixed(0)} ms wall`);
+  });
+}
+
+$("submit-form").addEventListener("submit", submitJob);
+refreshJobs();
+setInterval(refreshJobs, 3000);

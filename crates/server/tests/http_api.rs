@@ -1,0 +1,213 @@
+//! End-to-end HTTP API tests: spawn the server on an ephemeral port and
+//! exercise every documented endpoint with raw `std::net` requests —
+//! the same surface the `server-smoke` CI job drives with `curl`.
+
+use egm_server::json::Json;
+use egm_server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn bench_record_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_events_per_sec.json")
+}
+
+fn spawn_server() -> SocketAddr {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        bench_path: bench_record_path(),
+    };
+    Server::bind(config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn accept loop")
+}
+
+/// One request/response over a fresh connection (the server speaks
+/// `Connection: close`). Returns `(status_line, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .lines()
+        .next()
+        .expect("status line present")
+        .to_string();
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> (String, Json) {
+    let (status, body) = request(addr, "GET", path, None);
+    (status, Json::parse(&body).expect("JSON body"))
+}
+
+#[test]
+fn bench_endpoint_round_trips_the_checked_in_record() {
+    let addr = spawn_server();
+    let (status, body) = request(addr, "GET", "/api/bench", None);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let on_disk = std::fs::read_to_string(bench_record_path()).expect("checked-in bench record");
+    // parse_bins -> render_bins must be the identity on the checked-in
+    // file: every writer goes through render_bins, so the served bytes
+    // match the repository bytes exactly (satellite 5).
+    assert_eq!(body, on_disk);
+}
+
+#[test]
+fn dashboard_assets_are_served() {
+    let addr = spawn_server();
+    let (status, body) = request(addr, "GET", "/", None);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("<script src=\"/app.js\">"));
+    let (status, body) = request(addr, "GET", "/app.js", None);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("EventSource"));
+}
+
+#[test]
+fn rejects_bad_submissions_and_unknown_routes() {
+    let addr = spawn_server();
+    let (status, body) = request(addr, "POST", "/api/jobs", Some("{not json"));
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(body.contains("invalid JSON"));
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/api/jobs",
+        Some(r#"{"scenario":"smoke","bogus":1}"#),
+    );
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(body.contains("unknown field"));
+
+    let (status, _) = request(addr, "GET", "/api/jobs/9999", None);
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    let (status, _) = request(addr, "GET", "/api/nope", None);
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+}
+
+/// Submits a job, follows its SSE stream to completion, and returns the
+/// collected `event:` kinds in order.
+fn run_job_and_collect_events(addr: SocketAddr, spec: &str) -> (u64, Vec<String>) {
+    let (status, body) = request(addr, "POST", "/api/jobs", Some(spec));
+    assert_eq!(status, "HTTP/1.1 201 Created", "submit failed: {body}");
+    let id = Json::parse(&body)
+        .expect("submit response JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("job id");
+
+    let mut stream = TcpStream::connect(addr).expect("connect SSE");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /api/jobs/{id}/events HTTP/1.1\r\nHost: test\r\n\r\n"
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("SSE status line");
+    assert!(line.starts_with("HTTP/1.1 200 OK"), "SSE refused: {line}");
+
+    // The stream ends (EOF) once the job is terminal and flushed.
+    let mut kinds = Vec::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read SSE frame") == 0 {
+            break;
+        }
+        if let Some(kind) = line.trim_end().strip_prefix("event: ") {
+            kinds.push(kind.to_string());
+        }
+    }
+    (id, kinds)
+}
+
+#[test]
+fn smoke_job_streams_progress_and_completes() {
+    let addr = spawn_server();
+    let (id, kinds) = run_job_and_collect_events(
+        addr,
+        r#"{"scenario":"smoke","messages":5,"seed":7,"strategy":{"kind":"ranked","best_fraction":0.25}}"#,
+    );
+
+    // The smoke scenario runs on the sequential engine, so progress
+    // arrives as runner-level chunk frames.
+    assert!(
+        kinds.iter().any(|k| k == "chunk" || k == "window"),
+        "no progress frames in {kinds:?}"
+    );
+    assert!(kinds.iter().any(|k| k == "summary"));
+    assert!(kinds.iter().any(|k| k == "result"));
+    assert_eq!(kinds.last().map(String::as_str), Some("status"));
+
+    let (status, job) = get_json(addr, &format!("/api/jobs/{id}"));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(job.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(job.get("done_runs").and_then(Json::as_u64), Some(1));
+
+    let (status, jobs) = get_json(addr, "/api/jobs");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        jobs.get("jobs").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(1)
+    );
+}
+
+#[test]
+fn sweep_job_runs_every_value() {
+    let addr = spawn_server();
+    let (id, kinds) = run_job_and_collect_events(
+        addr,
+        r#"{"scenario":"smoke","messages":3,"seed":1,"strategy":{"kind":"ranked","best_fraction":0.5},"sweep":{"field":"best_fraction","values":[0.25,0.5]}}"#,
+    );
+    assert_eq!(kinds.iter().filter(|k| *k == "result").count(), 2);
+    let (_, job) = get_json(addr, &format!("/api/jobs/{id}"));
+    assert_eq!(job.get("done_runs").and_then(Json::as_u64), Some(2));
+    assert_eq!(job.get("status").and_then(Json::as_str), Some("done"));
+}
+
+/// The acceptance-criterion run: the 1k preset (1000 nodes) routes onto
+/// the sharded engine, so progress must arrive as conservative-window
+/// frames — at least one per executed window batch. Slower than the
+/// tier-1 budget allows, hence ignored by default; CI's `server-smoke`
+/// job drives the same path over curl.
+#[test]
+#[ignore = "multi-second 1k-preset run; exercised by the server-smoke CI job"]
+fn preset_1k_job_streams_window_events_to_completion() {
+    let addr = spawn_server();
+    let (id, kinds) =
+        run_job_and_collect_events(addr, r#"{"preset":"1k","messages":10,"seed":42}"#);
+    let windows = kinds.iter().filter(|k| *k == "window").count() as u64;
+    assert!(windows >= 1, "no window frames in {kinds:?}");
+    let (_, job) = get_json(addr, &format!("/api/jobs/{id}"));
+    assert_eq!(job.get("status").and_then(Json::as_str), Some("done"));
+    let results = job.get("results").and_then(Json::as_arr).expect("results");
+    let reported = results[0]
+        .get("windows")
+        .and_then(Json::as_u64)
+        .expect("windows");
+    // One SSE window frame per executed window batch (minus any frames
+    // dropped past the event-log cap, which a 10-message run never hits).
+    assert_eq!(windows, reported);
+}

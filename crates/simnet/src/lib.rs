@@ -47,6 +47,7 @@
 
 pub mod event;
 pub mod net;
+pub mod progress;
 pub mod shard;
 pub mod sim;
 pub mod stats;
@@ -55,6 +56,7 @@ pub mod wire;
 
 pub use event::{CalendarQueue, EventQueue, HeapQueue, QueueKind, QueueStats, Scheduled};
 pub use net::{Network, SimConfig};
+pub use progress::{NoopSink, ProgressEvent, ProgressSink, SharedSink};
 pub use shard::{Partition, PartitionStrategy, ShardChoice, ShardStats, ShardedSim};
 pub use sim::{Context, Protocol, Sim, TimerTag, TimerToken};
 pub use stats::{LinkTally, Traffic};

@@ -39,6 +39,7 @@
 
 use crate::event::{EventKind, QueueStats, Scheduled};
 use crate::net::{Network, SimConfig};
+use crate::progress::{ProgressEvent, SharedSink};
 use crate::sim::{fork_streams, pack_seq, EngineState, Protocol, ShardRoute, SimCore, MAX_NODES};
 use crate::stats::Traffic;
 use crate::time::{SimDuration, SimTime};
@@ -372,6 +373,11 @@ pub struct ShardedSim<P: Protocol> {
     /// Reusable scratch buffer for the per-destination lane merge of the
     /// single-threaded window driver.
     lane_gather: Vec<Scheduled<EventKind<P::Msg>>>,
+    /// Observe-only progress sink; window plans are reported to it.
+    /// `None` (the default) leaves the window loop exactly as it was —
+    /// the sink is never consulted for decisions, so installing one
+    /// cannot change any simulation output.
+    progress: Option<SharedSink>,
 }
 
 impl<P: Protocol + Send> ShardedSim<P>
@@ -469,7 +475,18 @@ where
             lane_flushes: 0,
             exchanges_skipped: 0,
             lane_gather: Vec::new(),
+            progress: None,
         }
+    }
+
+    /// Installs an observe-only progress sink: both window drivers
+    /// report each planned window ([`ProgressEvent::Window`]) to it.
+    /// The sink receives copies of counters the engine already keeps
+    /// and is never consulted for decisions, so results stay
+    /// byte-identical with or without one (the workload
+    /// `progress_determinism` test asserts this).
+    pub fn set_progress_sink(&mut self, sink: SharedSink) {
+        self.progress = Some(sink);
     }
 
     /// Forces the window driver onto one thread (`false`) or worker
@@ -821,6 +838,15 @@ where
             // lanes, no barriers. This is the W = 1 configuration whose
             // per-window overhead the acceptance bar caps.
             debug_assert_eq!(self.shards.len(), 1);
+            if let Some(sink) = &self.progress {
+                if let Some(next) = self.shards[0].core.next_time() {
+                    sink.emit(ProgressEvent::Window {
+                        window: self.windows + 1,
+                        now_us: next.as_micros(),
+                        events: self.shards[0].events_processed,
+                    });
+                }
+            }
             self.shards[0].run_bounded(deadline);
             self.windows += 1;
             self.now = self.now.max(self.shards[0].now);
@@ -851,6 +877,13 @@ where
                 break;
             }
             let bound = window_bound(min_t, lookahead, deadline);
+            if let Some(sink) = &self.progress {
+                sink.emit(ProgressEvent::Window {
+                    window: self.windows + 1,
+                    now_us: min_t.as_micros(),
+                    events: self.shards.iter().map(|sh| sh.events_processed).sum(),
+                });
+            }
             for sh in &mut self.shards {
                 sh.run_bounded(Some(bound));
             }
@@ -917,6 +950,15 @@ where
         let w = self.shards.len();
         let barrier = Barrier::new(w);
         let next_times: Vec<AtomicU64> = (0..w).map(|_| AtomicU64::new(0)).collect();
+        // Per-shard dispatched-event counts, refreshed at each boundary
+        // so the leader can report progress without touching peer state.
+        let events_counts: Vec<AtomicU64> = self
+            .shards
+            .iter()
+            .map(|sh| AtomicU64::new(sh.events_processed))
+            .collect();
+        let base_windows = self.windows;
+        let progress = self.progress.clone();
         let bound_cell = AtomicU64::new(0);
         let windows = AtomicU64::new(0);
         let lane_events = AtomicU64::new(0);
@@ -948,6 +990,8 @@ where
                 let published = &published;
                 let mailboxes = &mailboxes;
                 let abort = &abort;
+                let events_counts = &events_counts;
+                let progress = &progress;
                 scope.spawn(move || {
                     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
                     let mut poison = None;
@@ -1006,6 +1050,7 @@ where
                             t = sh.core.next_time().map_or(u64::MAX, |t| t.as_micros());
                         });
                         next_times[i].store(t, Ordering::SeqCst);
+                        events_counts[i].store(sh.events_processed, Ordering::SeqCst);
                         let turn = barrier.wait();
                         // Phase 3: one leader plans the window for all.
                         if turn.is_leader() {
@@ -1027,7 +1072,20 @@ where
                             let plan = if stop {
                                 STOP
                             } else {
-                                windows.fetch_add(1, Ordering::Relaxed);
+                                let local = windows.fetch_add(1, Ordering::Relaxed) + 1;
+                                // Observe-only: the sink sees the plan
+                                // the leader just made, it cannot
+                                // change it.
+                                if let Some(sink) = progress {
+                                    sink.emit(ProgressEvent::Window {
+                                        window: base_windows + local,
+                                        now_us: min_t,
+                                        events: events_counts
+                                            .iter()
+                                            .map(|c| c.load(Ordering::SeqCst))
+                                            .sum(),
+                                    });
+                                }
                                 let mut b = min_t + lookahead_us - 1;
                                 if let Some(d) = deadline_us {
                                     b = b.min(d);

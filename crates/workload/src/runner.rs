@@ -21,7 +21,8 @@ use egm_membership::PartialView;
 use egm_metrics::{link, DeliveryLog, LatencyHistogram, RunReport};
 use egm_rng::Rng;
 use egm_simnet::{
-    NodeId, QueueStats, ShardStats, ShardedSim, Sim, SimConfig, SimDuration, SimTime, Traffic,
+    NodeId, ProgressEvent, QueueStats, ShardStats, ShardedSim, SharedSink, Sim, SimConfig,
+    SimDuration, SimTime, Traffic,
 };
 use egm_topology::RoutedModel;
 use std::collections::{HashMap, HashSet};
@@ -34,6 +35,13 @@ use std::sync::Arc;
 /// why oracle-ranked runs are byte-identical whether or not any
 /// decentralized source exists in the build.
 const RANK_SEED_SALT: u64 = 0x524E_4B53;
+
+/// Virtual-time slice the *observed* sequential engine advances per
+/// [`ProgressEvent::Chunk`]. A pure constant (never derived from live
+/// state), so chunked execution replays the exact event schedule of one
+/// uninterrupted `run_until` — the same argument that makes the re-rank
+/// ticks and the closed-loop chunks byte-identical across engines.
+const PROGRESS_CHUNK_MS: f64 = 500.0;
 
 /// Everything measured in one run: the summary report plus the raw data
 /// the figure harnesses and examples drill into.
@@ -123,6 +131,16 @@ enum Engine {
 }
 
 impl Engine {
+    /// Installs the observe-only progress sink where the engine supports
+    /// window-boundary reporting (the sharded loop). The sequential
+    /// engine has no windows; the runner chunks its `run_until` instead.
+    fn set_progress_sink(&mut self, sink: SharedSink) {
+        match self {
+            Engine::Seq(_) => {}
+            Engine::Sharded(s) => s.set_progress_sink(sink),
+        }
+    }
+
     fn schedule_command(&mut self, at: SimTime, node: NodeId, value: u64) {
         match self {
             Engine::Seq(s) => s.schedule_command(at, node, value),
@@ -389,6 +407,48 @@ pub fn run_prepared(scenario: &Scenario, setup: &RunSetup) -> RunOutcome {
     run_with_setup(scenario, setup.clone())
 }
 
+/// [`run_prepared`] with an observe-only [`egm_simnet::ProgressSink`]
+/// attached: the sink receives window plans from the sharded engine,
+/// deterministic chunk boundaries from the sequential engine, scheduled
+/// fault activations, re-rank ticks, and a final summary. The sink never
+/// feeds back into execution, so the outcome is byte-identical to
+/// [`run_prepared`] (the `progress_determinism` test asserts it).
+///
+/// # Panics
+///
+/// See [`run_prepared`].
+pub fn run_prepared_observed(
+    scenario: &Scenario,
+    setup: &RunSetup,
+    sink: SharedSink,
+) -> RunOutcome {
+    assert_eq!(
+        setup.key,
+        RunSetup::key(scenario),
+        "setup was prepared for a different scenario configuration"
+    );
+    run_with_setup_observed(scenario, setup.clone(), Some(sink))
+}
+
+/// [`run_detailed`] with an observe-only progress sink attached; see
+/// [`run_prepared_observed`] for the event stream and the determinism
+/// guarantee.
+///
+/// # Panics
+///
+/// See [`run_detailed`].
+pub fn run_detailed_observed(
+    scenario: &Scenario,
+    model: Option<Arc<RoutedModel>>,
+    sink: SharedSink,
+) -> RunOutcome {
+    run_with_setup_observed(
+        scenario,
+        RunSetup::for_scenario(scenario, model),
+        Some(sink),
+    )
+}
+
 /// Runs a batch of independent scenarios across all available cores,
 /// returning one [`RunOutcome`] per scenario **in input order**.
 ///
@@ -477,6 +537,20 @@ pub fn run_detailed(scenario: &Scenario, model: Option<Arc<RoutedModel>>) -> Run
 
 /// Executes the post-setup phase of a run, consuming the setup.
 fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
+    run_with_setup_observed(scenario, setup, None)
+}
+
+/// [`run_with_setup`] with an optional observe-only progress sink. With
+/// `None` the execution path is exactly the unobserved one; with a sink
+/// the only deltas are (a) the sharded engine reports its window plans
+/// and (b) the sequential engine's single `run_until(end)` is advanced
+/// in fixed [`PROGRESS_CHUNK_MS`] slices — both proven byte-identical by
+/// `progress_determinism`.
+fn run_with_setup_observed(
+    scenario: &Scenario,
+    setup: RunSetup,
+    sink: Option<SharedSink>,
+) -> RunOutcome {
     let n = scenario.node_count();
     assert!(scenario.messages > 0, "need at least one message");
     let RunSetup {
@@ -586,6 +660,9 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
     } else {
         Engine::Seq(Box::new(Sim::new(sim_config, scenario.seed, nodes)))
     };
+    if let Some(sink) = &sink {
+        sim.set_progress_sink(sink.clone());
+    }
 
     // Fault injection at the end of warm-up, immediately before traffic
     // starts (§6.3).
@@ -596,6 +673,12 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
     };
     for &v in &victims {
         sim.schedule_silence(warmup_end, v);
+        if let Some(sink) = &sink {
+            sink.emit(ProgressEvent::Fault {
+                at_ms: scenario.warmup_ms,
+                action: format!("warm-up kill {v}"),
+            });
+        }
     }
 
     // Explicit fault trace (extension): replayed verbatim, in event
@@ -605,6 +688,12 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
         schedule.validate(n);
         for ev in &schedule.events {
             let at = SimTime::from_ms(ev.at_ms);
+            if let Some(sink) = &sink {
+                sink.emit(ProgressEvent::Fault {
+                    at_ms: ev.at_ms,
+                    action: format!("{:?}", ev.action),
+                });
+            }
             match ev.action {
                 FaultAction::Silence { node } => sim.schedule_silence(at, NodeId(node)),
                 FaultAction::Revive { node } => sim.schedule_revive(at, NodeId(node)),
@@ -631,7 +720,7 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
         // later publish is self-scheduled by the chain, so the end time
         // is a function of dissemination latency discovered by running.
         sim.schedule_command(warmup_end, NodeId(0), 0);
-        run_closed_loop(&mut sim, scenario, warmup_end);
+        run_closed_loop(&mut sim, scenario, warmup_end, sink.as_ref());
     } else {
         let schedule = match &scenario.arrival {
             Some(Arrival::Open(process)) => {
@@ -662,19 +751,63 @@ fn run_with_setup(scenario: &Scenario, setup: RunSetup) -> RunOutcome {
                 let down = warmup_end + SimDuration::from_ms(ev.at_ms);
                 sim.schedule_silence(down, ev.node);
                 sim.schedule_revive(down + SimDuration::from_ms(churn.down_ms), ev.node);
+                if let Some(sink) = &sink {
+                    sink.emit(ProgressEvent::Fault {
+                        at_ms: down.as_ms(),
+                        action: format!("churn {} down for {} ms", ev.node, churn.down_ms),
+                    });
+                }
             }
         }
 
         // Online re-ranking (extension): advance warm-up in global
         // barrier ticks, re-ranking the hubs at each one.
         if let Some(plan) = scenario.rerank {
-            reranked_best_ids = rerank_during_warmup(&mut sim, scenario, &model, plan, warmup_end);
+            reranked_best_ids =
+                rerank_during_warmup(&mut sim, scenario, &model, plan, warmup_end, sink.as_ref());
         }
 
-        sim.run_until(end);
+        // The sequential engine has no window boundaries to report from,
+        // so an observed run advances it in fixed virtual-time chunks —
+        // deadlines are multiples of a constant, a pure function of
+        // nothing, so the event schedule is exactly that of one
+        // uninterrupted `run_until(end)`.
+        match &sink {
+            Some(sink) if matches!(sim, Engine::Seq(_)) => {
+                let mut k = 1u64;
+                loop {
+                    let deadline = SimTime::from_ms(k as f64 * PROGRESS_CHUNK_MS);
+                    if deadline >= end {
+                        break;
+                    }
+                    sim.run_until(deadline);
+                    sink.emit(ProgressEvent::Chunk {
+                        now_ms: deadline.as_ms(),
+                        events: sim.events_processed(),
+                    });
+                    k += 1;
+                }
+                sim.run_until(end);
+                sink.emit(ProgressEvent::Chunk {
+                    now_ms: end.as_ms(),
+                    events: sim.events_processed(),
+                });
+            }
+            _ => sim.run_until(end),
+        }
     }
 
-    collect(scenario, sim, model, victims, best_ids, reranked_best_ids)
+    let outcome = collect(scenario, sim, model, victims, best_ids, reranked_best_ids);
+    if let Some(sink) = &sink {
+        sink.emit(ProgressEvent::Summary {
+            events: outcome.events,
+            delivery_fraction: outcome.report.mean_delivery_fraction,
+            p50_ms: outcome.latency.p50_ms(),
+            p99_ms: outcome.latency.p99_ms(),
+            p999_ms: outcome.latency.p999_ms(),
+        });
+    }
+    outcome
 }
 
 /// Runs the warm-up phase in re-rank ticks: every `plan.period_ms` the
@@ -698,6 +831,7 @@ fn rerank_during_warmup(
     model: &RoutedModel,
     plan: RerankPlan,
     warmup_end: SimTime,
+    sink: Option<&SharedSink>,
 ) -> Option<Vec<NodeId>> {
     let fraction = scenario
         .strategy
@@ -731,6 +865,13 @@ fn rerank_during_warmup(
         for (_, node) in sim.nodes_mut() {
             node.rebind_best(best.clone());
         }
+        if let Some(sink) = sink {
+            sink.emit(ProgressEvent::Rerank {
+                tick: k,
+                at_ms: t_ms,
+                best: best.best_ids().len(),
+            });
+        }
         last = Some(best);
     }
     last.map(|b| b.best_ids())
@@ -744,7 +885,12 @@ fn rerank_during_warmup(
 ///
 /// The chunk deadlines are a pure function of the scenario, so chunked
 /// execution stays byte-identical across engines and shard widths.
-fn run_closed_loop(sim: &mut Engine, scenario: &Scenario, start: SimTime) {
+fn run_closed_loop(
+    sim: &mut Engine,
+    scenario: &Scenario,
+    start: SimTime,
+    sink: Option<&SharedSink>,
+) {
     let chunk = SimDuration::from_ms(5_000.0);
     let mut deadline = start;
     let mut last_done = 0usize;
@@ -752,6 +898,12 @@ fn run_closed_loop(sim: &mut Engine, scenario: &Scenario, start: SimTime) {
     loop {
         deadline += chunk;
         sim.run_until(deadline);
+        if let Some(sink) = sink {
+            sink.emit(ProgressEvent::Chunk {
+                now_ms: deadline.as_ms(),
+                events: sim.events_processed(),
+            });
+        }
         let done: usize = sim.nodes().map(|(_, node)| node.multicasts().len()).sum();
         if done >= scenario.messages {
             break;

@@ -1,0 +1,138 @@
+//! The ProgressSink is observe-only: a run with a sink installed must be
+//! byte-identical to the same run without one, on both engines. This is
+//! the determinism bar for the live-serving path — the server streams
+//! progress from exactly these hooks, so any feedback from observation
+//! into execution would silently fork the served results from the
+//! benched ones.
+
+use egm_core::StrategySpec;
+use egm_simnet::{ProgressEvent, ProgressSink};
+use egm_workload::runner::{self, RunOutcome};
+use egm_workload::{FaultSchedule, RerankPlan, Scenario};
+use std::sync::{Arc, Mutex};
+
+/// Collects every event; the test asserts the stream is non-trivial so
+/// the byte-identity claim actually covers an observed run.
+#[derive(Debug, Default)]
+struct Collecting(Mutex<Vec<ProgressEvent>>);
+
+impl ProgressSink for Collecting {
+    fn emit(&self, event: ProgressEvent) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+/// The full observable surface two runs must agree on.
+fn assert_identical(plain: &RunOutcome, observed: &RunOutcome) {
+    assert_eq!(plain.report, observed.report, "reports diverged");
+    assert_eq!(plain.log, observed.log, "delivery logs diverged");
+    assert_eq!(plain.payload_links, observed.payload_links);
+    assert_eq!(plain.payloads_per_node, observed.payloads_per_node);
+    assert_eq!(plain.victims, observed.victims);
+    assert_eq!(plain.best_ids, observed.best_ids);
+    assert_eq!(plain.reranked_best_ids, observed.reranked_best_ids);
+    assert_eq!(plain.scheduler, observed.scheduler);
+    assert_eq!(plain.events, observed.events, "event counts diverged");
+    assert_eq!(plain.timers_cancelled, observed.timers_cancelled);
+    assert_eq!(plain.queue, observed.queue, "queue counters diverged");
+    assert_eq!(plain.latency, observed.latency, "histograms diverged");
+    assert_eq!(plain.steady, observed.steady, "steady blocks diverged");
+    assert_eq!(plain.retired_messages, observed.retired_messages);
+}
+
+#[test]
+fn sequential_run_is_byte_identical_with_sink() {
+    let scenario = Scenario::smoke_test().with_strategy(StrategySpec::Ranked {
+        best_fraction: 0.25,
+    });
+    let plain = runner::run_detailed(&scenario, None);
+    let sink = Arc::new(Collecting::default());
+    let observed = runner::run_detailed_observed(&scenario, None, sink.clone());
+    assert_identical(&plain, &observed);
+
+    let events = sink.0.lock().unwrap();
+    // The sequential engine reports fixed-chunk progress plus the final
+    // summary; windows only exist on the sharded engine.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::Chunk { .. })),
+        "no chunk events: {events:?}"
+    );
+    assert!(
+        matches!(events.last(), Some(ProgressEvent::Summary { .. })),
+        "missing summary: {events:?}"
+    );
+}
+
+#[test]
+fn sharded_run_is_byte_identical_with_sink_and_reports_windows() {
+    let scenario = Scenario::smoke_test()
+        .with_strategy(StrategySpec::Ranked {
+            best_fraction: 0.25,
+        })
+        .with_shards(Some(2));
+    let plain = runner::run_detailed(&scenario, None);
+    let sink = Arc::new(Collecting::default());
+    let observed = runner::run_detailed_observed(&scenario, None, sink.clone());
+    assert_identical(&plain, &observed);
+    // Window counts are part of the sharded engine's stats and must not
+    // move under observation either.
+    assert_eq!(plain.shard_stats, observed.shard_stats);
+
+    let events = sink.0.lock().unwrap();
+    let windows = events
+        .iter()
+        .filter(|e| matches!(e, ProgressEvent::Window { .. }))
+        .count() as u64;
+    assert!(windows > 0, "sharded run reported no windows");
+    assert_eq!(
+        windows, observed.shard_stats.windows,
+        "every planned window must be reported exactly once"
+    );
+    assert!(matches!(events.last(), Some(ProgressEvent::Summary { .. })));
+}
+
+#[test]
+fn prepared_observed_matches_prepared() {
+    let scenario = Scenario::smoke_test().with_strategy(StrategySpec::Ranked {
+        best_fraction: 0.25,
+    });
+    let setup = runner::prepare(&scenario, None);
+    let plain = runner::run_prepared(&scenario, &setup);
+    let sink = Arc::new(Collecting::default());
+    let observed = runner::run_prepared_observed(&scenario, &setup, sink);
+    assert_identical(&plain, &observed);
+}
+
+#[test]
+fn faulted_reranked_run_is_byte_identical_and_reports_ticks() {
+    let scenario = Scenario::smoke_test()
+        .with_strategy(StrategySpec::Ranked {
+            best_fraction: 0.25,
+        })
+        .with_fault_schedule(Some(FaultSchedule::transit_degradation(
+            50.0, 400.0, 2.0, 0.0,
+        )))
+        .with_rerank(Some(RerankPlan::new(100.0, 2)));
+    let plain = runner::run_detailed(&scenario, None);
+    let sink = Arc::new(Collecting::default());
+    let observed = runner::run_detailed_observed(&scenario, None, sink.clone());
+    assert_identical(&plain, &observed);
+
+    let events = sink.0.lock().unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::Fault { .. })),
+        "scheduled faults must be reported: {events:?}"
+    );
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::Rerank { .. }))
+            .count(),
+        2,
+        "one event per re-rank tick: {events:?}"
+    );
+}
